@@ -1,0 +1,63 @@
+// Ablation A4: power exponent sweep. The paper evaluates x^2 and x^4;
+// this bench fills in the curve alpha in {1.5, 2, 2.5, 3, 4} at the
+// Fig. 2 operating point and reports both algorithms normalized by LB.
+// Higher alpha penalizes rate concentration more, widening the gap
+// between load-spreading (RS) and shortest-path stacking (SP+MCF).
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const int num_flows = static_cast<int>(args.get_int("flows", 120));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 61));
+
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+
+  std::printf("Ablation A4: exponent sweep (sigma=0, %d flows, %d runs)\n",
+              num_flows, runs);
+  bench::rule();
+  std::printf("%8s  %14s  %14s  %14s\n", "alpha", "RS/LB", "SP+MCF/LB",
+              "SP/RS");
+  bench::rule();
+
+  for (double alpha : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    const PowerModel model = PowerModel::pure_speed_scaling(alpha);
+    RunningStats rs_ratio, sp_ratio, sp_over_rs;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = num_flows;
+      const auto flows = paper_workload(topo, params, rng);
+
+      RandomScheduleOptions options;
+      options.relaxation.frank_wolfe.max_iterations = 15;
+      options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      const auto rs = random_schedule(g, flows, model, rng, options);
+      if (!rs.capacity_feasible) continue;
+      const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
+      const auto sp = sp_mcf(g, flows, model);
+      const double sp_energy =
+          energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
+
+      rs_ratio.add(rs_replay.energy / rs.lower_bound_energy);
+      sp_ratio.add(sp_energy / rs.lower_bound_energy);
+      sp_over_rs.add(sp_energy / rs_replay.energy);
+    }
+    std::printf("%8.2f  %14s  %14s  %14s\n", alpha,
+                format_mean_ci(rs_ratio).c_str(),
+                format_mean_ci(sp_ratio).c_str(),
+                format_mean_ci(sp_over_rs).c_str());
+  }
+  return 0;
+}

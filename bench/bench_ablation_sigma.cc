@@ -1,0 +1,69 @@
+// Ablation A3: idle-power share. Sweeps sigma at fixed mu = 1,
+// alpha = 2 and reports RS, SP+MCF and the greedy consolidation
+// baseline normalized by LB. As sigma grows, turning links off
+// dominates and routing consolidation (RS, greedy) pulls further ahead
+// of shortest-path routing, which scatters flows over many links.
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const int num_flows = static_cast<int>(args.get_int("flows", 60));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 53));
+
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+
+  std::printf(
+      "Ablation A3: idle power sweep (mu=1, alpha=2, %d flows, %d runs)\n",
+      num_flows, runs);
+  bench::rule();
+  std::printf("%8s  %14s  %14s  %14s  %12s\n", "sigma", "RS/LB", "SP+MCF/LB",
+              "Greedy/LB", "RS links");
+  bench::rule();
+
+  for (double sigma : {0.0, 0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const PowerModel model(sigma, 1.0, 2.0);
+    RunningStats rs_ratio, sp_ratio, greedy_ratio, rs_links;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = num_flows;
+      const auto flows = paper_workload(topo, params, rng);
+      const Interval horizon = flow_horizon(flows);
+
+      RandomScheduleOptions options;
+      options.relaxation.frank_wolfe.max_iterations = 15;
+      options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      const auto rs = random_schedule(g, flows, model, rng, options);
+      if (!rs.capacity_feasible) continue;
+      const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
+
+      const auto sp = sp_mcf(g, flows, model);
+      const double sp_energy = energy_phi_f(g, sp.schedule, model, horizon);
+
+      const Schedule greedy = greedy_energy_aware(g, flows, model);
+      const double greedy_energy = energy_phi_f(g, greedy, model, horizon);
+
+      rs_ratio.add(rs_replay.energy / rs.lower_bound_energy);
+      sp_ratio.add(sp_energy / rs.lower_bound_energy);
+      greedy_ratio.add(greedy_energy / rs.lower_bound_energy);
+      rs_links.add(static_cast<double>(rs_replay.active_links));
+    }
+    std::printf("%8.2f  %14s  %14s  %14s  %12.1f\n", sigma,
+                format_mean_ci(rs_ratio).c_str(),
+                format_mean_ci(sp_ratio).c_str(),
+                format_mean_ci(greedy_ratio).c_str(), rs_links.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation A9: multipath via flow splitting (the Sec. II-B remark).
+//
+// Every flow is split into `ways` equal subflows that round their paths
+// independently inside Random-Schedule. More ways = finer realization
+// of the fractional relaxation (lower energy, approaching LB) at the
+// cost of packet reordering across subflow paths at the destination.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/split.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const int num_flows = static_cast<int>(args.get_int("flows", 60));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 83));
+
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  std::printf("Ablation A9: flow splitting (alpha=2, %d flows, %d runs)\n",
+              num_flows, runs);
+  bench::rule();
+  std::printf("%8s  %14s  %16s\n", "ways", "RS/LB", "parent volumes ok");
+  bench::rule();
+
+  RandomScheduleOptions options;
+  options.relaxation.frank_wolfe.max_iterations = 15;
+  options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+
+  for (int ways : {1, 2, 4, 8}) {
+    RunningStats ratio;
+    int volumes_ok = 0, total = 0;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = num_flows;
+      const auto flows = paper_workload(topo, params, rng);
+      const SplitResult split = split_flows(flows, ways);
+
+      const auto rs = random_schedule(g, split.subflows, model, rng, options);
+      if (!rs.capacity_feasible) continue;
+      const auto replay = replay_schedule(g, split.subflows, rs.schedule, model);
+      if (!replay.ok) continue;
+      ratio.add(replay.energy / rs.lower_bound_energy);
+
+      // Each parent's subflow deliveries must add up to its volume.
+      const auto delivered =
+          aggregate_by_parent(split, replay.delivered, flows.size());
+      ++total;
+      bool ok = true;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (std::abs(delivered[i] - flows[i].volume) > 1e-6 * flows[i].volume) {
+          ok = false;
+        }
+      }
+      if (ok) ++volumes_ok;
+    }
+    std::printf("%8d  %14s  %13d/%d\n", ways, format_mean_ci(ratio).c_str(),
+                volumes_ok, total);
+  }
+  std::printf(
+      "\nReading: splitting lets the rounding mirror the fractional optimum\n"
+      "per subflow; the ratio decreases toward the integrality-free limit.\n");
+  return 0;
+}

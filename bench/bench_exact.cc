@@ -1,0 +1,76 @@
+// True approximation ratios on tiny instances.
+//
+// At the paper's evaluation scale only the fractional LB is computable,
+// so Fig. 2 reports RS/LB — an *upper bound* on the real approximation
+// ratio. On tiny instances the exact optimum is enumerable
+// (src/dcfsr/exact.h), separating the two gaps:
+//
+//     RS / LB  =  (RS / OPT) * (OPT / LB).
+//
+// This harness prints all three columns per instance size, showing how
+// much of the Fig. 2 ratio is the algorithm (RS/OPT ~ small) versus the
+// relaxation's integrality gap (OPT/LB).
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/exact.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  std::printf("Exact optimum study on fat_tree(4) (alpha=2, %d runs)\n", runs);
+  std::printf("(OPT = exact optimum of the paper's virtual-circuit model)\n");
+  bench::rule();
+  std::printf("%8s  %12s  %12s  %12s  %12s\n", "flows", "RS/OPT", "OPT/LB",
+              "RS/LB", "SP/OPT");
+  bench::rule();
+
+  for (int num_flows : {3, 4, 5, 6, 7}) {
+    RunningStats rs_opt, opt_lb, rs_lb, sp_opt;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = num_flows;
+      params.horizon_hi = 20.0;
+      const auto flows = paper_workload(topo, params, rng);
+
+      ExactDcfsrOptions exact_options;
+      exact_options.paths_per_flow = 4;
+      const auto exact = exact_dcfsr(g, flows, model, exact_options);
+      const auto rs = random_schedule(g, flows, model, rng);
+      if (!rs.capacity_feasible) continue;
+      const auto sp = sp_mcf(g, flows, model);
+      const double sp_energy =
+          energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
+
+      rs_opt.add(rs.energy / exact.energy);
+      opt_lb.add(exact.energy / rs.lower_bound_energy);
+      rs_lb.add(rs.energy / rs.lower_bound_energy);
+      sp_opt.add(sp_energy / exact.energy);
+    }
+    std::printf("%8d  %12s  %12s  %12s  %12s\n", num_flows,
+                format_mean_ci(rs_opt).c_str(), format_mean_ci(opt_lb).c_str(),
+                format_mean_ci(rs_lb).c_str(), format_mean_ci(sp_opt).c_str());
+  }
+  std::printf(
+      "\nReading: most of the Fig. 2 RS/LB ratio is the gap between the\n"
+      "virtual-circuit optimum and the fractional LB (OPT/LB), not\n"
+      "suboptimality of the rounding (RS/OPT ~ 1). RS/OPT can even dip\n"
+      "below 1: RS's fluid density schedules share links concurrently,\n"
+      "which the paper's exclusive-occupancy model cannot — the\n"
+      "virtual-circuit restriction itself costs a few percent.\n");
+  return 0;
+}

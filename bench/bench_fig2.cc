@@ -1,0 +1,123 @@
+// Figure 2 reproduction: approximation performance of Random-Schedule.
+//
+// Paper setup (Sec. V-C): fat-tree with 80 switches / 128 hosts
+// (fat_tree(8)), horizon [1, 100], release times and deadlines uniform
+// in [1, 100], volumes ~ N(10, 3), flow counts 40..200, power functions
+// x^2 and x^4, 10 independent runs. Reported series, all normalized by
+// the fractional lower bound LB:
+//   * RS      — Random-Schedule (Algorithm 2),
+//   * SP+MCF  — shortest-path routing + Most-Critical-First.
+//
+// Flags: --alpha <a> (run one exponent; default runs 2 then 4),
+//        --runs <n> (default 10, as in the paper),
+//        --flows <list> (default 40,80,120,160,200),
+//        --seed <s> (base seed, default 2014),
+//        --fw-iters <n> / --fw-gap <g> (Frank-Wolfe budget).
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+struct SeriesPoint {
+  RunningStats rs_ratio;
+  RunningStats sp_ratio;
+  RunningStats lb_energy;
+  std::vector<double> rs_samples;
+  std::vector<double> sp_samples;
+  int infeasible_roundings = 0;
+};
+
+void run_alpha(double alpha, const std::vector<std::int64_t>& flow_counts,
+               int runs, std::uint64_t base_seed, const FrankWolfeOptions& fw) {
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(alpha);
+
+  std::printf("\n=== Figure 2: power function x^%.3g on %s ===\n", alpha,
+              topo.name().c_str());
+  std::printf("%8s  %16s  %8s  %16s  %8s  %12s  %4s\n", "flows", "RS/LB mean",
+              "median", "SP+MCF/LB mean", "median", "LB energy", "inf");
+  bench::rule();
+
+  for (std::int64_t n : flow_counts) {
+    SeriesPoint point;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(base_seed + 1000003ULL * static_cast<std::uint64_t>(n) +
+              static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = static_cast<std::int32_t>(n);
+      const auto flows = paper_workload(topo, params, rng);
+
+      RandomScheduleOptions options;
+      options.relaxation.frank_wolfe = fw;
+      const auto rs = random_schedule(g, flows, model, rng, options);
+      if (!rs.capacity_feasible) {
+        ++point.infeasible_roundings;
+        continue;
+      }
+      const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
+      if (!rs_replay.ok) {
+        std::printf("!! RS replay failed (n=%lld run=%d): %s\n",
+                    static_cast<long long>(n), run,
+                    rs_replay.issues.front().c_str());
+        continue;
+      }
+
+      const auto sp = sp_mcf(g, flows, model);
+      const double sp_energy =
+          energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
+
+      point.lb_energy.add(rs.lower_bound_energy);
+      point.rs_ratio.add(rs_replay.energy / rs.lower_bound_energy);
+      point.sp_ratio.add(sp_energy / rs.lower_bound_energy);
+      point.rs_samples.push_back(rs_replay.energy / rs.lower_bound_energy);
+      point.sp_samples.push_back(sp_energy / rs.lower_bound_energy);
+    }
+    const double rs_median =
+        point.rs_samples.empty() ? 0.0 : percentile(point.rs_samples, 0.5);
+    const double sp_median =
+        point.sp_samples.empty() ? 0.0 : percentile(point.sp_samples, 0.5);
+    std::printf("%8lld  %16s  %8.3f  %16s  %8.3f  %12.1f  %4d\n",
+                static_cast<long long>(n), format_mean_ci(point.rs_ratio).c_str(),
+                rs_median, format_mean_ci(point.sp_ratio).c_str(), sp_median,
+                point.lb_energy.mean(), point.infeasible_roundings);
+  }
+}
+
+}  // namespace
+}  // namespace dcn
+
+int main(int argc, char** argv) {
+  const dcn::bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2014));
+  const auto flow_counts = args.get_int_list("flows", {40, 80, 120, 160, 200});
+  dcn::FrankWolfeOptions fw;
+  // Budget calibrated so LB moves < 0.5% versus a 4x larger budget while
+  // the sweep finishes in minutes (see EXPERIMENTS.md).
+  fw.max_iterations = static_cast<std::int32_t>(args.get_int("fw-iters", 15));
+  fw.gap_tolerance = args.get_double("fw-gap", 2e-3);
+
+  std::printf("bench_fig2: runs=%d seed=%llu fw-iters=%d fw-gap=%g\n", runs,
+              static_cast<unsigned long long>(seed), fw.max_iterations,
+              fw.gap_tolerance);
+
+  const double alpha = args.get_double("alpha", 0.0);
+  if (alpha > 0.0) {
+    dcn::run_alpha(alpha, flow_counts, runs, seed, fw);
+  } else {
+    dcn::run_alpha(2.0, flow_counts, runs, seed, fw);
+    dcn::run_alpha(4.0, flow_counts, runs, seed, fw);
+  }
+  return 0;
+}

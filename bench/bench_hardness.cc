@@ -1,0 +1,72 @@
+// Theorems 2 and 3: the hardness constructions, made executable.
+//
+// Part 1 tabulates the Theorem 3 inapproximability bound
+//   gamma(alpha) = 3/2 * (1 + ((2/3)^alpha - 1)/alpha)
+// and verifies it against the two certificate energies of the proof's
+// parallel-link gadget (2 links at rate C vs 3 links at rate 2C/3).
+//
+// Part 2 builds Theorem 2's 3-partition gadget and compares the energy
+// of the perfect-partition schedule (phi0) with imbalanced groupings and
+// with what Random-Schedule actually achieves on the gadget.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "dcfsr/hardness.h"
+#include "dcfsr/random_schedule.h"
+#include "sim/replay.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  std::printf("Part 1: Theorem 3 inapproximability bound gamma(alpha)\n");
+  bench::rule();
+  std::printf("%8s  %14s  %22s\n", "alpha", "gamma bound", "certificate ratio");
+  bench::rule();
+  for (double alpha : {1.5, 2.0, 3.0, 4.0, 6.0}) {
+    const double mu = 1.0, c = 5.0;
+    const double sigma = mu * std::pow(c, alpha) * (alpha - 1.0);
+    const PowerModel model(sigma, mu, alpha, c);
+    const double two_link = 2.0 * sigma + 2.0 * mu * std::pow(c, alpha);
+    const double three_link =
+        3.0 * sigma + 3.0 * mu * std::pow(2.0 * c / 3.0, alpha);
+    std::printf("%8.2f  %14.6f  %22.6f\n", alpha,
+                model.inapproximability_bound(), three_link / two_link);
+  }
+
+  std::printf("\nPart 2: Theorem 2 gadget (3-partition, B = 12, m = 3)\n");
+  bench::rule();
+  // 9 volumes in (B/4, B/2) = (3, 6) summing to 3B = 36, admitting the
+  // perfect partition {5,4,3} x 3.
+  const std::vector<double> volumes{5.0, 4.0, 3.0, 5.0, 4.0, 3.0, 5.0, 4.0, 3.0};
+  const auto inst = three_partition_instance(volumes, 12.0, 1.0, 2.0, 9);
+  std::printf("R_opt = %.4f (calibrated to B), phi0 = %.4f\n",
+              inst.model.r_opt(), inst.phi0);
+
+  const double perfect =
+      grouped_energy(inst, {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}});
+  const double imbalanced =
+      grouped_energy(inst, {{0, 3, 6}, {1, 4, 7}, {2, 5, 8}});
+  const double one_link = grouped_energy(inst, {{0, 1, 2, 3, 4, 5, 6, 7, 8}});
+  std::printf("perfect partition {5,4,3}:      %.4f  (ratio %.4f)\n", perfect,
+              perfect / inst.phi0);
+  std::printf("imbalanced {5,5,5}/{4,4,4}/...: %.4f  (ratio %.4f)\n", imbalanced,
+              imbalanced / inst.phi0);
+  std::printf("all on one link:                %.4f  (ratio %.4f)\n", one_link,
+              one_link / inst.phi0);
+
+  Rng rng(seed);
+  const auto rs =
+      random_schedule(inst.topology.graph(), inst.flows, inst.model, rng);
+  const auto replay = replay_schedule(inst.topology.graph(), inst.flows,
+                                      rs.schedule, inst.model);
+  std::printf("\nRandom-Schedule on the gadget (seed %llu):\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("  energy %.4f, ratio to phi0 %.4f, LB %.4f, replay %s\n",
+              replay.energy, replay.energy / inst.phi0, rs.lower_bound_energy,
+              replay.ok ? "ok" : "VIOLATIONS");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Micro-benchmarks (google-benchmark): runtime scaling of the library's
+// algorithmic kernels — interval algebra, EDF, YDS, Most-Critical-First,
+// Frank-Wolfe F-MCF solves, interval decomposition, path extraction and
+// full Random-Schedule — as input sizes grow.
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfs/most_critical_first.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "graph/flow_decomposition.h"
+#include "graph/k_shortest.h"
+#include "mcf/relaxation.h"
+#include "opt/convex_mcf.h"
+#include "schedule/edf.h"
+#include "speedscale/yds.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+void BM_IntervalSetOps(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    IntervalSet s;
+    for (int i = 0; i < n; ++i) {
+      double a = rng.uniform(0.0, 100.0);
+      double b = a + rng.uniform(0.1, 5.0);
+      if (rng.uniform() < 0.7) {
+        s.add({a, b});
+      } else {
+        s.subtract({a, b});
+      }
+    }
+    benchmark::DoNotOptimize(s.measure());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_IntervalSetOps)->Range(16, 1024)->Complexity();
+
+void BM_PreemptiveEdf(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<EdfJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    const double r = rng.uniform(0.0, 100.0);
+    const double d = r + rng.uniform(5.0, 30.0);
+    jobs.push_back({i, d, rng.uniform(0.1, 1.0), IntervalSet{Interval{r, d}}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preemptive_edf(jobs));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PreemptiveEdf)->Range(8, 256)->Complexity();
+
+void BM_YdsSchedule(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  std::vector<SsJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    double a = rng.uniform(0.0, 100.0);
+    double b = a + rng.uniform(1.0, 30.0);
+    jobs.push_back({i, rng.uniform(0.5, 8.0), {a, b}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yds_schedule(jobs));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_YdsSchedule)->Range(8, 128)->Complexity();
+
+void BM_MostCriticalFirst(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Topology topo = fat_tree(8);
+  Rng rng(17);
+  PaperWorkloadParams params;
+  params.num_flows = n;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto paths = shortest_path_routing(topo.graph(), flows);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(most_critical_first(topo.graph(), flows, paths, model));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MostCriticalFirst)->Arg(40)->Arg(80)->Arg(160)->Complexity();
+
+void BM_ConvexMcfSolve(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const Topology topo = fat_tree(8);
+  Rng rng(19);
+  ConvexMcfProblem problem;
+  problem.graph = &topo.graph();
+  problem.cost = [](double x) { return x * x; };
+  problem.cost_derivative = [](double x) { return 2.0 * x; };
+  for (int c = 0; c < k; ++c) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 127));
+    std::size_t b;
+    do {
+      b = static_cast<std::size_t>(rng.uniform_int(0, 127));
+    } while (b == a);
+    problem.commodities.push_back(
+        {topo.hosts()[a], topo.hosts()[b], rng.uniform(0.5, 3.0)});
+  }
+  FrankWolfeOptions options;
+  options.max_iterations = 15;
+  options.gap_tolerance = 2e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_convex_mcf(problem, options));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ConvexMcfSolve)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_IntervalDecomposition(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Topology topo = fat_tree(8);
+  Rng rng(23);
+  PaperWorkloadParams params;
+  params.num_flows = n;
+  const auto flows = paper_workload(topo, params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_intervals(flows));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_IntervalDecomposition)->Range(32, 512)->Complexity();
+
+void BM_FlowDecomposition(benchmark::State& state) {
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+  // An even 16-way split across the core (worst-case candidate count).
+  const NodeId src = topo.hosts()[0];
+  const NodeId dst = topo.hosts()[127];
+  const auto paths = equal_cost_paths(g, src, dst, 16);
+  std::vector<double> edge_flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const Path& p : paths) {
+    for (EdgeId e : p.edges) {
+      edge_flow[static_cast<std::size_t>(e)] += 1.0 / static_cast<double>(paths.size());
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_flow(g, src, dst, edge_flow, 1.0));
+  }
+}
+BENCHMARK(BM_FlowDecomposition);
+
+void BM_RandomScheduleFull(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Topology topo = fat_tree(8);
+  Rng wl(29);
+  PaperWorkloadParams params;
+  params.num_flows = n;
+  const auto flows = paper_workload(topo, params, wl);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  RandomScheduleOptions options;
+  options.relaxation.frank_wolfe.max_iterations = 15;
+  options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  for (auto _ : state) {
+    Rng rng(31);
+    benchmark::DoNotOptimize(random_schedule(topo.graph(), flows, model, rng, options));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RandomScheduleFull)
+    ->Arg(40)
+    ->Arg(80)
+    ->Iterations(2)  // seconds per solve; bound the harness runtime
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Packet-realizability study (Sec. III-C): how close does a real
+// store-and-forward, priority-queued network get to the fluid schedules
+// the algorithms emit?
+//
+// For the paper's workload, runs Random-Schedule and SP+MCF, packetizes
+// both at several packet sizes, and reports worst-case lateness against
+// the per-flow pipeline allowance (|P|-1) * S / s_min. Lateness should
+// (a) stay within the allowance and (b) shrink linearly as packets
+// shrink — the executable version of the paper's priority argument.
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/packet_sim.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 3));
+  const int num_flows = static_cast<int>(args.get_int("flows", 60));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 19));
+
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  std::printf(
+      "Packet realizability (fat_tree(8), alpha=2, %d flows, %d runs)\n",
+      num_flows, runs);
+  bench::rule();
+  std::printf("%14s  %10s  %14s  %14s  %10s\n", "schedule", "pkt size",
+              "max lateness", "verdict ok", "max queue");
+  bench::rule();
+
+  RandomScheduleOptions rs_options;
+  rs_options.relaxation.frank_wolfe.max_iterations = 15;
+  rs_options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+
+  for (double packet_size : {0.5, 0.1, 0.02}) {
+    RunningStats rs_late, sp_edf_late, sp_start_late, rs_queue;
+    int rs_ok = 0, sp_edf_ok = 0, sp_start_ok = 0, total = 0;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = num_flows;
+      const auto flows = paper_workload(topo, params, rng);
+
+      const auto rs = random_schedule(g, flows, model, rng, rs_options);
+      if (!rs.capacity_feasible) continue;
+      const auto sp = sp_mcf(g, flows, model);
+      ++total;
+
+      PacketSimOptions options;
+      options.packet_size = packet_size;
+      const auto rs_report = packet_simulate(g, flows, rs.schedule, options);
+      const auto sp_edf = packet_simulate(g, flows, sp.schedule, options);
+      options.priority = PacketSimOptions::Priority::kStartTime;
+      const auto sp_start = packet_simulate(g, flows, sp.schedule, options);
+
+      rs_late.add(rs_report.max_lateness);
+      sp_edf_late.add(sp_edf.max_lateness);
+      sp_start_late.add(sp_start.max_lateness);
+      rs_queue.add(static_cast<double>(rs_report.max_queue_packets));
+      if (rs_report.all_deadlines_met) ++rs_ok;
+      if (sp_edf.all_deadlines_met) ++sp_edf_ok;
+      if (sp_start.all_deadlines_met) ++sp_start_ok;
+    }
+    std::printf("%14s  %10.3f  %14.5f  %11d/%d  %10.0f\n", "RS (EDF)",
+                packet_size, rs_late.mean(), rs_ok, total, rs_queue.mean());
+    std::printf("%14s  %10.3f  %14.5f  %11d/%d\n", "SP+MCF (EDF)", packet_size,
+                sp_edf_late.mean(), sp_edf_ok, total);
+    std::printf("%14s  %10.3f  %14.5f  %11d/%d\n", "SP+MCF (start)",
+                packet_size, sp_start_late.mean(), sp_start_ok, total);
+  }
+  std::printf(
+      "\nReading: under EDF packet priorities, lateness tracks the packet\n"
+      "size linearly and stays within the pipeline-fill envelope — the fluid\n"
+      "schedules are realizable in a packet-switched network (Sec. III-C).\n"
+      "Under the paper's start-time priority rule, lateness does NOT shrink\n"
+      "with the packet size: late-starting tight flows are starved behind\n"
+      "early-starting loose flows on shared links (reproduction finding;\n"
+      "see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A6: topology sensitivity. Runs the Fig. 2 pipeline on
+// fabrics with comparable host counts — fat-tree(8), BCube(4,2),
+// leaf-spine — plus fat-tree(4) as a congested small fabric. Reports
+// RS/LB and SP+MCF/LB: path diversity (number of equal-cost routes)
+// drives how much joint routing+scheduling can save.
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const bench::Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const int num_flows = static_cast<int>(args.get_int("flows", 80));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 67));
+
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  std::printf("Ablation A6: topology sweep (alpha=2, %d flows, %d runs)\n",
+              num_flows, runs);
+  bench::rule();
+  std::printf("%26s  %7s  %7s  %14s  %14s\n", "topology", "hosts", "links",
+              "RS/LB", "SP+MCF/LB");
+  bench::rule();
+
+  const std::vector<Topology> topologies{
+      fat_tree(8),
+      fat_tree(4),
+      bcube(4, 2),          // 64 hosts, 48 switches
+      leaf_spine(16, 8, 8)  // 128 hosts, 24 switches
+  };
+
+  for (const Topology& topo : topologies) {
+    const Graph& g = topo.graph();
+    RunningStats rs_ratio, sp_ratio;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      PaperWorkloadParams params;
+      params.num_flows = num_flows;
+      const auto flows = paper_workload(topo, params, rng);
+
+      RandomScheduleOptions options;
+      options.relaxation.frank_wolfe.max_iterations = 15;
+      options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      const auto rs = random_schedule(g, flows, model, rng, options);
+      if (!rs.capacity_feasible) continue;
+      const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
+      if (!rs_replay.ok) continue;
+      const auto sp = sp_mcf(g, flows, model);
+      const double sp_energy =
+          energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
+
+      rs_ratio.add(rs_replay.energy / rs.lower_bound_energy);
+      sp_ratio.add(sp_energy / rs.lower_bound_energy);
+    }
+    std::printf("%26s  %7d  %7d  %14s  %14s\n", topo.name().c_str(),
+                topo.num_hosts(), g.num_edges() / 2,
+                format_mean_ci(rs_ratio).c_str(),
+                format_mean_ci(sp_ratio).c_str());
+  }
+  return 0;
+}

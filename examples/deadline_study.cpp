@@ -1,0 +1,66 @@
+// Deadline-slack study: how much energy do tight deadlines cost?
+//
+// The intro's premise is that deadlines are the binding performance
+// requirement; this example quantifies their energy price. The same
+// volume is shipped under spans stretched by a slack factor (slack 1 =
+// deadline just met at the base rate; larger = looser), and we compare
+// RS and SP+MCF energies. Speed scaling predicts energy ~ rate^(alpha-1)
+// per unit of data, so doubling slack should roughly halve the dynamic
+// energy at alpha = 2.
+//
+// Run: ./build/examples/deadline_study [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const int num_flows = 60;
+  const int runs = 3;
+
+  std::printf("Deadline-slack study on %s (alpha=2, %d flows, %d runs)\n",
+              topo.name().c_str(), num_flows, runs);
+  std::printf("%8s  %14s  %14s  %12s\n", "slack", "RS energy", "SP+MCF energy",
+              "RS/LB");
+  for (double slack : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    RunningStats rs_energy, sp_energy, rs_ratio;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(seed + static_cast<std::uint64_t>(run));
+      // Volume 10 at base rate 1: span length = 10 * slack.
+      const auto flows = slack_workload(topo, num_flows, /*volume=*/10.0,
+                                        /*base_rate=*/1.0, slack,
+                                        {0.0, 100.0}, rng);
+      RandomScheduleOptions options;
+      options.relaxation.frank_wolfe.max_iterations = 15;
+      options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      const auto rs = random_schedule(g, flows, model, rng, options);
+      if (!rs.capacity_feasible) continue;
+      const auto replay = replay_schedule(g, flows, rs.schedule, model);
+      if (!replay.ok) continue;
+      const auto sp = sp_mcf(g, flows, model);
+      rs_energy.add(replay.energy);
+      sp_energy.add(energy_phi_f(g, sp.schedule, model, flow_horizon(flows)));
+      rs_ratio.add(replay.energy / rs.lower_bound_energy);
+    }
+    std::printf("%8.1f  %14.1f  %14.1f  %12s\n", slack, rs_energy.mean(),
+                sp_energy.mean(), format_mean_ci(rs_ratio).c_str());
+  }
+  std::printf(
+      "\nReading: dynamic energy drops ~1/slack at alpha=2 — loose deadlines\n"
+      "let links run slower; the RS/LB ratio stays flat (the algorithm\n"
+      "tracks the relaxation at every tightness).\n");
+  return 0;
+}

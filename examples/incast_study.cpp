@@ -1,0 +1,61 @@
+// Partition-aggregate (incast) study — the workload the paper's
+// introduction motivates: search/social-network frontends fan a request
+// out to many workers whose responses must all arrive before a rigid
+// latency budget.
+//
+// Many senders transmit to one aggregator inside a common window. The
+// aggregator's host link is an unavoidable bottleneck, but the paths
+// toward it are not: Random-Schedule spreads them across the fabric
+// while shortest-path routing stacks pod-local links. We sweep the
+// sender count and report energies plus the fraction of deadlines met.
+//
+// Run: ./build/examples/incast_study [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  const Topology topo = fat_tree(8);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  std::printf("Incast study on %s (alpha=2, volume 5 per sender, window 20)\n",
+              topo.name().c_str());
+  std::printf("%10s  %12s  %12s  %12s  %10s\n", "senders", "LB", "RS", "SP+MCF",
+              "deadlines");
+
+  for (int senders : {4, 8, 16, 32, 64}) {
+    Rng rng(seed);
+    const auto flows = incast_workload(topo, senders, /*volume=*/5.0,
+                                       {0.0, 20.0}, rng);
+    const auto rs = random_schedule(g, flows, model, rng);
+    const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
+    const auto sp = sp_mcf(g, flows, model);
+    const auto sp_replay = replay_schedule(g, flows, sp.schedule, model);
+
+    int met = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (rs_replay.delivered[i] >= flows[i].volume * (1.0 - 1e-6)) ++met;
+    }
+    std::printf("%10d  %12.1f  %12.1f  %12.1f  %7d/%d\n", senders,
+                rs.lower_bound_energy, rs_replay.energy, sp_replay.energy, met,
+                senders);
+  }
+
+  std::printf(
+      "\nReading: every response meets its deadline by construction\n"
+      "(Theorem 4). At small fan-in RS tracks LB closely; as fan-in grows\n"
+      "the shared aggregator link dominates all schemes, so the curves\n"
+      "converge — routing freedom only matters where path diversity exists.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// From fluid schedule to packets: demonstrates the library's
+// discrete-event packet simulator on a single instance, showing the
+// Sec. III-C realizability story end to end — and its one caveat.
+//
+// Run: ./build/examples/packet_realizability [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/packet_sim.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  Rng rng(seed);
+  PaperWorkloadParams params;
+  params.num_flows = 15;
+  const auto flows = paper_workload(topo, params, rng);
+
+  const auto rs = random_schedule(g, flows, model, rng);
+  if (!rs.capacity_feasible) {
+    std::printf("rounding found no capacity-feasible schedule; rerun with "
+                "another seed\n");
+    return 1;
+  }
+  std::printf("fluid schedule: energy %.1f, every deadline met by "
+              "construction (Theorem 4)\n\n",
+              rs.energy);
+
+  std::printf("%10s  %10s  %14s  %12s\n", "priority", "pkt size",
+              "max lateness", "verdict");
+  for (double size : {0.5, 0.1, 0.02}) {
+    for (auto [name, priority] :
+         {std::pair{"EDF", PacketSimOptions::Priority::kEdf},
+          std::pair{"start", PacketSimOptions::Priority::kStartTime}}) {
+      PacketSimOptions options;
+      options.packet_size = size;
+      options.priority = priority;
+      const auto report = packet_simulate(g, flows, rs.schedule, options);
+      std::printf("%10s  %10.2f  %14.5f  %12s\n", name, size,
+                  report.max_lateness,
+                  report.all_deadlines_met ? "ok" : "LATE");
+    }
+  }
+  std::printf(
+      "\nThe lateness columns shrink linearly with the packet size: in the\n"
+      "fluid limit the schedule is realized exactly. EDF priorities are the\n"
+      "robust choice; the start-time rule can stall tight flows behind\n"
+      "loose ones on other instances (see EXPERIMENTS.md E6).\n");
+  return 0;
+}

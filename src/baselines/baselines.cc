@@ -1,0 +1,110 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.h"
+#include "common/piecewise.h"
+#include "graph/k_shortest.h"
+#include "graph/shortest_path.h"
+
+namespace dcn {
+
+std::vector<Path> shortest_path_routing(const Graph& g,
+                                        const std::vector<Flow>& flows) {
+  std::vector<Path> paths;
+  paths.reserve(flows.size());
+  for (const Flow& fl : flows) {
+    auto p = bfs_shortest_path(g, fl.src, fl.dst);
+    DCN_ENSURES(p.has_value());
+    paths.push_back(std::move(*p));
+  }
+  return paths;
+}
+
+std::vector<Path> ecmp_routing(const Graph& g, const std::vector<Flow>& flows,
+                               std::size_t width, Rng& rng) {
+  DCN_EXPECTS(width >= 1);
+  std::vector<Path> paths;
+  paths.reserve(flows.size());
+  for (const Flow& fl : flows) {
+    std::vector<Path> choices = equal_cost_paths(g, fl.src, fl.dst, width);
+    DCN_ENSURES(!choices.empty());
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(choices.size()) - 1));
+    paths.push_back(std::move(choices[pick]));
+  }
+  return paths;
+}
+
+DcfsResult sp_mcf(const Graph& g, const std::vector<Flow>& flows,
+                  const PowerModel& model) {
+  return most_critical_first(g, flows, shortest_path_routing(g, flows), model);
+}
+
+DcfsResult ecmp_mcf(const Graph& g, const std::vector<Flow>& flows,
+                    const PowerModel& model, std::size_t width, Rng& rng) {
+  return most_critical_first(g, flows, ecmp_routing(g, flows, width, rng), model);
+}
+
+namespace {
+
+/// Marginal energy of adding density `d` to edge load `load` over
+/// `span`: integral of f(x + d) - f(x), where stretches with x = 0
+/// contribute f(d) (the link switches on).
+double marginal_energy(const StepFunction& load, const Interval& span, double d,
+                       const PowerModel& model) {
+  double covered = 0.0;
+  double total = 0.0;
+  for (const auto& [iv, value] : load.segments()) {
+    const Interval clip = iv.intersect(span);
+    if (clip.empty()) continue;
+    covered += clip.measure();
+    total += (model.f(value + d) - model.f(value)) * clip.measure();
+  }
+  const double gaps = span.measure() - covered;
+  if (gaps > 0.0) total += model.f(d) * gaps;
+  return total;
+}
+
+}  // namespace
+
+Schedule greedy_energy_aware(const Graph& g, const std::vector<Flow>& flows,
+                             const PowerModel& model) {
+  validate_flows(g, flows);
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&flows](std::size_t a, std::size_t b) {
+    if (flows[a].release != flows[b].release) {
+      return flows[a].release < flows[b].release;
+    }
+    return flows[a].id < flows[b].id;
+  });
+
+  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+  Schedule schedule;
+  schedule.flows.resize(flows.size());
+
+  std::vector<double> weights(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t idx : order) {
+    const Flow& fl = flows[idx];
+    const double d = fl.density();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      // Tiny positive floor keeps Dijkstra well-posed when the marginal
+      // cost is zero everywhere (sigma = 0 and empty network).
+      weights[static_cast<std::size_t>(e)] = std::max(
+          marginal_energy(load[static_cast<std::size_t>(e)], fl.span(), d, model),
+          1e-12);
+    }
+    auto path = dijkstra_shortest_path(g, fl.src, fl.dst, weights);
+    DCN_ENSURES(path.has_value());
+    for (EdgeId e : path->edges) {
+      load[static_cast<std::size_t>(e)].add(fl.span(), d);
+    }
+    schedule.flows[idx].path = std::move(*path);
+    schedule.flows[idx].segments = {{fl.span(), d}};
+  }
+  return schedule;
+}
+
+}  // namespace dcn

@@ -1,0 +1,58 @@
+// Baseline routing and scheduling schemes.
+//
+// SP+MCF is the comparison the paper's Fig. 2 reports: shortest-path
+// routing (the norm in production data centers) followed by the optimal
+// DCFS rate assignment (Most-Critical-First) on those routes — "the
+// lower bound of the energy consumption by SP routing". ECMP+MCF and
+// the greedy energy-aware router are additional baselines for the
+// ablation and topology studies.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "dcfs/most_critical_first.h"
+#include "flow/flow.h"
+#include "graph/path.h"
+#include "power/power_model.h"
+#include "schedule/schedule.h"
+
+namespace dcn {
+
+/// Minimum-hop path per flow (deterministic tie-break).
+[[nodiscard]] std::vector<Path> shortest_path_routing(const Graph& g,
+                                                      const std::vector<Flow>& flows);
+
+/// ECMP-style routing: each flow picks uniformly among its (up to
+/// `width`) minimum-hop equal-cost paths.
+[[nodiscard]] std::vector<Path> ecmp_routing(const Graph& g,
+                                             const std::vector<Flow>& flows,
+                                             std::size_t width, Rng& rng);
+
+/// SP + Most-Critical-First: the paper's baseline.
+[[nodiscard]] DcfsResult sp_mcf(const Graph& g, const std::vector<Flow>& flows,
+                                const PowerModel& model);
+
+/// ECMP + Most-Critical-First.
+[[nodiscard]] DcfsResult ecmp_mcf(const Graph& g, const std::vector<Flow>& flows,
+                                  const PowerModel& model, std::size_t width,
+                                  Rng& rng);
+
+/// Greedy energy-aware routing: flows are routed one at a time (release
+/// order) on the path minimizing the marginal energy increase
+/// integral_span [f(x_e(t) + D_i) - f(x_e(t))] dt against the density
+/// load profile of already-routed flows; each flow then transmits at
+/// its density. A consolidation heuristic in the spirit of
+/// energy-aware routing schemes ([2], [29] in the paper).
+///
+/// This is also a genuine *online* algorithm for DCFSR: each routing
+/// decision uses only flows released earlier, and the density rate
+/// never needs revision (remaining volume / remaining span stays
+/// constant when executed). Comparing it against offline
+/// Random-Schedule (bench_ablation_sigma's Greedy column) measures the
+/// value of knowing the future.
+[[nodiscard]] Schedule greedy_energy_aware(const Graph& g,
+                                           const std::vector<Flow>& flows,
+                                           const PowerModel& model);
+
+}  // namespace dcn

@@ -1,0 +1,42 @@
+// Contract checking for public API boundaries.
+//
+// Following the C++ Core Guidelines (I.6/I.8: prefer Expects()/Ensures()
+// for preconditions/postconditions), every public entry point of the
+// library states its contract with DCN_EXPECTS and DCN_ENSURES. A
+// violated contract throws dcn::ContractViolation carrying the failed
+// expression and source location; tests assert on these, and callers get
+// a diagnosable error instead of undefined behaviour.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dcn {
+
+/// Thrown when a DCN_EXPECTS / DCN_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace dcn
+
+/// Precondition check: throws dcn::ContractViolation when `cond` is false.
+#define DCN_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) ::dcn::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check: throws dcn::ContractViolation when false.
+#define DCN_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) ::dcn::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,18 @@
+// Library error types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dcn {
+
+/// Thrown when a scheduling problem instance admits no feasible
+/// solution under the model in force (e.g. a flow whose entire span is
+/// already committed on one of its links, or a capacity that no
+/// schedule can respect).
+class InfeasibleError : public std::runtime_error {
+ public:
+  explicit InfeasibleError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace dcn

@@ -1,0 +1,153 @@
+#include "common/interval.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dcn {
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.lo << ", " << iv.hi << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  os << "{";
+  bool first = true;
+  for (const Interval& iv : set.intervals()) {
+    if (!first) os << ", ";
+    os << iv;
+    first = false;
+  }
+  return os << "}";
+}
+
+IntervalSet IntervalSet::from_intervals(std::vector<Interval> ivs) {
+  IntervalSet out;
+  std::erase_if(ivs, [](const Interval& iv) { return iv.empty(); });
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  out.ivs_ = std::move(ivs);
+  out.normalize();
+  return out;
+}
+
+void IntervalSet::normalize() {
+  // Precondition: ivs_ sorted by lo, no empty members. Merges touching
+  // or overlapping neighbours so the representation is canonical.
+  if (ivs_.empty()) return;
+  std::vector<Interval> merged;
+  merged.reserve(ivs_.size());
+  merged.push_back(ivs_.front());
+  for (std::size_t i = 1; i < ivs_.size(); ++i) {
+    Interval& last = merged.back();
+    const Interval& cur = ivs_[i];
+    if (cur.lo <= last.hi) {
+      last.hi = std::max(last.hi, cur.hi);
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  ivs_ = std::move(merged);
+}
+
+void IntervalSet::add(const Interval& iv) {
+  if (iv.empty()) return;
+  // Insert keeping order, then merge locally.
+  auto it = std::lower_bound(
+      ivs_.begin(), ivs_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  ivs_.insert(it, iv);
+  normalize();
+}
+
+void IntervalSet::subtract(const Interval& iv) {
+  if (iv.empty() || ivs_.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(ivs_.size() + 1);
+  for (const Interval& cur : ivs_) {
+    if (!cur.overlaps(iv)) {
+      out.push_back(cur);
+      continue;
+    }
+    if (cur.lo < iv.lo) out.emplace_back(cur.lo, iv.lo);
+    if (iv.hi < cur.hi) out.emplace_back(iv.hi, cur.hi);
+  }
+  ivs_ = std::move(out);
+}
+
+void IntervalSet::unite(const IntervalSet& other) {
+  if (other.ivs_.empty()) return;
+  std::vector<Interval> all;
+  all.reserve(ivs_.size() + other.ivs_.size());
+  std::merge(ivs_.begin(), ivs_.end(), other.ivs_.begin(), other.ivs_.end(),
+             std::back_inserter(all),
+             [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  ivs_ = std::move(all);
+  normalize();
+}
+
+void IntervalSet::subtract(const IntervalSet& other) {
+  for (const Interval& iv : other.ivs_) subtract(iv);
+}
+
+IntervalSet IntervalSet::intersect(const Interval& window) const {
+  IntervalSet out;
+  if (window.empty()) return out;
+  for (const Interval& cur : ivs_) {
+    Interval clipped = cur.intersect(window);
+    if (!clipped.empty()) out.ivs_.push_back(clipped);
+    if (cur.lo >= window.hi) break;
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  // Linear sweep over both sorted sequences.
+  IntervalSet out;
+  std::size_t i = 0, j = 0;
+  while (i < ivs_.size() && j < other.ivs_.size()) {
+    const Interval& a = ivs_[i];
+    const Interval& b = other.ivs_[j];
+    Interval cut = a.intersect(b);
+    if (!cut.empty()) out.ivs_.push_back(cut);
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+double IntervalSet::measure() const {
+  double total = 0.0;
+  for (const Interval& iv : ivs_) total += iv.measure();
+  return total;
+}
+
+double IntervalSet::measure_within(const Interval& window) const {
+  double total = 0.0;
+  for (const Interval& iv : ivs_) {
+    total += iv.intersect(window).measure();
+    if (iv.lo >= window.hi) break;
+  }
+  return total;
+}
+
+bool IntervalSet::contains(double t) const {
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), t,
+      [](double v, const Interval& iv) { return v < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  --it;
+  return it->contains(t);
+}
+
+bool IntervalSet::covers(const Interval& iv) const {
+  if (iv.empty()) return true;
+  for (const Interval& cur : ivs_) {
+    if (cur.covers(iv)) return true;
+  }
+  return false;
+}
+
+}  // namespace dcn

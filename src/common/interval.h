@@ -1,0 +1,132 @@
+// Closed-open time intervals and sets of disjoint intervals.
+//
+// Interval arithmetic is the backbone of availability bookkeeping in the
+// YDS-style critical-interval algorithms (Sec. III of the paper): the
+// "available time a ~ b" of Definition 1 is the measure of [a,b] minus
+// the union of already-committed busy intervals on a link. IntervalSet
+// keeps a sorted vector of disjoint closed-open intervals and supports
+// exact union / intersection / subtraction / measure.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+/// A closed-open interval [lo, hi) on the real time axis.
+///
+/// Empty intervals (hi <= lo) are permitted as values but are never
+/// stored inside an IntervalSet.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lo_, double hi_) : lo(lo_), hi(hi_) {}
+
+  /// Length of the interval; zero for empty intervals.
+  [[nodiscard]] double measure() const { return hi > lo ? hi - lo : 0.0; }
+
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+
+  /// True when `t` lies in [lo, hi).
+  [[nodiscard]] bool contains(double t) const { return t >= lo && t < hi; }
+
+  /// True when `other` is fully contained: lo <= other.lo && other.hi <= hi.
+  [[nodiscard]] bool covers(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Intersection with another interval (possibly empty).
+  [[nodiscard]] Interval intersect(const Interval& other) const {
+    return {lo > other.lo ? lo : other.lo, hi < other.hi ? hi : other.hi};
+  }
+
+  /// True when the two intervals share at least one point.
+  [[nodiscard]] bool overlaps(const Interval& other) const {
+    return lo < other.hi && other.lo < hi;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+/// A set of points on the time axis stored as sorted, disjoint,
+/// non-adjacent closed-open intervals.
+///
+/// All mutating operations keep the canonical form (sorted, disjoint,
+/// merged when touching), so equality of sets is equality of the
+/// representation.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Singleton set; an empty interval produces the empty set.
+  explicit IntervalSet(const Interval& iv) {
+    if (!iv.empty()) ivs_.push_back(iv);
+  }
+
+  /// Builds the canonical form from arbitrary (possibly overlapping,
+  /// unordered, empty) intervals.
+  static IntervalSet from_intervals(std::vector<Interval> ivs);
+
+  /// Adds [iv.lo, iv.hi) to the set (union with a single interval).
+  void add(const Interval& iv);
+
+  /// Removes [iv.lo, iv.hi) from the set.
+  void subtract(const Interval& iv);
+
+  /// Set union with another set.
+  void unite(const IntervalSet& other);
+
+  /// Set subtraction: removes every point of `other` from this set.
+  void subtract(const IntervalSet& other);
+
+  /// Returns this set clipped to `window` (set intersection with a
+  /// single interval).
+  [[nodiscard]] IntervalSet intersect(const Interval& window) const;
+
+  /// Set intersection with another set.
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+
+  /// Total length of all member intervals.
+  [[nodiscard]] double measure() const;
+
+  /// Length of the part of this set inside `window`.
+  [[nodiscard]] double measure_within(const Interval& window) const;
+
+  /// True when `t` is a member point.
+  [[nodiscard]] bool contains(double t) const;
+
+  /// True when every point of `iv` is a member.
+  [[nodiscard]] bool covers(const Interval& iv) const;
+
+  [[nodiscard]] bool empty() const { return ivs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ivs_.size(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return ivs_; }
+
+  /// Smallest member point; set must be non-empty.
+  [[nodiscard]] double min() const {
+    DCN_EXPECTS(!ivs_.empty());
+    return ivs_.front().lo;
+  }
+  /// Supremum of the set; set must be non-empty.
+  [[nodiscard]] double max() const {
+    DCN_EXPECTS(!ivs_.empty());
+    return ivs_.back().hi;
+  }
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<Interval> ivs_;  // sorted by lo, disjoint, non-adjacent
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set);
+
+}  // namespace dcn

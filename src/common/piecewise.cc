@@ -1,0 +1,144 @@
+#include "common/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dcn {
+
+namespace {
+// Values this close to zero are treated as zero when deciding whether a
+// segment is "active": the difference representation accumulates float
+// error when many flows start/stop at the same instant.
+constexpr double kZeroEps = 1e-12;
+}  // namespace
+
+void StepFunction::add(const Interval& iv, double delta) {
+  if (iv.empty() || delta == 0.0) return;
+  deltas_[iv.lo] += delta;
+  deltas_[iv.hi] -= delta;
+}
+
+double StepFunction::value_at(double t) const {
+  double v = 0.0;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    v += delta;
+  }
+  return std::fabs(v) < kZeroEps ? 0.0 : v;
+}
+
+double StepFunction::max_value() const {
+  double v = 0.0, best = 0.0;
+  for (const auto& [time, delta] : deltas_) {
+    v += delta;
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double StepFunction::integral() const {
+  double v = 0.0, total = 0.0;
+  double prev = 0.0;
+  bool first = true;
+  for (const auto& [time, delta] : deltas_) {
+    if (!first) total += v * (time - prev);
+    v += delta;
+    prev = time;
+    first = false;
+  }
+  return total;
+}
+
+double StepFunction::integrate_transformed(
+    const Interval& window, const std::function<double(double)>& transform) const {
+  double v = 0.0, total = 0.0;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (const auto& [time, delta] : deltas_) {
+    const Interval seg{prev, time};
+    const Interval clip = seg.intersect(window);
+    if (!clip.empty() && v > kZeroEps) total += transform(v) * clip.measure();
+    v += delta;
+    prev = time;
+  }
+  // Tail beyond the last breakpoint has value zero by construction.
+  return total;
+}
+
+double StepFunction::positive_measure(const Interval& window, double eps) const {
+  double v = 0.0, total = 0.0;
+  double prev = -std::numeric_limits<double>::infinity();
+  const double threshold = std::max(eps, kZeroEps);
+  for (const auto& [time, delta] : deltas_) {
+    const Interval clip = Interval{prev, time}.intersect(window);
+    if (!clip.empty() && v > threshold) total += clip.measure();
+    v += delta;
+    prev = time;
+  }
+  return total;
+}
+
+double StepFunction::time_to_accumulate(double from, double volume) const {
+  DCN_EXPECTS(volume >= 0.0);
+  if (volume == 0.0) return from;
+  double v = 0.0;
+  double prev = -std::numeric_limits<double>::infinity();
+  double remaining = volume;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > from) {
+      const double lo = std::max(prev, from);
+      if (v > kZeroEps && time > lo) {
+        const double chunk = v * (time - lo);
+        if (chunk >= remaining - kZeroEps * volume) {
+          return lo + remaining / v;
+        }
+        remaining -= chunk;
+      }
+    }
+    v += delta;
+    prev = time;
+  }
+  // Tail beyond the last breakpoint is zero: nothing more accumulates.
+  return std::numeric_limits<double>::infinity();
+}
+
+double StepFunction::integral_between(double from, double to) const {
+  if (to <= from) return 0.0;
+  return integrate_transformed({from, to}, [](double x) { return x; });
+}
+
+std::vector<std::pair<Interval, double>> StepFunction::segments() const {
+  std::vector<std::pair<Interval, double>> out;
+  double v = 0.0;
+  double prev = 0.0;
+  bool have_prev = false;
+  for (const auto& [time, delta] : deltas_) {
+    if (have_prev && std::fabs(v) >= kZeroEps && time > prev) {
+      if (!out.empty() && out.back().first.hi == prev &&
+          std::fabs(out.back().second - v) < kZeroEps) {
+        out.back().first.hi = time;  // merge equal-valued adjacent segments
+      } else {
+        out.emplace_back(Interval{prev, time}, v);
+      }
+    }
+    v += delta;
+    prev = time;
+    have_prev = true;
+  }
+  return out;
+}
+
+bool StepFunction::is_zero() const {
+  double v = 0.0;
+  double prev = 0.0;
+  bool have_prev = false;
+  for (const auto& [time, delta] : deltas_) {
+    if (have_prev && std::fabs(v) >= kZeroEps && time > prev) return false;
+    v += delta;
+    prev = time;
+    have_prev = true;
+  }
+  return true;
+}
+
+}  // namespace dcn

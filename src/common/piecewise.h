@@ -1,0 +1,70 @@
+// Piecewise-constant functions of time.
+//
+// Link transmission-rate timelines x_e(t) are piecewise constant in every
+// algorithm of the paper (rates only change at flow starts/stops or
+// interval boundaries). StepFunction accumulates rate contributions and
+// integrates f(x(t)) dt for arbitrary power functions, which is exactly
+// the dynamic-energy term of Eq. 5/6.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace dcn {
+
+/// A right-continuous piecewise-constant function on the real line,
+/// zero outside its breakpoints. Built by accumulating constant values
+/// over intervals.
+class StepFunction {
+ public:
+  StepFunction() = default;
+
+  /// Adds `delta` to the function over [iv.lo, iv.hi).
+  void add(const Interval& iv, double delta);
+
+  /// Function value at time t.
+  [[nodiscard]] double value_at(double t) const;
+
+  /// Maximum value attained anywhere (0 for the zero function).
+  [[nodiscard]] double max_value() const;
+
+  /// Integral of the function over the whole line.
+  [[nodiscard]] double integral() const;
+
+  /// Integral of transform(value) over `window`, counting only segments
+  /// where the value is strictly positive (transform is not evaluated on
+  /// zero-valued stretches — matching the power model f(0) = 0).
+  [[nodiscard]] double integrate_transformed(
+      const Interval& window, const std::function<double(double)>& transform) const;
+
+  /// Total time (measure) within `window` where the value is > eps.
+  [[nodiscard]] double positive_measure(const Interval& window,
+                                        double eps = 0.0) const;
+
+  /// Earliest time t >= from with integral_{from}^{t} value dt >= volume,
+  /// or +infinity when the function never accumulates that much. Used by
+  /// the packet simulator to serve a packet over a time-varying link
+  /// rate. Requires volume >= 0.
+  [[nodiscard]] double time_to_accumulate(double from, double volume) const;
+
+  /// Integral of the function over [from, to].
+  [[nodiscard]] double integral_between(double from, double to) const;
+
+  /// The function as a list of (interval, value) segments with non-zero
+  /// value, sorted by time, maximal (adjacent equal-valued segments merged).
+  [[nodiscard]] std::vector<std::pair<Interval, double>> segments() const;
+
+  /// True when the function is identically zero.
+  [[nodiscard]] bool is_zero() const;
+
+ private:
+  // Breakpoint map: value changes by deltas_[t] at time t (fenwick-style
+  // difference representation). The function at t is the prefix sum of
+  // all deltas at breakpoints <= t.
+  std::map<double, double> deltas_;
+};
+
+}  // namespace dcn

@@ -1,0 +1,43 @@
+// Streaming statistics for benchmark harnesses.
+//
+// The paper's Figure 2 reports means over 10 independent runs; the bench
+// binaries additionally print standard deviations and 95% confidence
+// half-widths so the reproduction quality is visible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dcn {
+
+/// Welford single-pass accumulator for mean / variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Half-width of the 95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (nearest-rank); `q` in [0, 1].
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Formats "mean +/- ci95" with fixed precision for table printing.
+[[nodiscard]] std::string format_mean_ci(const RunningStats& s, int precision = 3);
+
+}  // namespace dcn

@@ -1,0 +1,92 @@
+// Most-Critical-First — the optimal combinatorial algorithm for DCFS
+// (Algorithm 1 of the paper).
+//
+// Given routes P_i for every flow, the minimum-energy rate assignment is
+// a YDS computation over *virtual weights* w'_i = w_i * |P_i|^(1/alpha)
+// (Theorem 1): iteratively find the (link, interval) pair maximizing the
+// intensity delta(I, e) of Definition 1, schedule those flows inside the
+// critical interval with preemptive EDF at rates
+// s_i = delta / |P_i|^(1/alpha), then mark the chosen execution segments
+// busy on *every* link of each scheduled flow's path (step 6; a
+// transmitting flow occupies its whole path in the virtual-circuit
+// model).
+//
+// Faithfulness note. Algorithm 1 as printed computes availability and
+// runs EDF against the critical link only; a flow scheduled in a later
+// iteration can then overlap an earlier flow's busy period on a
+// *non-critical* link of its path, violating the virtual-circuit
+// exclusivity that the optimality proof (Theorem 1) relies on. This
+// implementation offers both semantics:
+//
+//  * circuit_exact = true (default): a pending flow's allowed time is
+//    its span intersected with the availability of EVERY link on its
+//    path; the intensity denominator is the usable time (measure of the
+//    union of contained flows' allowed sets), which coincides with the
+//    paper's "a ~ b" whenever spans cover the window. Produced
+//    schedules never place two flows on one link simultaneously, and
+//    the energy equals the analytic optimum form
+//    sum_i |P_i| w_i s_i^(alpha-1). If cross-link fragmentation makes
+//    EDF fail at the critical intensity (rare), the batch speed is
+//    escalated geometrically until EDF fits (counted in the result).
+//
+//  * circuit_exact = false: the paper-literal rule (per-critical-link
+//    availability). Overlaps on non-critical links are then possible;
+//    they are legal in a packet-switched realization (the paper's
+//    priority argument) and the energy evaluator charges their
+//    superadditive cost honestly. Exercised by the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "common/errors.h"
+#include "flow/flow.h"
+#include "graph/path.h"
+#include "power/power_model.h"
+#include "schedule/schedule.h"
+
+namespace dcn {
+
+struct DcfsOptions {
+  /// See the header comment. Default: exact virtual-circuit semantics.
+  bool circuit_exact = true;
+  /// Geometric speed escalation factor / cap for the EDF safety net.
+  double escalation_factor = 1.1;
+  std::int32_t max_escalations = 100;
+  /// When false, plain weights w_i replace the paper's virtual weights
+  /// w_i * |P_i|^(1/alpha) — the ablation quantifying Theorem 1's
+  /// path-length correction (bench_ablation_vweight).
+  bool use_virtual_weights = true;
+};
+
+/// Result of Most-Critical-First.
+struct DcfsResult {
+  /// Full schedule: paths as given, EDF execution segments, one rate per
+  /// flow (Lemma 1: the optimum uses a single rate per flow).
+  Schedule schedule;
+  /// The chosen transmission rate s_i per flow.
+  std::vector<double> rates;
+  /// Number of critical-interval iterations performed.
+  std::int32_t iterations = 0;
+  /// Number of critical batches that needed speed escalation
+  /// (0 means the pure YDS speeds sufficed).
+  std::int32_t speed_escalations = 0;
+  /// Number of times a pending flow's span was already fully booked on
+  /// one of its links and the algorithm fell back to span-only
+  /// availability (such flows overlap others on shared links; the
+  /// packet-level priority realization of Sec. III-C absorbs this, and
+  /// the energy evaluator charges the superadditive cost honestly).
+  /// 0 on uncongested instances — the optimality guarantee applies then.
+  std::int32_t availability_fallbacks = 0;
+};
+
+/// Runs Algorithm 1. `paths[i]` must be a valid simple path for
+/// flows[i]. Throws InfeasibleError when some flow's span has no
+/// available time left on its links (no virtual-circuit schedule exists
+/// under the marks made so far).
+[[nodiscard]] DcfsResult most_critical_first(const Graph& g,
+                                             const std::vector<Flow>& flows,
+                                             const std::vector<Path>& paths,
+                                             const PowerModel& model,
+                                             const DcfsOptions& options = {});
+
+}  // namespace dcn

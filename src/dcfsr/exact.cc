@@ -1,0 +1,71 @@
+#include "dcfsr/exact.h"
+
+#include <limits>
+
+#include "common/contracts.h"
+#include "dcfs/most_critical_first.h"
+#include "graph/k_shortest.h"
+
+namespace dcn {
+
+ExactDcfsrResult exact_dcfsr(const Graph& g, const std::vector<Flow>& flows,
+                             const PowerModel& model,
+                             const ExactDcfsrOptions& options) {
+  DCN_EXPECTS(options.paths_per_flow >= 1);
+  DCN_EXPECTS(options.max_assignments >= 1);
+  validate_flows(g, flows);
+  DCN_EXPECTS(!flows.empty());
+
+  // Candidate paths per flow: k shortest by hop count.
+  const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  std::vector<std::vector<Path>> candidates;
+  candidates.reserve(flows.size());
+  std::int64_t total_assignments = 1;
+  for (const Flow& fl : flows) {
+    std::vector<Path> paths =
+        yen_k_shortest_paths(g, fl.src, fl.dst, unit, options.paths_per_flow);
+    DCN_EXPECTS(!paths.empty());
+    const auto count = static_cast<std::int64_t>(paths.size());
+    DCN_EXPECTS(total_assignments <= options.max_assignments / count);
+    total_assignments *= count;
+    candidates.push_back(std::move(paths));
+  }
+
+  const Interval horizon = flow_horizon(flows);
+  ExactDcfsrResult best;
+  best.energy = std::numeric_limits<double>::infinity();
+
+  // Odometer enumeration over the assignment space.
+  std::vector<std::size_t> index(flows.size(), 0);
+  std::vector<Path> assignment(flows.size());
+  while (true) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      assignment[i] = candidates[i][index[i]];
+    }
+    ++best.assignments_tried;
+    try {
+      const DcfsResult rates = most_critical_first(g, flows, assignment, model);
+      const double energy = energy_phi_f(g, rates.schedule, model, horizon);
+      if (energy < best.energy) {
+        best.energy = energy;
+        best.schedule = rates.schedule;
+        best.chosen_path_index = index;
+      }
+    } catch (const InfeasibleError&) {
+      // This assignment admits no virtual-circuit schedule; skip it.
+    }
+
+    // Advance the odometer.
+    std::size_t digit = 0;
+    while (digit < index.size()) {
+      if (++index[digit] < candidates[digit].size()) break;
+      index[digit] = 0;
+      ++digit;
+    }
+    if (digit == index.size()) break;
+  }
+  DCN_ENSURES(best.energy < std::numeric_limits<double>::infinity());
+  return best;
+}
+
+}  // namespace dcn

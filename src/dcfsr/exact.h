@@ -1,0 +1,56 @@
+// Exact DCFSR solver for tiny instances by exhaustive path enumeration.
+//
+// DCFSR is strongly NP-hard (Theorem 2), but small instances can be
+// solved exactly: enumerate every assignment of flows to candidate
+// simple paths (the k shortest per flow, which is all simple paths for
+// small k on small graphs), solve the remaining rate-assignment problem
+// optimally with Most-Critical-First (Theorem 1), and keep the
+// cheapest. Used to decompose the Fig. 2 ratio RS/LB into algorithmic
+// and relaxation gaps (bench_exact) — which the paper could not do at
+// its evaluation scale.
+//
+// Scope caveat: the result is the optimum of the paper's
+// *virtual-circuit* scheduling model (Sec. III-A: a transmitting flow
+// occupies its links exclusively; MCF is optimal under it, Corollary 1).
+// Fluid schedules that let flows share a link concurrently — e.g.
+// Random-Schedule's density schedules — live outside this space and can
+// occasionally beat the virtual-circuit optimum, a model-level finding
+// bench_exact surfaces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow.h"
+#include "power/power_model.h"
+#include "schedule/schedule.h"
+
+namespace dcn {
+
+struct ExactDcfsrOptions {
+  /// Candidate paths per flow (Yen's k shortest by hop count). The
+  /// search space is paths_per_flow ^ n — keep n * log(paths) tiny.
+  std::size_t paths_per_flow = 4;
+  /// Hard cap on enumerated assignments; the solver throws
+  /// ContractViolation when the instance would exceed it.
+  std::int64_t max_assignments = 2'000'000;
+};
+
+struct ExactDcfsrResult {
+  Schedule schedule;           // the optimal schedule found
+  double energy = 0.0;         // Phi_f over the flow horizon
+  std::int64_t assignments_tried = 0;
+  std::vector<std::size_t> chosen_path_index;  // per flow, into its candidates
+};
+
+/// Exhaustively solves DCFSR. Candidate-path energies are evaluated
+/// with the circuit-exact Most-Critical-First rate assignment, so the
+/// result is optimal over (candidate path choice) x (rates); with
+/// paths_per_flow covering all simple paths this is the true optimum
+/// of the virtual-circuit model.
+[[nodiscard]] ExactDcfsrResult exact_dcfsr(const Graph& g,
+                                           const std::vector<Flow>& flows,
+                                           const PowerModel& model,
+                                           const ExactDcfsrOptions& options = {});
+
+}  // namespace dcn

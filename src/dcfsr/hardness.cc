@@ -1,0 +1,56 @@
+#include "dcfsr/hardness.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+HardnessInstance three_partition_instance(const std::vector<double>& volumes,
+                                          double b, double mu, double alpha,
+                                          std::int32_t links) {
+  DCN_EXPECTS(!volumes.empty());
+  DCN_EXPECTS(volumes.size() % 3 == 0);
+  DCN_EXPECTS(b > 0.0);
+  DCN_EXPECTS(mu > 0.0);
+  DCN_EXPECTS(alpha > 1.0);
+  const auto m = static_cast<double>(volumes.size()) / 3.0;
+  DCN_EXPECTS(links >= static_cast<std::int32_t>(m));
+
+  // sigma = mu * (alpha - 1) * B^alpha makes R_opt = B (Theorem 2).
+  const double sigma = mu * (alpha - 1.0) * std::pow(b, alpha);
+  HardnessInstance instance{
+      parallel_links(links),
+      {},
+      PowerModel(sigma, mu, alpha),
+      m * alpha * mu * std::pow(b, alpha),
+  };
+
+  instance.flows.reserve(volumes.size());
+  for (std::size_t i = 0; i < volumes.size(); ++i) {
+    DCN_EXPECTS(volumes[i] > 0.0);
+    instance.flows.push_back({static_cast<FlowId>(i), /*src=*/0, /*dst=*/1,
+                              volumes[i], /*release=*/0.0, /*deadline=*/1.0});
+  }
+  return instance;
+}
+
+double grouped_energy(const HardnessInstance& instance,
+                      const std::vector<std::vector<std::size_t>>& groups) {
+  // Under Eq. 5 (idle power charged over the full horizon once a link is
+  // active), a link carrying total volume V in the unit horizon is
+  // cheapest at constant rate V: energy = f(V).
+  double total = 0.0;
+  for (const auto& group : groups) {
+    double volume = 0.0;
+    for (std::size_t i : group) {
+      DCN_EXPECTS(i < instance.flows.size());
+      volume += instance.flows[i].volume;
+    }
+    if (volume > 0.0) total += instance.model.f(volume);
+  }
+  return total;
+}
+
+}  // namespace dcn

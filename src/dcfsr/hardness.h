@@ -1,0 +1,48 @@
+// Instance builders for the NP-hardness constructions of Sec. IV-B.
+//
+// Theorem 2 reduces 3-partition to DCFSR on a parallel-link network: 3m
+// flows with volumes a_1..a_3m (sum mB, each in (B/4, B/2)) must cross
+// from src to dst within one unit of time; with sigma = mu*(alpha-1)*B^alpha
+// (so R_opt = B) a schedule of energy m*alpha*mu*B^alpha exists iff the
+// integers 3-partition. Theorem 3 uses the same network with partition
+// volumes to derive the inapproximability bound
+// 3/2 * (1 + ((2/3)^alpha - 1)/alpha).
+//
+// These builders are exercised by tests (verifying the energy identities
+// the proofs rely on) and by bench_hardness (tabulating the bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow.h"
+#include "power/power_model.h"
+#include "topology/topology.h"
+
+namespace dcn {
+
+/// A hardness gadget instance: the parallel-link network plus flows and
+/// the calibrated power model.
+struct HardnessInstance {
+  Topology topology;
+  std::vector<Flow> flows;
+  PowerModel model;
+  /// The decision threshold Phi_0 of Theorem 2 (energy of a perfect
+  /// partition schedule).
+  double phi0 = 0.0;
+};
+
+/// Theorem 2 instance: `volumes` must hold 3m values summing to m*B.
+/// Builds k >= m parallel links, unit time horizon, and the calibrated
+/// model with R_opt = B.
+[[nodiscard]] HardnessInstance three_partition_instance(
+    const std::vector<double>& volumes, double b, double mu, double alpha,
+    std::int32_t links);
+
+/// Energy of scheduling volume groups on separate links, each link
+/// running at constant rate (sum of its group) for the unit horizon —
+/// the quantity compared against phi0 in the reduction.
+[[nodiscard]] double grouped_energy(const HardnessInstance& instance,
+                                    const std::vector<std::vector<std::size_t>>& groups);
+
+}  // namespace dcn

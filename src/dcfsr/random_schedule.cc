@@ -1,0 +1,105 @@
+#include "dcfsr/random_schedule.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+std::vector<Path> sample_paths(const std::vector<FlowCandidates>& candidates,
+                               Rng& rng) {
+  std::vector<Path> paths;
+  paths.reserve(candidates.size());
+  for (const FlowCandidates& cand : candidates) {
+    DCN_EXPECTS(!cand.paths.empty());
+    std::vector<double> weights;
+    weights.reserve(cand.paths.size());
+    for (const WeightedPath& wp : cand.paths) weights.push_back(wp.weight);
+    paths.push_back(cand.paths[rng.weighted_index(weights)].path);
+  }
+  return paths;
+}
+
+Schedule density_schedule(const std::vector<Flow>& flows,
+                          const std::vector<Path>& paths) {
+  DCN_EXPECTS(paths.size() == flows.size());
+  Schedule schedule;
+  schedule.flows.resize(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    FlowSchedule& fs = schedule.flows[i];
+    fs.path = paths[i];
+    fs.segments = {{flows[i].span(), flows[i].density()}};
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Peak rate over all links; used for the capacity accept/reject step.
+double peak_link_rate(const Graph& g, const Schedule& schedule) {
+  double peak = 0.0;
+  for (const StepFunction& tl : link_timelines(g, schedule)) {
+    peak = std::max(peak, tl.max_value());
+  }
+  return peak;
+}
+
+}  // namespace
+
+RandomScheduleResult round_relaxation(const Graph& g, const std::vector<Flow>& flows,
+                                      const PowerModel& model,
+                                      const FractionalRelaxation& relaxation,
+                                      Rng& rng, const RandomScheduleOptions& options) {
+  DCN_EXPECTS(options.max_rounding_attempts >= 1);
+  DCN_EXPECTS(options.best_of >= 1);
+
+  RandomScheduleResult result;
+  result.lower_bound_energy = relaxation.lower_bound_energy;
+  result.lambda = relaxation.decomposition.lambda();
+  result.mean_relative_gap = relaxation.mean_relative_gap;
+
+  const Interval horizon = flow_horizon(flows);
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::int32_t feasible_found = 0;
+
+  Schedule last_draw;
+  for (std::int32_t attempt = 1; attempt <= options.max_rounding_attempts; ++attempt) {
+    result.rounding_attempts = attempt;
+    const std::vector<Path> paths = sample_paths(relaxation.candidates, rng);
+    last_draw = density_schedule(flows, paths);
+    if (peak_link_rate(g, last_draw) > model.capacity() * (1.0 + 1e-9)) {
+      continue;  // capacity violated: redraw (Algorithm 2 repeat step)
+    }
+    ++feasible_found;
+    const double energy = energy_phi_f(g, last_draw, model, horizon);
+    if (energy < best_energy) {
+      best_energy = energy;
+      result.schedule = std::move(last_draw);
+      last_draw = {};
+    }
+    if (feasible_found >= options.best_of) break;
+  }
+
+  if (feasible_found == 0) {
+    // No capacity-feasible rounding found; report the last draw so the
+    // caller can inspect the violation.
+    result.capacity_feasible = false;
+    result.schedule = std::move(last_draw);
+    result.energy = energy_phi_f(g, result.schedule, model, horizon);
+    return result;
+  }
+  result.capacity_feasible = true;
+  result.energy = best_energy;
+  return result;
+}
+
+RandomScheduleResult random_schedule(const Graph& g, const std::vector<Flow>& flows,
+                                     const PowerModel& model, Rng& rng,
+                                     const RandomScheduleOptions& options) {
+  const FractionalRelaxation relaxation =
+      solve_relaxation(g, flows, model, options.relaxation);
+  return round_relaxation(g, flows, model, relaxation, rng, options);
+}
+
+}  // namespace dcn

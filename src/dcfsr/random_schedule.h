@@ -1,0 +1,84 @@
+// Random-Schedule — the approximation algorithm for DCFSR
+// (Algorithm 2 of the paper).
+//
+// Pipeline: multi-interval fractional relaxation (src/mcf) -> candidate
+// path sets Q_i with aggregated weights wbar -> randomized rounding (one
+// path per flow, drawn with probability wbar_P) -> per-interval rate
+// assignment.
+//
+// Rate assignment: the paper sets every flow crossing link e in interval
+// I_k to rate sum_{j in J_e(k)} D_j and time-shares the link with EDF;
+// the link is then busy for the whole interval at exactly that rate. We
+// represent the *fluid equivalent*: each flow transmits at its density
+// D_i over its entire span on its chosen path. Both produce identical
+// link-rate timelines (x_e(t) = sum of active densities), identical
+// energy Phi_f, and meet every deadline (Theorem 4); the EDF variant
+// only reorders which flow's packets occupy the link within an
+// interval. See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "flow/flow.h"
+#include "mcf/relaxation.h"
+#include "power/power_model.h"
+#include "schedule/schedule.h"
+
+namespace dcn {
+
+struct RandomScheduleOptions {
+  RelaxationOptions relaxation;
+  /// Re-roundings attempted when a rounding violates link capacity
+  /// (the paper: "repeat the randomized rounding process until we
+  /// obtain a feasible solution").
+  std::int32_t max_rounding_attempts = 50;
+  /// When > 1, draws this many capacity-feasible roundings and keeps
+  /// the lowest-energy one (ablation A5; 1 = the paper's algorithm).
+  std::int32_t best_of = 1;
+};
+
+struct RandomScheduleResult {
+  Schedule schedule;
+  /// Phi_f of the produced schedule over the flow horizon.
+  double energy = 0.0;
+  /// LB: optimum of the fractional relaxation (Fig. 2 normalizer).
+  double lower_bound_energy = 0.0;
+  /// Interval-granularity parameter of Theorem 6.
+  double lambda = 0.0;
+  /// Roundings drawn before (and including) the accepted one.
+  std::int32_t rounding_attempts = 0;
+  /// False when no capacity-feasible rounding was found within the
+  /// attempt budget (the returned schedule is the last draw).
+  bool capacity_feasible = true;
+  /// Diagnostic: mean Frank-Wolfe gap of the interval solves.
+  double mean_relative_gap = 0.0;
+};
+
+/// Draws one path per flow from its candidate distribution.
+[[nodiscard]] std::vector<Path> sample_paths(const std::vector<FlowCandidates>& candidates,
+                                             Rng& rng);
+
+/// The fluid rate assignment: flow i transmits at density D_i over its
+/// whole span on paths[i].
+[[nodiscard]] Schedule density_schedule(const std::vector<Flow>& flows,
+                                        const std::vector<Path>& paths);
+
+/// Runs the full Algorithm 2 pipeline.
+[[nodiscard]] RandomScheduleResult random_schedule(const Graph& g,
+                                                   const std::vector<Flow>& flows,
+                                                   const PowerModel& model, Rng& rng,
+                                                   const RandomScheduleOptions& options = {});
+
+/// Reruns only the rounding + rate-assignment stage on a precomputed
+/// relaxation (for rounding ablations; avoids re-solving the convex
+/// programs).
+[[nodiscard]] RandomScheduleResult round_relaxation(const Graph& g,
+                                                    const std::vector<Flow>& flows,
+                                                    const PowerModel& model,
+                                                    const FractionalRelaxation& relaxation,
+                                                    Rng& rng,
+                                                    const RandomScheduleOptions& options = {});
+
+}  // namespace dcn

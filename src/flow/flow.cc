@@ -1,0 +1,43 @@
+#include "flow/flow.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dcn {
+
+std::ostream& operator<<(std::ostream& os, const Flow& flow) {
+  return os << "flow#" << flow.id << "(" << flow.src << "->" << flow.dst
+            << ", w=" << flow.volume << ", [" << flow.release << ", "
+            << flow.deadline << "])";
+}
+
+void validate_flows(const Graph& g, const std::vector<Flow>& flows) {
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& fl = flows[i];
+    DCN_EXPECTS(fl.id == static_cast<FlowId>(i));
+    DCN_EXPECTS(g.valid_node(fl.src));
+    DCN_EXPECTS(g.valid_node(fl.dst));
+    DCN_EXPECTS(fl.src != fl.dst);
+    DCN_EXPECTS(fl.volume > 0.0);
+    DCN_EXPECTS(fl.release < fl.deadline);
+  }
+}
+
+Interval flow_horizon(const std::vector<Flow>& flows) {
+  DCN_EXPECTS(!flows.empty());
+  double lo = flows.front().release;
+  double hi = flows.front().deadline;
+  for (const Flow& fl : flows) {
+    lo = std::min(lo, fl.release);
+    hi = std::max(hi, fl.deadline);
+  }
+  return {lo, hi};
+}
+
+double max_density(const std::vector<Flow>& flows) {
+  double best = 0.0;
+  for (const Flow& fl : flows) best = std::max(best, fl.density());
+  return best;
+}
+
+}  // namespace dcn

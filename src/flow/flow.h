@@ -1,0 +1,59 @@
+// Deadline-constrained flows (Sec. II-B of the paper).
+//
+// A flow j_i = (w_i, r_i, d_i, p_i, q_i) must move w_i units of data
+// from host p_i to host q_i inside its span [r_i, d_i]. Preemption is
+// allowed; each flow follows a single path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/interval.h"
+#include "graph/graph.h"
+
+namespace dcn {
+
+using FlowId = std::int32_t;
+
+struct Flow {
+  FlowId id = -1;
+  NodeId src = kInvalidNode;   // p_i
+  NodeId dst = kInvalidNode;   // q_i
+  double volume = 0.0;         // w_i
+  double release = 0.0;        // r_i
+  double deadline = 0.0;       // d_i
+
+  /// The span S_i = [r_i, d_i].
+  [[nodiscard]] Interval span() const { return {release, deadline}; }
+
+  /// The density D_i = w_i / (d_i - r_i): the minimum average rate that
+  /// still meets the deadline.
+  [[nodiscard]] double density() const {
+    DCN_EXPECTS(deadline > release);
+    return volume / (deadline - release);
+  }
+
+  /// True when the flow is active at time t (t in S_i).
+  [[nodiscard]] bool active_at(double t) const {
+    return t >= release && t < deadline;
+  }
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Flow& flow);
+
+/// Validates a flow set against a graph: positive volumes, release <
+/// deadline, distinct valid endpoints, ids equal to vector positions.
+/// Throws ContractViolation on the first violation.
+void validate_flows(const Graph& g, const std::vector<Flow>& flows);
+
+/// The horizon [T0, T1] spanned by a flow set: [min release, max deadline].
+[[nodiscard]] Interval flow_horizon(const std::vector<Flow>& flows);
+
+/// Maximum flow density (the D of Theorem 6's bound).
+[[nodiscard]] double max_density(const std::vector<Flow>& flows);
+
+}  // namespace dcn

@@ -1,0 +1,38 @@
+#include "flow/split.h"
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+SplitResult split_flows(const std::vector<Flow>& flows, std::int32_t ways) {
+  DCN_EXPECTS(ways >= 1);
+  SplitResult out;
+  out.subflows.reserve(flows.size() * static_cast<std::size_t>(ways));
+  out.parent.reserve(out.subflows.capacity());
+  FlowId next = 0;
+  for (const Flow& fl : flows) {
+    DCN_EXPECTS(fl.volume > 0.0);
+    const double piece = fl.volume / static_cast<double>(ways);
+    for (std::int32_t k = 0; k < ways; ++k) {
+      out.subflows.push_back(
+          {next++, fl.src, fl.dst, piece, fl.release, fl.deadline});
+      out.parent.push_back(fl.id);
+    }
+  }
+  return out;
+}
+
+std::vector<double> aggregate_by_parent(const SplitResult& split,
+                                        const std::vector<double>& per_subflow,
+                                        std::size_t num_parents) {
+  DCN_EXPECTS(per_subflow.size() == split.subflows.size());
+  std::vector<double> out(num_parents, 0.0);
+  for (std::size_t i = 0; i < per_subflow.size(); ++i) {
+    const auto p = static_cast<std::size_t>(split.parent[i]);
+    DCN_EXPECTS(p < num_parents);
+    out[p] += per_subflow[i];
+  }
+  return out;
+}
+
+}  // namespace dcn

@@ -1,0 +1,40 @@
+// Flow splitting — the paper's multipath hook (Sec. II-B):
+// "multi-path routing protocols can be incorporated in our model by
+// splitting a big flow into many small flows with the same release time
+// and deadline at the source end and each of the small flows will
+// follow a single path."
+//
+// split_flows() turns every flow into `ways` subflows of volume w/ways
+// sharing the parent's endpoints and span; merge_subflow_schedule()
+// folds a schedule over subflows back into per-parent reporting. As
+// `ways` grows, Random-Schedule's rounding approaches its fractional
+// relaxation (each subflow rounds independently), trading rounding
+// variance for per-packet-reordering cost at the destination — the
+// trade the paper alludes to. Quantified by bench_ablation_split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace dcn {
+
+/// Mapping from subflows back to their parents.
+struct SplitResult {
+  std::vector<Flow> subflows;          // ids renumbered 0..N-1
+  std::vector<FlowId> parent;          // parent[i] = original flow id
+};
+
+/// Splits every flow into `ways` equal subflows (volume w_i / ways,
+/// same src/dst/span). ways = 1 returns a renumbered copy.
+[[nodiscard]] SplitResult split_flows(const std::vector<Flow>& flows,
+                                      std::int32_t ways);
+
+/// Per-parent delivered volume, aggregated from a per-subflow delivered
+/// vector (e.g. ReplayReport::delivered).
+[[nodiscard]] std::vector<double> aggregate_by_parent(
+    const SplitResult& split, const std::vector<double>& per_subflow,
+    std::size_t num_parents);
+
+}  // namespace dcn

@@ -1,0 +1,162 @@
+#include "flow/workload.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+namespace {
+
+/// Two distinct hosts drawn uniformly.
+std::pair<NodeId, NodeId> random_host_pair(const Topology& topo, Rng& rng) {
+  const auto& hosts = topo.hosts();
+  DCN_EXPECTS(hosts.size() >= 2);
+  const auto a = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+  std::size_t b;
+  do {
+    b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+  } while (b == a);
+  return {hosts[a], hosts[b]};
+}
+
+/// Positive volume from a truncated normal (redraw below min_volume).
+double truncated_normal_volume(double mean, double stddev, double min_volume,
+                               Rng& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double v = rng.normal(mean, stddev);
+    if (v >= min_volume) return v;
+  }
+  return min_volume;  // pathological parameters; fall back deterministically
+}
+
+/// Span with both endpoints uniform in [lo, hi], at least min_span long.
+Interval random_span(double lo, double hi, double min_span, Rng& rng) {
+  DCN_EXPECTS(hi - lo > min_span);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double a = rng.uniform(lo, hi);
+    double b = rng.uniform(lo, hi);
+    if (a > b) std::swap(a, b);
+    if (b - a >= min_span) return {a, b};
+  }
+  return {lo, hi};
+}
+
+/// `count` distinct host indices.
+std::vector<NodeId> sample_hosts(const Topology& topo, std::int32_t count, Rng& rng) {
+  DCN_EXPECTS(count <= topo.num_hosts());
+  std::vector<NodeId> pool = topo.hosts();
+  // Partial Fisher-Yates: the first `count` entries become the sample.
+  for (std::int32_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(i, static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(count));
+  return pool;
+}
+
+}  // namespace
+
+std::vector<Flow> paper_workload(const Topology& topo,
+                                 const PaperWorkloadParams& params, Rng& rng) {
+  DCN_EXPECTS(params.num_flows > 0);
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(params.num_flows));
+  for (std::int32_t i = 0; i < params.num_flows; ++i) {
+    const auto [src, dst] = random_host_pair(topo, rng);
+    const Interval span =
+        random_span(params.horizon_lo, params.horizon_hi, params.min_span, rng);
+    const double volume = truncated_normal_volume(
+        params.volume_mean, params.volume_stddev, params.min_volume, rng);
+    flows.push_back({i, src, dst, volume, span.lo, span.hi});
+  }
+  validate_flows(topo.graph(), flows);
+  return flows;
+}
+
+std::vector<Flow> incast_workload(const Topology& topo, std::int32_t senders,
+                                  double volume, Interval window, Rng& rng) {
+  DCN_EXPECTS(senders >= 1);
+  DCN_EXPECTS(senders + 1 <= topo.num_hosts());
+  DCN_EXPECTS(volume > 0.0);
+  DCN_EXPECTS(!window.empty());
+  std::vector<NodeId> chosen = sample_hosts(topo, senders + 1, rng);
+  const NodeId aggregator = chosen.back();
+  chosen.pop_back();
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(senders));
+  for (std::int32_t i = 0; i < senders; ++i) {
+    flows.push_back({i, chosen[static_cast<std::size_t>(i)], aggregator, volume,
+                     window.lo, window.hi});
+  }
+  validate_flows(topo.graph(), flows);
+  return flows;
+}
+
+std::vector<Flow> shuffle_workload(const Topology& topo, std::int32_t mappers,
+                                   std::int32_t reducers, double volume,
+                                   Interval window, Rng& rng) {
+  DCN_EXPECTS(mappers >= 1);
+  DCN_EXPECTS(reducers >= 1);
+  DCN_EXPECTS(mappers + reducers <= topo.num_hosts());
+  DCN_EXPECTS(volume > 0.0);
+  DCN_EXPECTS(!window.empty());
+  std::vector<NodeId> chosen = sample_hosts(topo, mappers + reducers, rng);
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(mappers) * static_cast<std::size_t>(reducers));
+  FlowId id = 0;
+  for (std::int32_t m = 0; m < mappers; ++m) {
+    for (std::int32_t r = 0; r < reducers; ++r) {
+      flows.push_back({id++, chosen[static_cast<std::size_t>(m)],
+                       chosen[static_cast<std::size_t>(mappers + r)], volume,
+                       window.lo, window.hi});
+    }
+  }
+  validate_flows(topo.graph(), flows);
+  return flows;
+}
+
+std::vector<Flow> permutation_workload(const Topology& topo, std::int32_t pairs,
+                                       const PaperWorkloadParams& params, Rng& rng) {
+  DCN_EXPECTS(pairs >= 1);
+  DCN_EXPECTS(2 * pairs <= topo.num_hosts());
+  std::vector<NodeId> chosen = sample_hosts(topo, 2 * pairs, rng);
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(pairs));
+  for (std::int32_t i = 0; i < pairs; ++i) {
+    const Interval span =
+        random_span(params.horizon_lo, params.horizon_hi, params.min_span, rng);
+    const double volume = truncated_normal_volume(
+        params.volume_mean, params.volume_stddev, params.min_volume, rng);
+    flows.push_back({i, chosen[static_cast<std::size_t>(2 * i)],
+                     chosen[static_cast<std::size_t>(2 * i + 1)], volume, span.lo,
+                     span.hi});
+  }
+  validate_flows(topo.graph(), flows);
+  return flows;
+}
+
+std::vector<Flow> slack_workload(const Topology& topo, std::int32_t num_flows,
+                                 double volume, double base_rate, double slack,
+                                 Interval horizon, Rng& rng) {
+  DCN_EXPECTS(num_flows >= 1);
+  DCN_EXPECTS(volume > 0.0);
+  DCN_EXPECTS(base_rate > 0.0);
+  DCN_EXPECTS(slack >= 1.0);
+  const double span_len = slack * volume / base_rate;
+  DCN_EXPECTS(span_len < horizon.measure());
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(num_flows));
+  for (std::int32_t i = 0; i < num_flows; ++i) {
+    const auto [src, dst] = random_host_pair(topo, rng);
+    const double release = rng.uniform(horizon.lo, horizon.hi - span_len);
+    flows.push_back({i, src, dst, volume, release, release + span_len});
+  }
+  validate_flows(topo.graph(), flows);
+  return flows;
+}
+
+}  // namespace dcn

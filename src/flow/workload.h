@@ -1,0 +1,66 @@
+// Workload generators.
+//
+// paper_workload() reproduces the traffic of the paper's numerical
+// section (Sec. V-C): spans drawn uniformly inside [1, 100], volumes
+// from N(10, 3) truncated positive, endpoints drawn uniformly from
+// distinct host pairs. The other generators model the motivating
+// application patterns from the introduction (partition-aggregate =
+// incast, shuffle) and standard evaluation patterns (permutation),
+// plus a slack-controlled generator for deadline-tightness studies.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "flow/flow.h"
+#include "topology/topology.h"
+
+namespace dcn {
+
+/// Parameters of the paper's random workload.
+struct PaperWorkloadParams {
+  std::int32_t num_flows = 100;
+  double horizon_lo = 1.0;    // span endpoints drawn from [horizon_lo,
+  double horizon_hi = 100.0;  //                            horizon_hi]
+  double volume_mean = 10.0;  // N(10, 3) in the paper
+  double volume_stddev = 3.0;
+  double min_span = 1.0;      // redraw spans shorter than this
+  double min_volume = 0.1;    // redraw volumes below this
+};
+
+/// The Sec. V-C workload on a topology's hosts.
+[[nodiscard]] std::vector<Flow> paper_workload(const Topology& topo,
+                                               const PaperWorkloadParams& params,
+                                               Rng& rng);
+
+/// Incast (partition-aggregate): `senders` distinct hosts all transmit
+/// `volume` to one aggregator inside a common window — the
+/// request/response pattern the paper's introduction motivates.
+[[nodiscard]] std::vector<Flow> incast_workload(const Topology& topo,
+                                                std::int32_t senders, double volume,
+                                                Interval window, Rng& rng);
+
+/// Shuffle: every host in a random `mappers`-subset sends `volume` to
+/// every host in a disjoint `reducers`-subset, all in one window.
+[[nodiscard]] std::vector<Flow> shuffle_workload(const Topology& topo,
+                                                 std::int32_t mappers,
+                                                 std::int32_t reducers, double volume,
+                                                 Interval window, Rng& rng);
+
+/// Random permutation: each selected host sends one flow to a distinct
+/// partner; spans and volumes as in the paper workload.
+[[nodiscard]] std::vector<Flow> permutation_workload(const Topology& topo,
+                                                     std::int32_t pairs,
+                                                     const PaperWorkloadParams& params,
+                                                     Rng& rng);
+
+/// Slack-controlled workload: releases uniform in the horizon, span
+/// length chosen so that density = volume / span = volume /
+/// (slack * volume / base_rate); slack = 1 means the deadline only just
+/// permits transmitting at base_rate, larger slack loosens deadlines.
+[[nodiscard]] std::vector<Flow> slack_workload(const Topology& topo,
+                                               std::int32_t num_flows, double volume,
+                                               double base_rate, double slack,
+                                               Interval horizon, Rng& rng);
+
+}  // namespace dcn

@@ -1,0 +1,84 @@
+#include "graph/flow_decomposition.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace dcn {
+
+namespace {
+
+/// BFS through edges with flow > threshold; returns an edge chain or an
+/// empty vector when dst is unreachable in the support subgraph.
+std::vector<EdgeId> support_path(const Graph& g, NodeId src, NodeId dst,
+                                 const std::vector<double>& flow, double threshold) {
+  std::vector<EdgeId> parent(static_cast<std::size_t>(g.num_nodes()), kInvalidEdge);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<NodeId> frontier;
+  seen[static_cast<std::size_t>(src)] = true;
+  frontier.push(src);
+  bool found = (src == dst);
+  while (!frontier.empty() && !found) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (EdgeId e : g.out_edges(u)) {
+      if (flow[static_cast<std::size_t>(e)] <= threshold) continue;
+      const NodeId v = g.edge(e).dst;
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      parent[static_cast<std::size_t>(v)] = e;
+      if (v == dst) {
+        found = true;
+        break;
+      }
+      frontier.push(v);
+    }
+  }
+  if (!found) return {};
+  std::vector<EdgeId> edges;
+  NodeId at = dst;
+  while (at != src) {
+    const EdgeId e = parent[static_cast<std::size_t>(at)];
+    edges.push_back(e);
+    at = g.edge(e).src;
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+std::vector<WeightedPath> decompose_flow(const Graph& g, NodeId src, NodeId dst,
+                                         std::vector<double> edge_flow,
+                                         double demand, double tolerance) {
+  DCN_EXPECTS(g.valid_node(src));
+  DCN_EXPECTS(g.valid_node(dst));
+  DCN_EXPECTS(src != dst);
+  DCN_EXPECTS(demand > 0.0);
+  DCN_EXPECTS(edge_flow.size() == static_cast<std::size_t>(g.num_edges()));
+
+  const double threshold = tolerance * demand;
+  std::vector<WeightedPath> out;
+  // Each extraction zeroes the bottleneck edge, so |E| bounds the loop.
+  for (std::int32_t iter = 0; iter < g.num_edges(); ++iter) {
+    std::vector<EdgeId> edges = support_path(g, src, dst, edge_flow, threshold);
+    if (edges.empty()) break;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (EdgeId e : edges) {
+      bottleneck = std::min(bottleneck, edge_flow[static_cast<std::size_t>(e)]);
+    }
+    for (EdgeId e : edges) edge_flow[static_cast<std::size_t>(e)] -= bottleneck;
+    out.push_back({Path{src, dst, std::move(edges)}, bottleneck / demand});
+  }
+  DCN_ENSURES(!out.empty());
+
+  // Normalize: float slop and dropped residuals mean raw fractions sum
+  // to slightly less than one.
+  double total = 0.0;
+  for (const WeightedPath& wp : out) total += wp.weight;
+  DCN_ENSURES(total > 0.0);
+  for (WeightedPath& wp : out) wp.weight /= total;
+  return out;
+}
+
+}  // namespace dcn

@@ -1,0 +1,37 @@
+// Decomposition of a single-commodity edge flow into weighted paths.
+//
+// This is the Raghavan-Tompson extraction step of Algorithm 2
+// (Random-Schedule): given the fractional solution y*_{i,e} for one flow
+// in one interval, repeatedly peel off a source->destination path through
+// the positive-flow subgraph, assign it the bottleneck value, and reduce.
+// Flow conservation guarantees termination; each extraction zeroes at
+// least one edge, so at most |E| paths come out.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+
+namespace dcn {
+
+/// A candidate path with its extracted weight (fraction of the demand).
+struct WeightedPath {
+  Path path;
+  double weight = 0.0;  // in (0, 1], fractions sum to ~1 after normalization
+};
+
+/// Decomposes `edge_flow` (size g.num_edges(), the per-edge amount of
+/// this commodity) into simple paths from src to dst.
+///
+/// `demand` is the commodity total; returned weights are normalized to
+/// sum to exactly 1 (they are used as a probability distribution by the
+/// randomized rounding). Residual flow below `tolerance * demand` (float
+/// slop or tiny circulations) is discarded proportionally.
+///
+/// Requires demand > 0 and at least one extractable path.
+[[nodiscard]] std::vector<WeightedPath> decompose_flow(
+    const Graph& g, NodeId src, NodeId dst, std::vector<double> edge_flow,
+    double demand, double tolerance = 1e-9);
+
+}  // namespace dcn

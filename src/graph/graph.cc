@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+namespace dcn {
+
+NodeId Graph::add_node() {
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return num_nodes() - 1;
+}
+
+NodeId Graph::add_nodes(std::int32_t n) {
+  DCN_EXPECTS(n >= 0);
+  const NodeId first = num_nodes();
+  out_edges_.resize(out_edges_.size() + static_cast<std::size_t>(n));
+  in_edges_.resize(in_edges_.size() + static_cast<std::size_t>(n));
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst) {
+  DCN_EXPECTS(valid_node(src));
+  DCN_EXPECTS(valid_node(dst));
+  DCN_EXPECTS(src != dst);
+  const EdgeId id = num_edges();
+  edges_.push_back({src, dst});
+  reverse_.push_back(kInvalidEdge);
+  out_edges_[static_cast<std::size_t>(src)].push_back(id);
+  in_edges_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+std::pair<EdgeId, EdgeId> Graph::add_bidirectional_edge(NodeId u, NodeId v) {
+  const EdgeId fwd = add_edge(u, v);
+  const EdgeId bwd = add_edge(v, u);
+  reverse_[static_cast<std::size_t>(fwd)] = bwd;
+  reverse_[static_cast<std::size_t>(bwd)] = fwd;
+  return {fwd, bwd};
+}
+
+}  // namespace dcn

@@ -1,0 +1,138 @@
+#include "graph/k_shortest.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "graph/shortest_path.h"
+
+namespace dcn {
+
+namespace {
+
+/// Dijkstra restricted to a subgraph: edges in `banned_edges` and nodes
+/// in `banned_nodes` are skipped.
+std::optional<Path> restricted_shortest_path(
+    const Graph& g, NodeId src, NodeId dst, const std::vector<double>& weights,
+    const std::vector<bool>& banned_edges, const std::vector<bool>& banned_nodes) {
+  std::vector<double> dist(static_cast<std::size_t>(g.num_nodes()), kInfiniteDistance);
+  std::vector<EdgeId> parent(static_cast<std::size_t>(g.num_nodes()), kInvalidEdge);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (EdgeId e : g.out_edges(u)) {
+      if (banned_edges[static_cast<std::size_t>(e)]) continue;
+      const NodeId v = g.edge(e).dst;
+      if (banned_nodes[static_cast<std::size_t>(v)]) continue;
+      const double cand = d + weights[static_cast<std::size_t>(e)];
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        parent[static_cast<std::size_t>(v)] = e;
+        heap.emplace(cand, v);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(dst)] == kInfiniteDistance) return std::nullopt;
+  std::vector<EdgeId> edges;
+  NodeId at = dst;
+  while (at != src) {
+    const EdgeId e = parent[static_cast<std::size_t>(at)];
+    edges.push_back(e);
+    at = g.edge(e).src;
+  }
+  std::reverse(edges.begin(), edges.end());
+  return Path{src, dst, std::move(edges)};
+}
+
+struct PathOrder {
+  // Weight, then lexicographic edge sequence: a total deterministic order.
+  bool operator()(const std::pair<double, Path>& a,
+                  const std::pair<double, Path>& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.edges < b.second.edges;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> yen_k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                       const std::vector<double>& edge_weights,
+                                       std::size_t k) {
+  DCN_EXPECTS(g.valid_node(src));
+  DCN_EXPECTS(g.valid_node(dst));
+  DCN_EXPECTS(src != dst);
+  DCN_EXPECTS(edge_weights.size() == static_cast<std::size_t>(g.num_edges()));
+
+  std::vector<Path> result;
+  if (k == 0) return result;
+
+  auto first = dijkstra_shortest_path(g, src, dst, edge_weights);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  std::set<std::pair<double, Path>, PathOrder> candidates;
+  std::set<std::vector<EdgeId>> known;  // edge sequences already emitted/queued
+  known.insert(result[0].edges);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    const std::vector<NodeId> prev_nodes = path_nodes(g, prev);
+
+    for (std::size_t spur_idx = 0; spur_idx < prev.edges.size(); ++spur_idx) {
+      const NodeId spur_node = prev_nodes[spur_idx];
+      // Root = prev[0 .. spur_idx).
+      std::vector<EdgeId> root(prev.edges.begin(),
+                               prev.edges.begin() + static_cast<std::ptrdiff_t>(spur_idx));
+
+      std::vector<bool> banned_edges(static_cast<std::size_t>(g.num_edges()), false);
+      std::vector<bool> banned_nodes(static_cast<std::size_t>(g.num_nodes()), false);
+
+      // Ban the next edge of every already-found path sharing this root.
+      for (const Path& p : result) {
+        if (p.edges.size() > spur_idx &&
+            std::equal(root.begin(), root.end(), p.edges.begin())) {
+          banned_edges[static_cast<std::size_t>(p.edges[spur_idx])] = true;
+        }
+      }
+      // Ban root nodes (except the spur node) to keep paths loopless.
+      for (std::size_t i = 0; i < spur_idx; ++i) {
+        banned_nodes[static_cast<std::size_t>(prev_nodes[i])] = true;
+      }
+
+      auto spur = restricted_shortest_path(g, spur_node, dst, edge_weights,
+                                           banned_edges, banned_nodes);
+      if (!spur) continue;
+
+      Path total{src, dst, root};
+      total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
+      if (!known.insert(total.edges).second) continue;
+      const double w = path_weight(total, edge_weights);
+      candidates.emplace(w, std::move(total));
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(candidates.begin()->second);
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<Path> equal_cost_paths(const Graph& g, NodeId src, NodeId dst,
+                                   std::size_t limit) {
+  DCN_EXPECTS(src != dst);
+  const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  // Ask Yen for a few extra paths, then keep only those tied with the best.
+  std::vector<Path> paths = yen_k_shortest_paths(g, src, dst, unit, limit + 8);
+  if (paths.empty()) return paths;
+  const std::size_t best = paths.front().length();
+  std::erase_if(paths, [best](const Path& p) { return p.length() != best; });
+  if (paths.size() > limit) paths.resize(limit);
+  return paths;
+}
+
+}  // namespace dcn

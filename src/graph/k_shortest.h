@@ -1,0 +1,26 @@
+// Yen's algorithm for k loopless shortest paths.
+//
+// Used by the ECMP-style baseline (hash across equal-cost candidates)
+// and available for candidate-path-set construction in extensions.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+
+namespace dcn {
+
+/// Up to `k` loopless paths from src to dst in non-decreasing weight
+/// order (ties broken deterministically). Fewer are returned when the
+/// graph does not contain k distinct simple paths.
+[[nodiscard]] std::vector<Path> yen_k_shortest_paths(
+    const Graph& g, NodeId src, NodeId dst,
+    const std::vector<double>& edge_weights, std::size_t k);
+
+/// All minimum-hop paths between src and dst, up to `limit` (the
+/// equal-cost multipath set). Deterministic order.
+[[nodiscard]] std::vector<Path> equal_cost_paths(const Graph& g, NodeId src,
+                                                 NodeId dst, std::size_t limit);
+
+}  // namespace dcn

@@ -1,0 +1,46 @@
+#include "graph/path.h"
+
+#include <ostream>
+#include <unordered_set>
+
+namespace dcn {
+
+bool is_valid_path(const Graph& g, const Path& path) {
+  if (!g.valid_node(path.src) || !g.valid_node(path.dst)) return false;
+  if (path.edges.empty()) return path.src == path.dst;
+  NodeId at = path.src;
+  std::unordered_set<NodeId> visited{at};
+  for (EdgeId e : path.edges) {
+    if (!g.valid_edge(e)) return false;
+    const Edge& edge = g.edge(e);
+    if (edge.src != at) return false;
+    at = edge.dst;
+    if (!visited.insert(at).second) return false;  // repeated node
+  }
+  return at == path.dst;
+}
+
+std::vector<NodeId> path_nodes(const Graph& g, const Path& path) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(path.edges.size() + 1);
+  nodes.push_back(path.src);
+  for (EdgeId e : path.edges) nodes.push_back(g.edge(e).dst);
+  return nodes;
+}
+
+double path_weight(const Path& path, const std::vector<double>& edge_weights) {
+  double total = 0.0;
+  for (EdgeId e : path.edges) {
+    DCN_EXPECTS(e >= 0 && static_cast<std::size_t>(e) < edge_weights.size());
+    total += edge_weights[static_cast<std::size_t>(e)];
+  }
+  return total;
+}
+
+std::ostream& operator<<(std::ostream& os, const Path& path) {
+  os << path.src;
+  for (EdgeId e : path.edges) os << " -e" << e << "->";
+  return os << " " << path.dst;
+}
+
+}  // namespace dcn

@@ -1,0 +1,37 @@
+// A simple directed path through a Graph.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn {
+
+/// A path is a sequence of edge ids whose endpoints chain from `src` to
+/// `dst`. The hop count |P| of the paper is `length()`.
+struct Path {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] std::size_t length() const { return edges.size(); }
+  [[nodiscard]] bool empty() const { return edges.empty(); }
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// True when `path.edges` chains src -> dst in `g` and visits no node
+/// twice (simple path). A zero-edge path is valid iff src == dst.
+[[nodiscard]] bool is_valid_path(const Graph& g, const Path& path);
+
+/// The ordered node sequence src, ..., dst visited by the path.
+[[nodiscard]] std::vector<NodeId> path_nodes(const Graph& g, const Path& path);
+
+/// Total weight of a path under per-edge weights.
+[[nodiscard]] double path_weight(const Path& path,
+                                 const std::vector<double>& edge_weights);
+
+std::ostream& operator<<(std::ostream& os, const Path& path);
+
+}  // namespace dcn

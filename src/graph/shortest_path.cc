@@ -1,0 +1,143 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dcn {
+
+namespace {
+
+std::optional<Path> reconstruct(const Graph& g,
+                                const std::vector<EdgeId>& parent_edge,
+                                NodeId src, NodeId dst) {
+  if (src == dst) return Path{src, dst, {}};
+  if (parent_edge[static_cast<std::size_t>(dst)] == kInvalidEdge) return std::nullopt;
+  std::vector<EdgeId> edges;
+  NodeId at = dst;
+  while (at != src) {
+    const EdgeId e = parent_edge[static_cast<std::size_t>(at)];
+    if (e == kInvalidEdge) return std::nullopt;
+    edges.push_back(e);
+    at = g.edge(e).src;
+  }
+  std::reverse(edges.begin(), edges.end());
+  return Path{src, dst, std::move(edges)};
+}
+
+}  // namespace
+
+std::optional<Path> bfs_shortest_path(const Graph& g, NodeId src, NodeId dst) {
+  DCN_EXPECTS(g.valid_node(src));
+  DCN_EXPECTS(g.valid_node(dst));
+  std::vector<EdgeId> parent(static_cast<std::size_t>(g.num_nodes()), kInvalidEdge);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<NodeId> frontier;
+  frontier.push(src);
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    if (u == dst) break;
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).dst;
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      parent[static_cast<std::size_t>(v)] = e;
+      frontier.push(v);
+    }
+  }
+  return reconstruct(g, parent, src, dst);
+}
+
+ShortestPathTree dijkstra_tree(const Graph& g, NodeId src,
+                               const std::vector<double>& edge_weights) {
+  DCN_EXPECTS(g.valid_node(src));
+  DCN_EXPECTS(edge_weights.size() == static_cast<std::size_t>(g.num_edges()));
+  ShortestPathTree tree;
+  tree.distance.assign(static_cast<std::size_t>(g.num_nodes()), kInfiniteDistance);
+  tree.parent_edge.assign(static_cast<std::size_t>(g.num_nodes()), kInvalidEdge);
+  tree.distance[static_cast<std::size_t>(src)] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(u)]) continue;  // stale
+    for (EdgeId e : g.out_edges(u)) {
+      const double w = edge_weights[static_cast<std::size_t>(e)];
+      DCN_EXPECTS(w >= 0.0);
+      const NodeId v = g.edge(e).dst;
+      const double cand = dist + w;
+      if (cand < tree.distance[static_cast<std::size_t>(v)]) {
+        tree.distance[static_cast<std::size_t>(v)] = cand;
+        tree.parent_edge[static_cast<std::size_t>(v)] = e;
+        heap.emplace(cand, v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> tree_path(const Graph& g, const ShortestPathTree& tree,
+                              NodeId src, NodeId dst) {
+  DCN_EXPECTS(g.valid_node(src));
+  DCN_EXPECTS(g.valid_node(dst));
+  if (tree.distance[static_cast<std::size_t>(dst)] == kInfiniteDistance) {
+    return std::nullopt;
+  }
+  return reconstruct(g, tree.parent_edge, src, dst);
+}
+
+std::optional<Path> dijkstra_shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                           const std::vector<double>& edge_weights) {
+  const ShortestPathTree tree = dijkstra_tree(g, src, edge_weights);
+  return tree_path(g, tree, src, dst);
+}
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId src) {
+  DCN_EXPECTS(g.valid_node(src));
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(src)] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).dst;
+      if (dist[static_cast<std::size_t>(v)] != -1) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      frontier.push(v);
+    }
+  }
+  return dist;
+}
+
+bool is_strongly_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  // Forward reachability from node 0 plus backward reachability (via
+  // in-edges) suffices for strong connectivity.
+  const std::vector<std::int32_t> fwd = bfs_distances(g, 0);
+  if (std::any_of(fwd.begin(), fwd.end(), [](std::int32_t d) { return d == -1; })) {
+    return false;
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<NodeId> frontier;
+  seen[0] = true;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (EdgeId e : g.in_edges(u)) {
+      const NodeId v = g.edge(e).src;
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      frontier.push(v);
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+}  // namespace dcn

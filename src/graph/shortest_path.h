@@ -1,0 +1,52 @@
+// Shortest-path searches: BFS (hop count) and Dijkstra (weighted).
+//
+// Dijkstra with per-edge weights is both the SP baseline router and the
+// linearization oracle inside the Frank-Wolfe solver for the fractional
+// multi-commodity flow relaxation (the per-iteration "cheapest path
+// under marginal cost" step).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/path.h"
+
+namespace dcn {
+
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Fewest-hop path from src to dst (ties broken deterministically by
+/// visiting out-edges in insertion order). nullopt when unreachable.
+[[nodiscard]] std::optional<Path> bfs_shortest_path(const Graph& g, NodeId src,
+                                                    NodeId dst);
+
+/// Minimum-weight path under non-negative `edge_weights` (size
+/// g.num_edges()). nullopt when unreachable.
+[[nodiscard]] std::optional<Path> dijkstra_shortest_path(
+    const Graph& g, NodeId src, NodeId dst, const std::vector<double>& edge_weights);
+
+/// Result of a single-source Dijkstra sweep.
+struct ShortestPathTree {
+  std::vector<double> distance;      // per node; kInfiniteDistance if unreachable
+  std::vector<EdgeId> parent_edge;   // per node; kInvalidEdge at src/unreachable
+};
+
+/// Single-source Dijkstra over all nodes.
+[[nodiscard]] ShortestPathTree dijkstra_tree(const Graph& g, NodeId src,
+                                             const std::vector<double>& edge_weights);
+
+/// Reconstructs the path src -> dst from a ShortestPathTree rooted at src.
+/// nullopt when dst is unreachable.
+[[nodiscard]] std::optional<Path> tree_path(const Graph& g,
+                                            const ShortestPathTree& tree,
+                                            NodeId src, NodeId dst);
+
+/// Per-node hop distance from src (BFS); -1 when unreachable.
+[[nodiscard]] std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId src);
+
+/// True when every node is reachable from every other node.
+[[nodiscard]] bool is_strongly_connected(const Graph& g);
+
+}  // namespace dcn

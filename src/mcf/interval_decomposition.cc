@@ -1,0 +1,61 @@
+#include "mcf/interval_decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+namespace {
+// Breakpoints closer than this are merged: they would create degenerate
+// intervals that blow up lambda without affecting the schedule.
+constexpr double kMergeEps = 1e-9;
+}  // namespace
+
+double IntervalDecomposition::lambda() const {
+  DCN_EXPECTS(!intervals.empty());
+  double min_len = intervals.front().measure();
+  for (const Interval& iv : intervals) min_len = std::min(min_len, iv.measure());
+  return horizon().measure() / min_len;
+}
+
+double IntervalDecomposition::beta(std::size_t k) const {
+  DCN_EXPECTS(k < intervals.size());
+  return intervals[k].measure() / horizon().measure();
+}
+
+IntervalDecomposition decompose_intervals(const std::vector<Flow>& flows) {
+  DCN_EXPECTS(!flows.empty());
+  IntervalDecomposition out;
+
+  std::vector<double> points;
+  points.reserve(flows.size() * 2);
+  for (const Flow& fl : flows) {
+    points.push_back(fl.release);
+    points.push_back(fl.deadline);
+  }
+  std::sort(points.begin(), points.end());
+  for (double t : points) {
+    if (out.breakpoints.empty() || t - out.breakpoints.back() > kMergeEps) {
+      out.breakpoints.push_back(t);
+    }
+  }
+  DCN_ENSURES(out.breakpoints.size() >= 2);
+
+  out.intervals.reserve(out.breakpoints.size() - 1);
+  for (std::size_t k = 1; k < out.breakpoints.size(); ++k) {
+    out.intervals.emplace_back(out.breakpoints[k - 1], out.breakpoints[k]);
+  }
+
+  out.active.resize(out.intervals.size());
+  for (std::size_t k = 0; k < out.intervals.size(); ++k) {
+    const double mid = 0.5 * (out.intervals[k].lo + out.intervals[k].hi);
+    for (const Flow& fl : flows) {
+      if (fl.active_at(mid)) out.active[k].push_back(fl.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcn

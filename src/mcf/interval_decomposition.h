@@ -1,0 +1,42 @@
+// Interval decomposition of a flow set (Sec. V-A).
+//
+// T = {t_0 < t_1 < ... < t_K} collects all release times and deadlines;
+// within each interval I_k = [t_{k-1}, t_k] the set of active flows is
+// invariant, so the relaxed problem decomposes into one static F-MCF
+// problem per interval. lambda = (t_K - t_0) / min_k |I_k| is the
+// granularity parameter that enters the approximation ratio of
+// Theorem 6.
+#pragma once
+
+#include <vector>
+
+#include "common/interval.h"
+#include "flow/flow.h"
+
+namespace dcn {
+
+struct IntervalDecomposition {
+  std::vector<double> breakpoints;           // t_0 .. t_K
+  std::vector<Interval> intervals;           // I_1 .. I_K (size K)
+  std::vector<std::vector<FlowId>> active;   // flows with I_k inside their span
+
+  [[nodiscard]] std::size_t num_intervals() const { return intervals.size(); }
+
+  /// Horizon [t_0, t_K].
+  [[nodiscard]] Interval horizon() const {
+    DCN_EXPECTS(!breakpoints.empty());
+    return {breakpoints.front(), breakpoints.back()};
+  }
+
+  /// lambda = (t_K - t_0) / min_k |I_k|.
+  [[nodiscard]] double lambda() const;
+
+  /// beta_k = |I_k| / (t_K - t_0).
+  [[nodiscard]] double beta(std::size_t k) const;
+};
+
+/// Builds the decomposition. Coincident release/deadline values are
+/// merged; every interval has positive length.
+[[nodiscard]] IntervalDecomposition decompose_intervals(const std::vector<Flow>& flows);
+
+}  // namespace dcn

@@ -1,0 +1,112 @@
+#include "mcf/relaxation.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/contracts.h"
+#include "graph/shortest_path.h"
+
+namespace dcn {
+
+FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& flows,
+                                      const PowerModel& model,
+                                      const RelaxationOptions& options) {
+  validate_flows(g, flows);
+  FractionalRelaxation out;
+  out.decomposition = decompose_intervals(flows);
+  const IntervalDecomposition& dec = out.decomposition;
+
+  // Per flow: candidate paths keyed by edge sequence, accumulating wbar.
+  std::vector<std::map<std::vector<EdgeId>, double>> accum(flows.size());
+
+  // Warm-start bookkeeping: per flow, its fractional edge flow from the
+  // previous interval it was active in.
+  std::vector<std::vector<double>> prev_flow_by_flow(flows.size());
+
+  double gap_sum = 0.0;
+  std::size_t solved_intervals = 0;
+
+  for (std::size_t k = 0; k < dec.num_intervals(); ++k) {
+    const std::vector<FlowId>& active = dec.active[k];
+    if (active.empty()) continue;
+
+    ConvexMcfProblem problem;
+    problem.graph = &g;
+    problem.cost = [&model](double x) { return model.envelope(x); };
+    problem.cost_derivative = [&model](double x) {
+      return model.envelope_derivative(x);
+    };
+    problem.commodities.reserve(active.size());
+    for (FlowId fid : active) {
+      const Flow& fl = flows[static_cast<std::size_t>(fid)];
+      problem.commodities.push_back({fl.src, fl.dst, fl.density()});
+    }
+
+    // Warm start: reuse each flow's previous fractional flow; new flows
+    // start on the cheapest path under the empty-network marginal cost.
+    std::vector<std::vector<double>> warm;
+    warm.reserve(active.size());
+    bool any_warm = false;
+    const auto num_edges = static_cast<std::size_t>(g.num_edges());
+    for (std::size_t c = 0; c < active.size(); ++c) {
+      const auto fid = static_cast<std::size_t>(active[c]);
+      if (!prev_flow_by_flow[fid].empty()) {
+        warm.push_back(prev_flow_by_flow[fid]);
+        any_warm = true;
+      } else {
+        std::vector<double> w0(num_edges,
+                               std::max(model.envelope_derivative(0.0), 1e-9));
+        const auto sp = dijkstra_shortest_path(
+            g, problem.commodities[c].src, problem.commodities[c].dst, w0);
+        DCN_ENSURES(sp.has_value());
+        std::vector<double> row(num_edges, 0.0);
+        for (EdgeId e : sp->edges) {
+          row[static_cast<std::size_t>(e)] = problem.commodities[c].demand;
+        }
+        warm.push_back(std::move(row));
+      }
+    }
+
+    const ConvexMcfSolution sol = solve_convex_mcf(
+        problem, options.frank_wolfe, any_warm ? &warm : nullptr);
+
+    out.lower_bound_energy += sol.cost * dec.intervals[k].measure();
+    gap_sum += sol.relative_gap;
+    ++solved_intervals;
+
+    // Raghavan-Tompson extraction per active flow, then aggregate wbar.
+    for (std::size_t c = 0; c < active.size(); ++c) {
+      const auto fid = static_cast<std::size_t>(active[c]);
+      const Flow& fl = flows[fid];
+      const std::vector<WeightedPath> paths =
+          decompose_flow(g, fl.src, fl.dst, sol.commodity_flow[c], fl.density(),
+                         options.decomposition_tolerance);
+      const double interval_share =
+          dec.intervals[k].measure() / (fl.deadline - fl.release);
+      for (const WeightedPath& wp : paths) {
+        accum[fid][wp.path.edges] += wp.weight * interval_share;
+      }
+      prev_flow_by_flow[fid] = sol.commodity_flow[c];
+    }
+  }
+
+  out.mean_relative_gap =
+      solved_intervals > 0 ? gap_sum / static_cast<double>(solved_intervals) : 0.0;
+
+  // Materialize candidates with normalized wbar.
+  out.candidates.resize(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    DCN_ENSURES(!accum[i].empty());
+    double total = 0.0;
+    for (const auto& [edges, w] : accum[i]) total += w;
+    DCN_ENSURES(total > 0.0);
+    for (auto& [edges, w] : accum[i]) {
+      out.candidates[i].paths.push_back(
+          {Path{flows[i].src, flows[i].dst, edges}, w / total});
+    }
+  }
+  return out;
+}
+
+}  // namespace dcn

@@ -1,0 +1,64 @@
+// The multi-interval fractional relaxation of DCFSR (Algorithm 2,
+// steps 1-7) and the lower bound LB used throughout the paper's
+// evaluation.
+//
+// Relaxations applied (Sec. V-A): each active flow is routed as a fluid
+// of rate D_i (its density), may split over multiple paths, and links
+// may switch on and off freely. The resulting problem decomposes into
+// one convex-cost F-MCF per interval, solved by Frank-Wolfe against the
+// convex envelope of the power function f. Per interval, the fractional
+// per-commodity solution y*_{i,e}(k) is decomposed into weighted paths
+// (Raghavan-Tompson); the per-interval weights are then aggregated into
+//
+//     wbar_P = sum_k w_P(k) * |I_k| / (d_i - r_i),
+//
+// a probability distribution over each flow's candidate paths — the
+// input to the randomized rounding of Algorithm 2.
+//
+// The summed interval optima give the LB curve of Fig. 2:
+//     LB = sum_k |I_k| * sum_e env(x*_e(k))   <=   Phi_f(OPT),
+// since env(x) <= sigma * 1[x>0] + mu x^alpha pointwise and the
+// relaxation only removes constraints.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.h"
+#include "graph/flow_decomposition.h"
+#include "graph/graph.h"
+#include "mcf/interval_decomposition.h"
+#include "opt/convex_mcf.h"
+#include "power/power_model.h"
+
+namespace dcn {
+
+/// Candidate routing paths of one flow with aggregated weights wbar
+/// (normalized to sum to 1).
+struct FlowCandidates {
+  std::vector<WeightedPath> paths;
+};
+
+struct RelaxationOptions {
+  FrankWolfeOptions frank_wolfe;
+  /// Tolerance passed to the path decomposition.
+  double decomposition_tolerance = 1e-9;
+};
+
+struct FractionalRelaxation {
+  IntervalDecomposition decomposition;
+  /// LB: the fractional optimum's energy over the whole horizon.
+  double lower_bound_energy = 0.0;
+  /// Per flow: candidate paths and rounding probabilities wbar.
+  std::vector<FlowCandidates> candidates;
+  /// Mean final Frank-Wolfe relative gap across intervals (diagnostic).
+  double mean_relative_gap = 0.0;
+};
+
+/// Solves the relaxation interval by interval (streaming; consecutive
+/// intervals warm-start from each other).
+[[nodiscard]] FractionalRelaxation solve_relaxation(const Graph& g,
+                                                    const std::vector<Flow>& flows,
+                                                    const PowerModel& model,
+                                                    const RelaxationOptions& options = {});
+
+}  // namespace dcn

@@ -1,0 +1,183 @@
+#include "opt/convex_mcf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/contracts.h"
+#include "graph/path.h"
+#include "graph/shortest_path.h"
+#include "opt/line_search.h"
+
+namespace dcn {
+
+namespace {
+
+/// Sparse per-commodity edge flow: unsorted (edge, value) pairs with a
+/// small support (a convex combination of one shortest path per
+/// Frank-Wolfe iteration), so linear scans beat hash maps.
+using SparseRow = std::vector<std::pair<EdgeId, double>>;
+
+void sparse_add(SparseRow& row, EdgeId e, double delta) {
+  for (auto& [edge, value] : row) {
+    if (edge == e) {
+      value += delta;
+      return;
+    }
+  }
+  row.emplace_back(e, delta);
+}
+
+/// Cheapest path per commodity under `weights`, batched so commodities
+/// sharing a source share one Dijkstra tree.
+std::vector<Path> cheapest_paths(const Graph& g,
+                                 const std::vector<Commodity>& commodities,
+                                 const std::vector<double>& weights) {
+  std::vector<Path> out(commodities.size());
+  // Group commodity indices by source.
+  std::map<NodeId, std::vector<std::size_t>> by_source;
+  for (std::size_t c = 0; c < commodities.size(); ++c) {
+    by_source[commodities[c].src].push_back(c);
+  }
+  for (const auto& [src, indices] : by_source) {
+    const ShortestPathTree tree = dijkstra_tree(g, src, weights);
+    for (std::size_t c : indices) {
+      auto path = tree_path(g, tree, src, commodities[c].dst);
+      DCN_ENSURES(path.has_value());
+      out[c] = std::move(*path);
+    }
+  }
+  return out;
+}
+
+double total_cost(const ConvexMcfProblem& problem, const std::vector<double>& x) {
+  double cost = 0.0;
+  for (double xe : x) {
+    if (xe > 1e-15) cost += problem.cost(xe);
+  }
+  return cost;
+}
+
+}  // namespace
+
+ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
+                                   const FrankWolfeOptions& options,
+                                   const std::vector<std::vector<double>>* warm_start) {
+  DCN_EXPECTS(problem.graph != nullptr);
+  DCN_EXPECTS(static_cast<bool>(problem.cost));
+  DCN_EXPECTS(static_cast<bool>(problem.cost_derivative));
+  const Graph& g = *problem.graph;
+  const auto num_edges = static_cast<std::size_t>(g.num_edges());
+  const std::size_t num_commodities = problem.commodities.size();
+  for (const Commodity& com : problem.commodities) {
+    DCN_EXPECTS(g.valid_node(com.src));
+    DCN_EXPECTS(g.valid_node(com.dst));
+    DCN_EXPECTS(com.src != com.dst);
+    DCN_EXPECTS(com.demand > 0.0);
+  }
+
+  ConvexMcfSolution sol;
+  sol.total_flow.assign(num_edges, 0.0);
+  if (num_commodities == 0) return sol;
+
+  // Initial point: warm start when shapes match, otherwise route every
+  // commodity on its cheapest path under the empty-network marginal cost.
+  std::vector<SparseRow> rows(num_commodities);
+  if (warm_start != nullptr && warm_start->size() == num_commodities) {
+    for (std::size_t c = 0; c < num_commodities; ++c) {
+      const auto& dense = (*warm_start)[c];
+      DCN_EXPECTS(dense.size() == num_edges);
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        if (dense[e] > 1e-15) rows[c].emplace_back(static_cast<EdgeId>(e), dense[e]);
+      }
+    }
+  } else {
+    std::vector<double> w0(num_edges,
+                           std::max(problem.cost_derivative(0.0), problem.min_edge_weight));
+    const std::vector<Path> paths = cheapest_paths(g, problem.commodities, w0);
+    for (std::size_t c = 0; c < num_commodities; ++c) {
+      for (EdgeId e : paths[c].edges) {
+        sparse_add(rows[c], e, problem.commodities[c].demand);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < num_commodities; ++c) {
+    for (const auto& [e, v] : rows[c]) {
+      sol.total_flow[static_cast<std::size_t>(e)] += v;
+    }
+  }
+
+  std::vector<double> weights(num_edges, 0.0);
+  std::vector<double> target_total(num_edges, 0.0);
+  for (std::int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    sol.iterations = iter + 1;
+
+    // Marginal costs at the current point.
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      weights[e] = std::max(problem.cost_derivative(sol.total_flow[e]),
+                            problem.min_edge_weight);
+    }
+
+    // Linearized subproblem: one cheapest path per commodity.
+    const std::vector<Path> target = cheapest_paths(g, problem.commodities, weights);
+    std::fill(target_total.begin(), target_total.end(), 0.0);
+    for (std::size_t c = 0; c < num_commodities; ++c) {
+      for (EdgeId e : target[c].edges) {
+        target_total[static_cast<std::size_t>(e)] += problem.commodities[c].demand;
+      }
+    }
+
+    // Frank-Wolfe gap: grad . (x - y) >= cost(x) - cost(opt).
+    double gap = 0.0;
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      gap += weights[e] * (sol.total_flow[e] - target_total[e]);
+    }
+    const double current_cost = total_cost(problem, sol.total_flow);
+    sol.cost = current_cost;
+    sol.relative_gap = current_cost > 0.0 ? gap / current_cost : 0.0;
+    if (sol.relative_gap <= options.gap_tolerance) break;
+
+    // Step size by golden section on the convex restriction.
+    const auto& x = sol.total_flow;
+    const auto& y = target_total;
+    const double gamma = golden_section_minimize(
+        [&](double t) {
+          double c = 0.0;
+          for (std::size_t e = 0; e < num_edges; ++e) {
+            const double v = (1.0 - t) * x[e] + t * y[e];
+            if (v > 1e-15) c += problem.cost(v);
+          }
+          return c;
+        },
+        0.0, 1.0, 1e-6);
+    if (gamma <= 1e-12) break;  // no further progress possible
+
+    // Sparse mix: y_c <- (1-gamma) y_c + gamma * demand_c * path_c.
+    for (std::size_t c = 0; c < num_commodities; ++c) {
+      for (auto& [e, v] : rows[c]) v *= (1.0 - gamma);
+      for (EdgeId e : target[c].edges) {
+        sparse_add(rows[c], e, gamma * problem.commodities[c].demand);
+      }
+      // Compact near-zero entries occasionally to bound the support.
+      if (rows[c].size() > 256) {
+        std::erase_if(rows[c], [](const auto& kv) { return kv.second < 1e-12; });
+      }
+    }
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      sol.total_flow[e] = (1.0 - gamma) * sol.total_flow[e] + gamma * target_total[e];
+    }
+  }
+
+  sol.cost = total_cost(problem, sol.total_flow);
+
+  // Materialize the per-commodity dense rows once for the caller.
+  sol.commodity_flow.assign(num_commodities, std::vector<double>(num_edges, 0.0));
+  for (std::size_t c = 0; c < num_commodities; ++c) {
+    for (const auto& [e, v] : rows[c]) {
+      if (v > 1e-15) sol.commodity_flow[c][static_cast<std::size_t>(e)] = v;
+    }
+  }
+  return sol;
+}
+
+}  // namespace dcn

@@ -1,0 +1,72 @@
+// Convex-cost fractional multi-commodity flow via Frank-Wolfe
+// (the classical "flow deviation" method).
+//
+// minimize   sum_e cost(x_e)         x_e = sum_c y_{c,e}
+// subject to y_c routes demand_c from src_c to dst_c (fractionally)
+//
+// This is the per-interval F-MCF problem of Definition 4 that
+// Random-Schedule solves "by convex programming". Frank-Wolfe fits the
+// structure perfectly: the linearized subproblem decomposes into one
+// shortest-path computation per commodity under marginal-cost edge
+// weights, the step size comes from a golden-section search on the
+// (convex) restricted objective, and — crucially for the
+// Raghavan-Tompson extraction — the per-commodity edge flows y_{c,e}
+// are maintained explicitly, so the fractional solution y*_{i,e}(k) of
+// Algorithm 2 comes out directly.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn {
+
+/// One commodity: route `demand` (a rate) from src to dst.
+struct Commodity {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double demand = 0.0;
+};
+
+/// Problem definition. `cost` must be convex and non-decreasing on
+/// [0, inf); `cost_derivative` its (sub)derivative. The solver floors
+/// shortest-path weights at `min_edge_weight` so that a zero marginal
+/// cost at x = 0 (pure speed scaling, sigma = 0) still yields
+/// shortest-hop-like, well-posed subproblems.
+struct ConvexMcfProblem {
+  const Graph* graph = nullptr;
+  std::vector<Commodity> commodities;
+  std::function<double(double)> cost;
+  std::function<double(double)> cost_derivative;
+  double min_edge_weight = 1e-9;
+};
+
+struct FrankWolfeOptions {
+  std::int32_t max_iterations = 120;
+  double gap_tolerance = 1e-4;  // stop when gap / cost falls below this
+};
+
+/// Fractional solution.
+struct ConvexMcfSolution {
+  /// y[c][e]: amount of commodity c on edge e.
+  std::vector<std::vector<double>> commodity_flow;
+  /// x[e] = sum_c y[c][e].
+  std::vector<double> total_flow;
+  /// sum_e cost(x_e).
+  double cost = 0.0;
+  /// Final relative Frank-Wolfe duality gap (upper bound on relative
+  /// distance from the optimum).
+  double relative_gap = 0.0;
+  std::int32_t iterations = 0;
+};
+
+/// Solves the problem. `warm_start`, when non-null, must be a
+/// commodity_flow matrix of matching shape and is used as the initial
+/// point (consecutive intervals in Algorithm 2 share most active flows,
+/// so warm starts cut iteration counts substantially).
+[[nodiscard]] ConvexMcfSolution solve_convex_mcf(
+    const ConvexMcfProblem& problem, const FrankWolfeOptions& options = {},
+    const std::vector<std::vector<double>>* warm_start = nullptr);
+
+}  // namespace dcn

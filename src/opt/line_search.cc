@@ -1,0 +1,37 @@
+#include "opt/line_search.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+double golden_section_minimize(const std::function<double(double)>& fn, double lo,
+                               double hi, double tol) {
+  DCN_EXPECTS(lo <= hi);
+  DCN_EXPECTS(tol > 0.0);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = fn(c);
+  double fd = fn(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = fn(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = fn(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace dcn

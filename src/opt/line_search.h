@@ -1,0 +1,16 @@
+// One-dimensional minimization of unimodal functions.
+#pragma once
+
+#include <functional>
+
+namespace dcn {
+
+/// Golden-section search for the minimizer of a unimodal `fn` on
+/// [lo, hi]. Returns the abscissa of the minimum within `tol` of the
+/// true minimizer. Deterministic, derivative-free: exactly what the
+/// Frank-Wolfe step-size search needs (the restricted objective is
+/// convex, hence unimodal).
+[[nodiscard]] double golden_section_minimize(const std::function<double(double)>& fn,
+                                             double lo, double hi, double tol = 1e-7);
+
+}  // namespace dcn

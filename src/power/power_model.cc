@@ -1,0 +1,67 @@
+#include "power/power_model.h"
+
+#include <cmath>
+
+namespace dcn {
+
+PowerModel::PowerModel(double sigma, double mu, double alpha, double capacity)
+    : sigma_(sigma), mu_(mu), alpha_(alpha), capacity_(capacity) {
+  DCN_EXPECTS(sigma >= 0.0);
+  DCN_EXPECTS(mu > 0.0);
+  DCN_EXPECTS(alpha > 1.0);
+  DCN_EXPECTS(capacity > 0.0);
+  const double ropt = r_opt();
+  r_hat_ = std::min(ropt, capacity_);
+  // With sigma == 0 the envelope is f itself; represent that with a
+  // degenerate (empty) linear part.
+  env_slope_ = r_hat_ > 0.0 ? f(r_hat_) / r_hat_ : 0.0;
+}
+
+PowerModel PowerModel::pure_speed_scaling(double alpha) {
+  return PowerModel(/*sigma=*/0.0, /*mu=*/1.0, alpha);
+}
+
+double PowerModel::f(double x) const {
+  DCN_EXPECTS(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  return sigma_ + mu_ * std::pow(x, alpha_);
+}
+
+double PowerModel::g(double x) const {
+  DCN_EXPECTS(x >= 0.0);
+  return mu_ * std::pow(x, alpha_);
+}
+
+double PowerModel::power_rate(double x) const {
+  DCN_EXPECTS(x > 0.0);
+  return f(x) / x;
+}
+
+double PowerModel::r_opt() const {
+  if (sigma_ == 0.0) return 0.0;
+  return std::pow(sigma_ / (mu_ * (alpha_ - 1.0)), 1.0 / alpha_);
+}
+
+double PowerModel::r_hat() const { return r_hat_; }
+
+double PowerModel::envelope(double x) const {
+  DCN_EXPECTS(x >= 0.0);
+  if (x <= r_hat_) return env_slope_ * x;
+  return sigma_ + mu_ * std::pow(x, alpha_);
+}
+
+double PowerModel::envelope_derivative(double x) const {
+  DCN_EXPECTS(x >= 0.0);
+  if (x <= r_hat_) return env_slope_;
+  return mu_ * alpha_ * std::pow(x, alpha_ - 1.0);
+}
+
+bool PowerModel::within_capacity(double x, double tol) const {
+  return x >= 0.0 && x <= capacity_ * (1.0 + tol);
+}
+
+double PowerModel::inapproximability_bound() const {
+  return 1.5 * (1.0 + (std::pow(2.0 / 3.0, alpha_) - 1.0) / alpha_);
+}
+
+}  // namespace dcn

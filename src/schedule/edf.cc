@@ -1,0 +1,78 @@
+#include "schedule/edf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+namespace {
+// Work smaller than this (in machine-time units) counts as done; EDF
+// slice arithmetic accumulates float error proportional to the number
+// of preemptions.
+constexpr double kWorkEps = 1e-9;
+}  // namespace
+
+EdfResult preemptive_edf(const std::vector<EdfJob>& jobs) {
+  EdfResult result;
+  result.segments.resize(jobs.size());
+  result.remaining.resize(jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    DCN_EXPECTS(jobs[i].processing > 0.0);
+    result.remaining[i] = jobs[i].processing;
+  }
+
+  // Event points: every boundary of every allowed interval. Between two
+  // consecutive events, the set of admissible jobs is constant.
+  std::vector<double> events;
+  for (const EdfJob& job : jobs) {
+    for (const Interval& iv : job.allowed.intervals()) {
+      events.push_back(iv.lo);
+      events.push_back(iv.hi);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  for (std::size_t k = 0; k + 1 < events.size(); ++k) {
+    double t = events[k];
+    const double slice_end = events[k + 1];
+    // Within the slice, repeatedly run the earliest-deadline admissible
+    // job until the slice is exhausted or nothing is runnable.
+    while (t < slice_end) {
+      std::size_t pick = jobs.size();
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (result.remaining[i] <= kWorkEps) continue;
+        if (!jobs[i].allowed.contains(t)) continue;
+        if (pick == jobs.size() || jobs[i].deadline < jobs[pick].deadline ||
+            (jobs[i].deadline == jobs[pick].deadline && jobs[i].id < jobs[pick].id)) {
+          pick = i;
+        }
+      }
+      if (pick == jobs.size()) break;  // idle for the rest of the slice
+      const double run = std::min(slice_end - t, result.remaining[pick]);
+      auto& segs = result.segments[pick];
+      if (!segs.empty() && std::fabs(segs.back().hi - t) < kWorkEps) {
+        segs.back().hi = t + run;  // extend a contiguous segment
+      } else {
+        segs.push_back({t, t + run});
+      }
+      result.remaining[pick] -= run;
+      t += run;
+    }
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (result.remaining[i] > kWorkEps * std::max(1.0, jobs[i].processing)) {
+      result.feasible = false;
+      result.unfinished.push_back(jobs[i].id);
+    } else {
+      result.remaining[i] = 0.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace dcn

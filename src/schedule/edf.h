@@ -1,0 +1,44 @@
+// Preemptive Earliest-Deadline-First on a single resource with
+// per-job allowed-time sets.
+//
+// Both Most-Critical-First (Algorithm 1, step 3) and the YDS kernel
+// schedule the jobs of a critical interval with EDF. Machine
+// availability gaps (times already committed to earlier critical
+// intervals) are expressed through each job's `allowed` set: the job may
+// only execute inside it. The classic optimality of preemptive EDF
+// holds per availability slice, which is how the sweep below works.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+
+namespace dcn {
+
+/// One job for the EDF machine.
+struct EdfJob {
+  std::int32_t id = -1;
+  double deadline = 0.0;     // tie-break key and EDF priority
+  double processing = 0.0;   // machine time required (> 0)
+  IntervalSet allowed;       // times the job may run (already clipped to
+                             // [release, deadline] and availability)
+};
+
+/// Execution segments chosen for each job (indexed like the input).
+struct EdfResult {
+  bool feasible = true;
+  std::vector<std::vector<Interval>> segments;
+  std::vector<std::int32_t> unfinished;  // ids of jobs with remaining work
+
+  /// Remaining work per job (0 when fully scheduled).
+  std::vector<double> remaining;
+};
+
+/// Runs preemptive EDF. At any instant the runnable job (allowed set
+/// contains the instant, work remaining) with the earliest deadline
+/// executes; ties break toward the smaller job id, deterministically.
+/// Feasible iff every job finishes inside its allowed set.
+[[nodiscard]] EdfResult preemptive_edf(const std::vector<EdfJob>& jobs);
+
+}  // namespace dcn

@@ -1,0 +1,294 @@
+#include "sim/packet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.h"
+#include "common/piecewise.h"
+
+namespace dcn {
+
+namespace {
+
+struct Packet {
+  FlowId flow = -1;
+  std::int32_t seq = 0;        // position within the flow
+  double size = 0.0;           // data units (last packet may be short)
+  std::size_t hop = 0;         // index into the flow's path
+  double priority_key = 0.0;   // smaller = more urgent
+  std::int64_t fifo_stamp = 0; // arrival order tie-break
+};
+
+struct PacketOrder {
+  bool operator()(const Packet& a, const Packet& b) const {
+    // std::priority_queue is a max-heap; invert for smallest-first.
+    if (a.priority_key != b.priority_key) return a.priority_key > b.priority_key;
+    if (a.flow != b.flow) return a.flow > b.flow;
+    return a.seq > b.seq;
+  }
+};
+
+struct Event {
+  double time = 0.0;
+  enum class Kind { kSourceRelease, kServiceDone } kind = Kind::kSourceRelease;
+  EdgeId link = kInvalidEdge;  // for kServiceDone
+  Packet packet;
+  std::int64_t stamp = 0;  // deterministic tie-break
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.stamp > b.stamp;
+  }
+};
+
+struct LinkState {
+  std::priority_queue<Packet, std::vector<Packet>, PacketOrder> queue;
+  bool busy = false;
+  std::int64_t peak_queue = 0;
+};
+
+/// time_to_accumulate with float-slop clamping: serving the final
+/// packet of an exactly-sized schedule can come up short by rounding
+/// error; when the missing volume is negligible, finish at the end of
+/// the function's support instead of never.
+double accumulate_or_clamp(const StepFunction& fn, double from, double volume,
+                           double support_end) {
+  const double t = fn.time_to_accumulate(from, volume);
+  if (std::isfinite(t)) return t;
+  const double got = fn.integral_between(from, support_end);
+  if (volume - got <= 1e-6 * volume + 1e-9) return support_end;
+  return std::numeric_limits<double>::infinity();
+}
+
+/// Latest time with positive value (support supremum); `fallback` when
+/// the function is identically zero.
+double support_end_of(const StepFunction& fn, double fallback) {
+  const auto segs = fn.segments();
+  return segs.empty() ? fallback : segs.back().first.hi;
+}
+
+/// Completion time of a packet of `size` whose service starts at `now`
+/// on a link with scheduled rate segments `segs` (sorted).
+///
+/// The link serves at the rate sampled at service start. When the
+/// scheduled rate at `now` is zero but an earlier window existed, the
+/// link *drains* at the most recent window's rate — a real switch
+/// finishes its queued packets at line rate before powering down, which
+/// is exactly the O(packet-size) grace the fluid model's sharp window
+/// edges require (a packet that misses its fluid window by a pipeline
+/// fill must not wait for an unrelated later window). Before the first
+/// window the packet waits for it. Infinite only for an always-off link.
+double sampled_service_done(const std::vector<std::pair<Interval, double>>& segs,
+                            double now, double size) {
+  if (segs.empty()) return std::numeric_limits<double>::infinity();
+  // Last segment starting at or before `now`.
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), now,
+      [](double t, const auto& seg) { return t < seg.first.lo; });
+  if (it == segs.begin()) {
+    // Before the first window: wait for it, then serve at its rate.
+    return segs.front().first.lo + size / segs.front().second;
+  }
+  const auto& seg = *std::prev(it);
+  // Inside the window, or past it (drain at the window's rate).
+  return now + size / seg.second;
+}
+
+}  // namespace
+
+PacketSimReport packet_simulate(const Graph& g, const std::vector<Flow>& flows,
+                                const Schedule& schedule,
+                                const PacketSimOptions& options) {
+  DCN_EXPECTS(options.packet_size > 0.0);
+  DCN_EXPECTS(options.allowance_multiplier >= 1.0);
+  DCN_EXPECTS(schedule.flows.size() == flows.size());
+  validate_flows(g, flows);
+
+  const std::vector<StepFunction> rates = link_timelines(g, schedule);
+  std::vector<std::vector<std::pair<Interval, double>>> link_segments(
+      static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    link_segments[static_cast<std::size_t>(e)] =
+        rates[static_cast<std::size_t>(e)].segments();
+  }
+
+  PacketSimReport report;
+  report.completion_time.assign(flows.size(),
+                                -std::numeric_limits<double>::infinity());
+  report.lateness.assign(flows.size(), 0.0);
+  report.pipeline_allowance.assign(flows.size(), 0.0);
+
+  // Per-flow cumulative-rate function at the source (for packet release
+  // times) and priority keys.
+  std::vector<double> priority_key(flows.size(), 0.0);
+  std::vector<std::int64_t> expected_packets(flows.size(), 0);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::int64_t stamp = 0;
+  std::int64_t source_starved_ = 0;
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& flow = flows[i];
+    const FlowSchedule& fs = schedule.flows[i];
+    DCN_EXPECTS(!fs.path.empty());
+
+    StepFunction source_rate;
+    double min_rate = std::numeric_limits<double>::infinity();
+    double first_start = std::numeric_limits<double>::infinity();
+    for (const RateSegment& seg : fs.segments) {
+      source_rate.add(seg.interval, seg.rate);
+      min_rate = std::min(min_rate, seg.rate);
+      first_start = std::min(first_start, seg.interval.lo);
+    }
+    switch (options.priority) {
+      case PacketSimOptions::Priority::kEdf:
+        priority_key[i] = flow.deadline;
+        break;
+      case PacketSimOptions::Priority::kStartTime:
+        priority_key[i] = first_start;
+        break;
+      case PacketSimOptions::Priority::kFifo:
+        priority_key[i] = 0.0;  // pure FIFO: stamps decide
+        break;
+    }
+    // Per remaining hop, a straggler pays at most one service time plus
+    // a cross-traffic residual, and past a fluid window's sharp edge it
+    // drains at whatever rate the link runs next — so the envelope uses
+    // the slowest positive rate any link of the path ever runs at.
+    double slowest_link_rate = min_rate;
+    for (EdgeId e : fs.path.edges) {
+      for (const auto& [iv, v] : link_segments[static_cast<std::size_t>(e)]) {
+        slowest_link_rate = std::min(slowest_link_rate, v);
+      }
+    }
+    report.pipeline_allowance[i] =
+        2.0 *
+        static_cast<double>(fs.path.length() > 0 ? fs.path.length() - 1 : 0) *
+        options.packet_size / slowest_link_rate;
+
+    // Packetize: packet p becomes available at the source when the
+    // scheduled cumulative volume reaches (p+1) * S (its data exists).
+    const auto full_packets =
+        static_cast<std::int64_t>(std::floor(flow.volume / options.packet_size));
+    const double tail = flow.volume - static_cast<double>(full_packets) *
+                                          options.packet_size;
+    // Release times: the flow's scheduled emission IS its first-hop
+    // transmission; packet p is fully received by the first relay when
+    // the cumulative scheduled volume reaches (p+1) * S, and then has
+    // the remaining |P| - 1 hops to travel.
+    const double source_end = support_end_of(source_rate, flow.deadline);
+    std::int32_t seq = 0;
+    double cumulative = 0.0;
+    auto release_packet = [&](double size) {
+      cumulative += size;
+      const double ready =
+          accumulate_or_clamp(source_rate, flow.release, cumulative, source_end);
+      ++seq;
+      if (!std::isfinite(ready)) {
+        // The schedule never emits this packet's data: volume-short
+        // schedule. Counted as starved; the verdict will be negative.
+        ++source_starved_;
+        return;
+      }
+      events.push({ready, Event::Kind::kSourceRelease, kInvalidEdge,
+                   Packet{flow.id, seq - 1, size, 1, priority_key[i], 0},
+                   stamp++});
+    };
+    for (std::int64_t p = 0; p < full_packets; ++p) {
+      release_packet(options.packet_size);
+    }
+    if (tail > 1e-12 * flow.volume) release_packet(tail);
+    expected_packets[i] = seq;
+  }
+
+  std::vector<LinkState> links(static_cast<std::size_t>(g.num_edges()));
+  std::int64_t fifo_counter = 0;
+  std::int64_t starved_packets = source_starved_;
+
+  // Starts service on `link` if idle and work is queued.
+  const auto try_start_service = [&](EdgeId link, double now) {
+    LinkState& state = links[static_cast<std::size_t>(link)];
+    while (!state.busy && !state.queue.empty()) {
+      const Packet packet = state.queue.top();
+      state.queue.pop();
+      const double done = sampled_service_done(
+          link_segments[static_cast<std::size_t>(link)], now, packet.size);
+      if (!std::isfinite(done)) {
+        // Only possible for a link whose timeline is identically zero —
+        // a schedule that never carried this flow at all.
+        ++starved_packets;
+        continue;
+      }
+      state.busy = true;
+      events.push({done, Event::Kind::kServiceDone, link, packet, stamp++});
+    }
+  };
+
+  const auto enqueue_at_hop = [&](Packet packet, double now) {
+    const FlowSchedule& fs = schedule.flows[static_cast<std::size_t>(packet.flow)];
+    if (packet.hop >= fs.path.length()) {
+      // Delivered.
+      ++report.packets_delivered;
+      auto& completion =
+          report.completion_time[static_cast<std::size_t>(packet.flow)];
+      completion = std::max(completion, now);
+      return;
+    }
+    const EdgeId link = fs.path.edges[packet.hop];
+    packet.fifo_stamp = fifo_counter++;
+    if (options.priority == PacketSimOptions::Priority::kFifo) {
+      packet.priority_key = static_cast<double>(packet.fifo_stamp);
+    }
+    LinkState& state = links[static_cast<std::size_t>(link)];
+    state.queue.push(packet);
+    state.peak_queue = std::max(
+        state.peak_queue, static_cast<std::int64_t>(state.queue.size()));
+    try_start_service(link, now);
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    ++report.events_processed;
+    switch (ev.kind) {
+      case Event::Kind::kSourceRelease:
+        enqueue_at_hop(ev.packet, ev.time);
+        break;
+      case Event::Kind::kServiceDone: {
+        LinkState& state = links[static_cast<std::size_t>(ev.link)];
+        state.busy = false;
+        Packet packet = ev.packet;
+        ++packet.hop;
+        enqueue_at_hop(packet, ev.time);
+        try_start_service(ev.link, ev.time);
+        break;
+      }
+    }
+  }
+
+  // Verdicts.
+  std::int64_t expected_total = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    expected_total += expected_packets[i];
+    const double completion = report.completion_time[i];
+    report.lateness[i] = std::max(0.0, completion - flows[i].deadline);
+    report.max_lateness = std::max(report.max_lateness, report.lateness[i]);
+    if (!std::isfinite(completion) ||
+        report.lateness[i] > options.allowance_multiplier *
+                                     report.pipeline_allowance[i] * (1.0 + 1e-6) +
+                                 1e-9) {
+      report.all_deadlines_met = false;
+    }
+  }
+  report.packets_starved = starved_packets;
+  if (report.packets_delivered != expected_total) {
+    report.all_deadlines_met = false;  // lost packets
+  }
+  for (const LinkState& state : links) {
+    report.max_queue_packets = std::max(report.max_queue_packets, state.peak_queue);
+  }
+  return report;
+}
+
+}  // namespace dcn

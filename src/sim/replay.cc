@@ -1,0 +1,111 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+void ReplayReport::fail(std::string message) {
+  ok = false;
+  issues.push_back(std::move(message));
+}
+
+ReplayReport replay_schedule(const Graph& g, const std::vector<Flow>& flows,
+                             const Schedule& schedule, const PowerModel& model,
+                             double tol) {
+  ReplayReport report;
+  if (schedule.flows.size() != flows.size()) {
+    report.fail("schedule/flow count mismatch");
+    return report;
+  }
+  const Interval horizon = flow_horizon(flows);
+
+  // Per-link event lists: (time, +rate/-rate).
+  std::vector<std::vector<std::pair<double, double>>> events(
+      static_cast<std::size_t>(g.num_edges()));
+  report.delivered.assign(flows.size(), 0.0);
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& fl = flows[i];
+    const FlowSchedule& fs = schedule.flows[i];
+    std::ostringstream tag;
+    tag << "flow#" << fl.id << ": ";
+
+    if (!is_valid_path(g, fs.path) || fs.path.src != fl.src ||
+        fs.path.dst != fl.dst || fs.path.empty()) {
+      report.fail(tag.str() + "invalid path");
+      continue;
+    }
+    const double time_tol = tol * std::max(1.0, fl.deadline - fl.release);
+    for (const RateSegment& seg : fs.segments) {
+      if (seg.interval.empty() || seg.rate <= 0.0) {
+        report.fail(tag.str() + "degenerate segment");
+        continue;
+      }
+      if (seg.interval.lo < fl.release - time_tol ||
+          seg.interval.hi > fl.deadline + time_tol) {
+        report.fail(tag.str() + "transmission outside the span");
+      }
+      report.delivered[i] += seg.rate * seg.interval.measure();
+      for (EdgeId e : fs.path.edges) {
+        events[static_cast<std::size_t>(e)].emplace_back(seg.interval.lo, seg.rate);
+        events[static_cast<std::size_t>(e)].emplace_back(seg.interval.hi, -seg.rate);
+      }
+    }
+    if (std::fabs(report.delivered[i] - fl.volume) >
+        tol * std::max(1.0, fl.volume)) {
+      std::ostringstream msg;
+      msg << tag.str() << "delivered " << report.delivered[i] << " of "
+          << fl.volume;
+      report.fail(msg.str());
+    }
+  }
+
+  // Sweep every link: accumulate rate between events, integrate power.
+  const double rate_eps = 1e-9;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto& ev = events[static_cast<std::size_t>(e)];
+    if (ev.empty()) continue;
+    std::sort(ev.begin(), ev.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;  // process -rate before +rate at a tie
+    });
+    double rate = 0.0;
+    double prev = ev.front().first;
+    double link_dynamic = 0.0;
+    bool link_active = false;
+    for (const auto& [time, delta] : ev) {
+      if (time > prev && rate > rate_eps) {
+        link_dynamic += model.g(rate) * (time - prev);
+        link_active = true;
+        report.peak_rate = std::max(report.peak_rate, rate);
+      }
+      rate += delta;
+      prev = time;
+    }
+    if (std::fabs(rate) > rate_eps) {
+      report.fail("link e" + std::to_string(e) + ": unbalanced rate events");
+    }
+    if (link_active) {
+      ++report.active_links;
+      report.dynamic_energy += link_dynamic;
+    }
+  }
+
+  if (report.peak_rate > model.capacity() * (1.0 + tol)) {
+    std::ostringstream msg;
+    msg << "peak link rate " << report.peak_rate << " exceeds capacity "
+        << model.capacity();
+    report.fail(msg.str());
+  }
+
+  report.idle_energy = model.sigma() * horizon.measure() *
+                       static_cast<double>(report.active_links);
+  report.energy = report.idle_energy + report.dynamic_energy;
+  return report;
+}
+
+}  // namespace dcn

@@ -1,0 +1,49 @@
+// Independent schedule replay / validation.
+//
+// replay_schedule() re-executes a Schedule with a deliberately separate
+// mechanism from the analytic evaluator in src/schedule (sorted event
+// sweeps per link instead of breakpoint maps), re-verifying every
+// feasibility invariant and re-integrating the energy of Eq. 5.
+// Agreement between both evaluators is asserted by the integration
+// tests; benches use replay as the final word on what a schedule costs
+// and whether deadlines held.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "power/power_model.h"
+#include "schedule/schedule.h"
+
+namespace dcn {
+
+struct ReplayReport {
+  bool ok = true;
+  std::vector<std::string> issues;
+
+  double energy = 0.0;          // Phi_f (Eq. 5)
+  double dynamic_energy = 0.0;  // mu * integral x^alpha
+  double idle_energy = 0.0;     // sigma * horizon * |active links|
+  std::int32_t active_links = 0;
+  double peak_rate = 0.0;       // max over links and time of x_e(t)
+  /// Per-flow volume actually delivered.
+  std::vector<double> delivered;
+
+  void fail(std::string message);
+};
+
+/// Replays `schedule` for `flows` on `g` and validates:
+///  * every flow's path is a valid simple src->dst path,
+///  * all transmission happens inside [r_i, d_i],
+///  * delivered volume equals w_i (relative tolerance `tol`),
+///  * x_e(t) <= capacity at all times.
+/// Energy is recomputed from scratch over the flow horizon.
+[[nodiscard]] ReplayReport replay_schedule(const Graph& g,
+                                           const std::vector<Flow>& flows,
+                                           const Schedule& schedule,
+                                           const PowerModel& model,
+                                           double tol = 1e-6);
+
+}  // namespace dcn

@@ -1,0 +1,135 @@
+#include "speedscale/yds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/contracts.h"
+#include "schedule/edf.h"
+
+namespace dcn {
+
+double SsSchedule::energy(double alpha) const {
+  double total = 0.0;
+  for (const SsAssignment& a : jobs) {
+    for (const Interval& iv : a.segments) {
+      total += std::pow(a.speed, alpha) * iv.measure();
+    }
+  }
+  return total;
+}
+
+namespace {
+
+struct Candidate {
+  double intensity = -1.0;
+  Interval interval;
+  std::vector<std::size_t> contained;  // indices into the pending job list
+};
+
+}  // namespace
+
+SsSchedule yds_schedule(const std::vector<SsJob>& jobs,
+                        const IntervalSet& availability) {
+  for (const SsJob& job : jobs) {
+    DCN_EXPECTS(job.work > 0.0);
+    DCN_EXPECTS(!job.span.empty());
+  }
+
+  SsSchedule schedule;
+  schedule.jobs.resize(jobs.size());
+
+  IntervalSet avail = availability;
+  std::vector<bool> done(jobs.size(), false);
+  std::size_t remaining = jobs.size();
+
+  while (remaining > 0) {
+    // Clip every pending job's span to the current availability.
+    std::vector<std::size_t> pending;
+    std::vector<IntervalSet> allowed;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (done[i]) continue;
+      IntervalSet a = avail.intersect(jobs[i].span);
+      if (a.empty()) {
+        throw InfeasibleError("yds: job " + std::to_string(jobs[i].id) +
+                              " has no available time left in its span");
+      }
+      pending.push_back(i);
+      allowed.push_back(std::move(a));
+    }
+
+    // Critical interval: the minimal enclosing interval of some subset
+    // of clipped spans; it suffices to scan all (lo, hi) pairs taken
+    // from the clipped spans' extremes.
+    Candidate best;
+    for (std::size_t ai = 0; ai < pending.size(); ++ai) {
+      const double a = allowed[ai].min();
+      for (std::size_t bi = 0; bi < pending.size(); ++bi) {
+        const double b = allowed[bi].max();
+        if (b <= a) continue;
+        const Interval window{a, b};
+        double work = 0.0;
+        std::vector<std::size_t> contained;
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+          if (allowed[j].min() >= a && allowed[j].max() <= b) {
+            work += jobs[pending[j]].work;
+            contained.push_back(j);
+          }
+        }
+        if (contained.empty()) continue;
+        const double denom = avail.measure_within(window);
+        DCN_ENSURES(denom > 0.0);
+        const double intensity = work / denom;
+        // Deterministic tie-breaking: higher intensity, then earlier
+        // start, then wider interval.
+        if (intensity > best.intensity + 1e-15 ||
+            (std::fabs(intensity - best.intensity) <= 1e-15 &&
+             (window.lo < best.interval.lo ||
+              (window.lo == best.interval.lo && window.hi > best.interval.hi)))) {
+          best = {intensity, window, std::move(contained)};
+        }
+      }
+    }
+    DCN_ENSURES(best.intensity > 0.0);
+
+    // Schedule the critical set with EDF at the critical speed.
+    std::vector<EdfJob> edf_jobs;
+    edf_jobs.reserve(best.contained.size());
+    for (std::size_t j : best.contained) {
+      const SsJob& job = jobs[pending[j]];
+      edf_jobs.push_back(EdfJob{job.id, job.span.hi, job.work / best.intensity,
+                                allowed[j]});
+    }
+    const EdfResult edf = preemptive_edf(edf_jobs);
+    if (!edf.feasible) {
+      // YDS theory guarantees feasibility at the critical speed; tripping
+      // this indicates numerical collapse of an availability fragment.
+      throw InfeasibleError("yds: EDF failed inside a critical interval");
+    }
+
+    for (std::size_t k = 0; k < best.contained.size(); ++k) {
+      const std::size_t job_index = pending[best.contained[k]];
+      SsAssignment& out = schedule.jobs[job_index];
+      out.speed = best.intensity;
+      out.segments = edf.segments[k];
+      done[job_index] = true;
+      --remaining;
+    }
+    // The machine is saturated across the whole critical window.
+    avail.subtract(best.interval);
+  }
+  return schedule;
+}
+
+SsSchedule yds_schedule(const std::vector<SsJob>& jobs) {
+  DCN_EXPECTS(!jobs.empty());
+  double lo = jobs.front().span.lo;
+  double hi = jobs.front().span.hi;
+  for (const SsJob& job : jobs) {
+    lo = std::min(lo, job.span.lo);
+    hi = std::max(hi, job.span.hi);
+  }
+  return yds_schedule(jobs, IntervalSet{Interval{lo, hi}});
+}
+
+}  // namespace dcn

@@ -1,0 +1,70 @@
+// YDS optimal speed scaling on a single processor (Yao, Demers,
+// Shenker, FOCS'95).
+//
+// Jobs with work w'_i and spans [r_i, d_i] run on one speed-scalable
+// processor with power s^alpha. The minimum-energy schedule repeatedly
+// finds the maximum-intensity ("critical") interval
+//
+//   delta(I) = sum_{jobs confined to I} w'_i / available-time(I),
+//
+// runs its jobs there at speed delta with EDF, removes them, and marks
+// the interval unavailable. Example 1 / Theorem 1 of the paper reduce
+// DCFS to exactly this computation with virtual weights, so this kernel
+// is both the reference implementation for tests and the engine behind
+// Most-Critical-First.
+//
+// Generalization used here: job containment is evaluated on *available*
+// time (the classic "collapse the critical interval" operation is
+// realized by subtracting busy time and clipping spans to availability),
+// and candidate critical intervals are the minimal enclosing intervals
+// of every pair of clipped spans — exact, and robust to availability
+// fragments whose endpoints are not releases/deadlines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/interval.h"
+
+namespace dcn {
+
+/// One speed-scaling job.
+struct SsJob {
+  std::int32_t id = -1;
+  double work = 0.0;  // w'_i > 0
+  Interval span;      // [r_i, d_i]
+};
+
+/// The schedule chosen for one job: a single speed (Lemma 1) and the
+/// execution segments within the job's span.
+struct SsAssignment {
+  double speed = 0.0;
+  std::vector<Interval> segments;
+
+  [[nodiscard]] double execution_time() const {
+    double total = 0.0;
+    for (const Interval& iv : segments) total += iv.measure();
+    return total;
+  }
+};
+
+/// Complete YDS schedule, aligned with the input job vector.
+struct SsSchedule {
+  std::vector<SsAssignment> jobs;
+
+  /// Total energy integral s(t)^alpha dt = sum_i w_i * speed_i^(alpha-1).
+  [[nodiscard]] double energy(double alpha) const;
+};
+
+/// Computes the minimum-energy schedule. `availability` is the machine
+/// time usable at all (pass the whole horizon for the classic problem).
+/// Throws InfeasibleError when some job has no available time in its
+/// span.
+[[nodiscard]] SsSchedule yds_schedule(const std::vector<SsJob>& jobs,
+                                      const IntervalSet& availability);
+
+/// Convenience overload: fully available horizon [min release, max deadline].
+[[nodiscard]] SsSchedule yds_schedule(const std::vector<SsJob>& jobs);
+
+}  // namespace dcn

@@ -1,0 +1,43 @@
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+Topology bcube(std::int32_t n, std::int32_t levels) {
+  DCN_EXPECTS(n >= 2);
+  DCN_EXPECTS(levels >= 0);
+  // Hosts are addressed by (levels+1) base-n digits; n^(levels+1) total.
+  std::int64_t n_hosts64 = 1;
+  for (std::int32_t l = 0; l <= levels; ++l) n_hosts64 *= n;
+  DCN_EXPECTS(n_hosts64 <= 1 << 20);
+  const auto n_hosts = static_cast<std::int32_t>(n_hosts64);
+  const std::int32_t switches_per_level = n_hosts / n;
+
+  Graph g(n_hosts + (levels + 1) * switches_per_level);
+  // Layout: hosts [0, n_hosts), then level-0 switches, level-1, ...
+  const NodeId switch0 = n_hosts;
+
+  // Host h connects at level l to the switch indexed by h's digits with
+  // digit l removed.
+  for (NodeId h = 0; h < n_hosts; ++h) {
+    for (std::int32_t l = 0; l <= levels; ++l) {
+      std::int32_t stride = 1;
+      for (std::int32_t i = 0; i < l; ++i) stride *= n;
+      const std::int32_t low = h % stride;
+      const std::int32_t high = h / (stride * n);
+      const std::int32_t sw_index = high * stride + low;
+      const NodeId sw = switch0 + l * switches_per_level + sw_index;
+      g.add_bidirectional_edge(h, sw);
+    }
+  }
+
+  std::vector<NodeId> hosts(static_cast<std::size_t>(n_hosts));
+  for (NodeId h = 0; h < n_hosts; ++h) hosts[static_cast<std::size_t>(h)] = h;
+  return Topology("bcube(n=" + std::to_string(n) + ",levels=" + std::to_string(levels) + ")",
+                  std::move(g), std::move(hosts));
+}
+
+}  // namespace dcn

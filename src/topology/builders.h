@@ -1,0 +1,41 @@
+// Topology builders.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "topology/topology.h"
+
+namespace dcn {
+
+/// Three-layer fat-tree with parameter k (even, >= 2):
+/// (k/2)^2 core + k/2 agg + k/2 edge switches per pod across k pods, and
+/// k/2 hosts per edge switch — k^3/4 hosts total. fat_tree(8) is the
+/// paper's evaluation network: 80 switches, 128 hosts.
+[[nodiscard]] Topology fat_tree(std::int32_t k);
+
+/// BCube(n, levels): recursively defined server-centric topology with
+/// n^(levels+1) hosts and (levels+1) * n^levels switches; host h at level
+/// l connects to the switch whose index is h with digit l removed.
+[[nodiscard]] Topology bcube(std::int32_t n, std::int32_t levels);
+
+/// Two-layer leaf-spine: every leaf connects to every spine;
+/// hosts_per_leaf hosts hang off each leaf.
+[[nodiscard]] Topology leaf_spine(std::int32_t leaves, std::int32_t spines,
+                                  std::int32_t hosts_per_leaf);
+
+/// A line (path) network of n nodes; every node is a host. line(3) is
+/// the Fig. 1 / Example 1 network A - B - C.
+[[nodiscard]] Topology line_network(std::int32_t n);
+
+/// The NP-hardness gadget of Theorems 2/3: two hosts connected by k
+/// parallel (bidirectional) links.
+[[nodiscard]] Topology parallel_links(std::int32_t k);
+
+/// Random connected switch fabric: a ring of `switches` plus
+/// `extra_edges` random chords, with `hosts_per_switch` hosts each.
+/// Deterministic for a given rng state.
+[[nodiscard]] Topology random_fabric(std::int32_t switches, std::int32_t extra_edges,
+                                     std::int32_t hosts_per_switch, Rng& rng);
+
+}  // namespace dcn

@@ -1,0 +1,58 @@
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+Topology fat_tree(std::int32_t k) {
+  DCN_EXPECTS(k >= 2);
+  DCN_EXPECTS(k % 2 == 0);
+  const std::int32_t half = k / 2;
+  const std::int32_t n_core = half * half;
+  const std::int32_t n_agg = k * half;    // k pods * k/2 agg each
+  const std::int32_t n_edge = k * half;   // k pods * k/2 edge each
+  const std::int32_t n_hosts = n_edge * half;
+
+  Graph g(n_core + n_agg + n_edge + n_hosts);
+  // Node id layout: [0, n_core) core, then agg, then edge, then hosts.
+  const NodeId core0 = 0;
+  const NodeId agg0 = n_core;
+  const NodeId edge0 = n_core + n_agg;
+  const NodeId host0 = n_core + n_agg + n_edge;
+
+  auto agg_id = [&](std::int32_t pod, std::int32_t i) { return agg0 + pod * half + i; };
+  auto edge_id = [&](std::int32_t pod, std::int32_t i) { return edge0 + pod * half + i; };
+
+  for (std::int32_t pod = 0; pod < k; ++pod) {
+    // Edge <-> agg: full bipartite inside the pod.
+    for (std::int32_t e = 0; e < half; ++e) {
+      for (std::int32_t a = 0; a < half; ++a) {
+        g.add_bidirectional_edge(edge_id(pod, e), agg_id(pod, a));
+      }
+    }
+    // Agg i <-> core group i: agg switch i serves cores [i*half, (i+1)*half).
+    for (std::int32_t a = 0; a < half; ++a) {
+      for (std::int32_t c = 0; c < half; ++c) {
+        g.add_bidirectional_edge(agg_id(pod, a), core0 + a * half + c);
+      }
+    }
+  }
+
+  std::vector<NodeId> hosts;
+  hosts.reserve(static_cast<std::size_t>(n_hosts));
+  for (std::int32_t e = 0; e < n_edge; ++e) {
+    for (std::int32_t h = 0; h < half; ++h) {
+      const NodeId host = host0 + e * half + h;
+      g.add_bidirectional_edge(host, edge0 + e);
+      hosts.push_back(host);
+    }
+  }
+
+  DCN_ENSURES(static_cast<std::int32_t>(hosts.size()) == n_hosts);
+  return Topology("fat_tree(k=" + std::to_string(k) + ")", std::move(g),
+                  std::move(hosts));
+}
+
+}  // namespace dcn

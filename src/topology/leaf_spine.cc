@@ -1,0 +1,39 @@
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+Topology leaf_spine(std::int32_t leaves, std::int32_t spines,
+                    std::int32_t hosts_per_leaf) {
+  DCN_EXPECTS(leaves >= 1);
+  DCN_EXPECTS(spines >= 1);
+  DCN_EXPECTS(hosts_per_leaf >= 1);
+
+  Graph g(leaves + spines + leaves * hosts_per_leaf);
+  // Layout: spines [0, spines), leaves, hosts.
+  const NodeId leaf0 = spines;
+  const NodeId host0 = spines + leaves;
+
+  for (std::int32_t l = 0; l < leaves; ++l) {
+    for (std::int32_t s = 0; s < spines; ++s) {
+      g.add_bidirectional_edge(leaf0 + l, s);
+    }
+  }
+  std::vector<NodeId> hosts;
+  hosts.reserve(static_cast<std::size_t>(leaves * hosts_per_leaf));
+  for (std::int32_t l = 0; l < leaves; ++l) {
+    for (std::int32_t h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = host0 + l * hosts_per_leaf + h;
+      g.add_bidirectional_edge(host, leaf0 + l);
+      hosts.push_back(host);
+    }
+  }
+  return Topology("leaf_spine(" + std::to_string(leaves) + "x" +
+                      std::to_string(spines) + ",h=" + std::to_string(hosts_per_leaf) + ")",
+                  std::move(g), std::move(hosts));
+}
+
+}  // namespace dcn

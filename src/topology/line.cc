@@ -1,0 +1,18 @@
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+Topology line_network(std::int32_t n) {
+  DCN_EXPECTS(n >= 2);
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_bidirectional_edge(u, u + 1);
+  std::vector<NodeId> hosts(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) hosts[static_cast<std::size_t>(u)] = u;
+  return Topology("line(" + std::to_string(n) + ")", std::move(g), std::move(hosts));
+}
+
+}  // namespace dcn

@@ -1,0 +1,16 @@
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+Topology parallel_links(std::int32_t k) {
+  DCN_EXPECTS(k >= 1);
+  Graph g(2);
+  for (std::int32_t i = 0; i < k; ++i) g.add_bidirectional_edge(0, 1);
+  return Topology("parallel(" + std::to_string(k) + ")", std::move(g), {0, 1});
+}
+
+}  // namespace dcn

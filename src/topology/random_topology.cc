@@ -1,0 +1,53 @@
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "topology/builders.h"
+
+namespace dcn {
+
+Topology random_fabric(std::int32_t switches, std::int32_t extra_edges,
+                       std::int32_t hosts_per_switch, Rng& rng) {
+  DCN_EXPECTS(switches >= 3);
+  DCN_EXPECTS(extra_edges >= 0);
+  DCN_EXPECTS(hosts_per_switch >= 0);
+
+  Graph g(switches);
+  std::set<std::pair<NodeId, NodeId>> used;
+  // Ring keeps the fabric connected regardless of the random chords.
+  for (NodeId u = 0; u < switches; ++u) {
+    const NodeId v = (u + 1) % switches;
+    g.add_bidirectional_edge(u, v);
+    used.insert({std::min(u, v), std::max(u, v)});
+  }
+  std::int32_t added = 0;
+  std::int32_t attempts = 0;
+  const std::int32_t max_attempts = 50 * (extra_edges + 1);
+  while (added < extra_edges && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, switches - 1));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, switches - 1));
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (!used.insert(key).second) continue;
+    g.add_bidirectional_edge(u, v);
+    ++added;
+  }
+
+  std::vector<NodeId> hosts;
+  hosts.reserve(static_cast<std::size_t>(switches * hosts_per_switch));
+  for (NodeId sw = 0; sw < switches; ++sw) {
+    for (std::int32_t h = 0; h < hosts_per_switch; ++h) {
+      const NodeId host = g.add_node();
+      g.add_bidirectional_edge(host, sw);
+      hosts.push_back(host);
+    }
+  }
+  return Topology("random_fabric(s=" + std::to_string(switches) + ",x=" +
+                      std::to_string(added) + ",h=" + std::to_string(hosts_per_switch) + ")",
+                  std::move(g), std::move(hosts));
+}
+
+}  // namespace dcn

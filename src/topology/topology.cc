@@ -1,0 +1,32 @@
+#include "topology/topology.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+Topology::Topology(std::string name, Graph graph, std::vector<NodeId> hosts)
+    : name_(std::move(name)), graph_(std::move(graph)), hosts_(std::move(hosts)) {
+  is_host_.assign(static_cast<std::size_t>(graph_.num_nodes()), false);
+  for (NodeId h : hosts_) {
+    DCN_EXPECTS(graph_.valid_node(h));
+    is_host_[static_cast<std::size_t>(h)] = true;
+  }
+}
+
+std::vector<NodeId> Topology::switches() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(num_switches()));
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    if (!is_host_[static_cast<std::size_t>(u)]) out.push_back(u);
+  }
+  return out;
+}
+
+bool Topology::is_host(NodeId u) const {
+  DCN_EXPECTS(graph_.valid_node(u));
+  return is_host_[static_cast<std::size_t>(u)];
+}
+
+}  // namespace dcn

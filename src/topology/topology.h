@@ -1,0 +1,42 @@
+// A data-center topology: a graph plus the host/switch partition.
+//
+// All builders produce bidirectional (paired directed) edges and mark
+// which nodes are hosts (traffic sources/sinks) versus switches. The
+// paper's evaluation network is fat_tree(8): 80 switches, 128 hosts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn {
+
+class Topology {
+ public:
+  Topology(std::string name, Graph graph, std::vector<NodeId> hosts);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  /// Nodes that generate / absorb traffic.
+  [[nodiscard]] const std::vector<NodeId>& hosts() const { return hosts_; }
+  /// Nodes that only forward.
+  [[nodiscard]] std::vector<NodeId> switches() const;
+
+  [[nodiscard]] bool is_host(NodeId u) const;
+
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(hosts_.size());
+  }
+  [[nodiscard]] std::int32_t num_switches() const {
+    return graph_.num_nodes() - num_hosts();
+  }
+
+ private:
+  std::string name_;
+  Graph graph_;
+  std::vector<NodeId> hosts_;
+  std::vector<bool> is_host_;
+};
+
+}  // namespace dcn

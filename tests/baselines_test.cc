@@ -1,0 +1,133 @@
+// Tests for the baseline routers and schedulers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(ShortestPathRouting, ProducesValidMinimalPaths) {
+  const Topology topo = fat_tree(4);
+  Rng rng(2);
+  PaperWorkloadParams params;
+  params.num_flows = 20;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto paths = shortest_path_routing(topo.graph(), flows);
+  ASSERT_EQ(paths.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_TRUE(is_valid_path(topo.graph(), paths[i]));
+    EXPECT_EQ(paths[i].src, flows[i].src);
+    EXPECT_EQ(paths[i].dst, flows[i].dst);
+    EXPECT_LE(paths[i].length(), 6u);  // fat-tree diameter
+  }
+}
+
+TEST(EcmpRouting, SpreadsAcrossEqualCostPaths) {
+  const Topology topo = fat_tree(4);
+  // Many flows between the same cross-pod pair: ECMP should use more
+  // than one of the 4 equal-cost paths.
+  std::vector<Flow> flows;
+  for (int i = 0; i < 20; ++i) {
+    flows.push_back({i, topo.hosts()[0], topo.hosts()[15], 1.0, 0.0, 10.0});
+  }
+  Rng rng(5);
+  const auto paths = ecmp_routing(topo.graph(), flows, 8, rng);
+  std::set<std::vector<EdgeId>> distinct;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_valid_path(topo.graph(), p));
+    EXPECT_EQ(p.length(), 6u);
+    distinct.insert(p.edges);
+  }
+  EXPECT_GT(distinct.size(), 1u);
+  EXPECT_LE(distinct.size(), 4u);  // only (k/2)^2 = 4 exist
+}
+
+TEST(SpMcf, FeasibleAndReplayConsistent) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(9);
+  PaperWorkloadParams params;
+  params.num_flows = 25;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto result = sp_mcf(topo.graph(), flows, model);
+  const auto replay = replay_schedule(topo.graph(), flows, result.schedule, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  EXPECT_NEAR(replay.energy,
+              energy_phi_f(topo.graph(), result.schedule, model, flow_horizon(flows)),
+              1e-6 * replay.energy);
+}
+
+TEST(EcmpMcf, FeasibleOnRandomInstances) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng wl(10);
+  PaperWorkloadParams params;
+  params.num_flows = 15;
+  const auto flows = paper_workload(topo, params, wl);
+  Rng rng(11);
+  const auto result = ecmp_mcf(topo.graph(), flows, model, 8, rng);
+  const auto replay = replay_schedule(topo.graph(), flows, result.schedule, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+}
+
+TEST(GreedyEnergyAware, FeasibleAndDeadlineMeeting) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model(1.0, 1.0, 2.0);
+  Rng rng(12);
+  PaperWorkloadParams params;
+  params.num_flows = 20;
+  const auto flows = paper_workload(topo, params, rng);
+  const Schedule s = greedy_energy_aware(topo.graph(), flows, model);
+  const auto replay = replay_schedule(topo.graph(), flows, s, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+}
+
+TEST(GreedyEnergyAware, ConsolidatesWhenIdlePowerDominates) {
+  // Two flows between the same pair over parallel links with huge
+  // sigma: the greedy should stack them on one link (2 active directed
+  // edges would double idle cost).
+  const Topology topo = parallel_links(2);
+  const PowerModel model(/*sigma=*/50.0, /*mu=*/1.0, /*alpha=*/2.0);
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 0.0, 10.0},
+      {1, 0, 1, 1.0, 0.0, 10.0},
+  };
+  const Schedule s = greedy_energy_aware(topo.graph(), flows, model);
+  EXPECT_EQ(s.flows[0].path.edges, s.flows[1].path.edges);
+}
+
+TEST(GreedyEnergyAware, SpreadsWhenDynamicPowerDominates) {
+  // With sigma = 0 and alpha = 2, splitting halves the dynamic energy.
+  const Topology topo = parallel_links(2);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const std::vector<Flow> flows{
+      {0, 0, 1, 10.0, 0.0, 10.0},
+      {1, 0, 1, 10.0, 0.0, 10.0},
+  };
+  const Schedule s = greedy_energy_aware(topo.graph(), flows, model);
+  EXPECT_NE(s.flows[0].path.edges, s.flows[1].path.edges);
+}
+
+TEST(Baselines, SpMcfEnergyIsDeterministic) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng wl1(77), wl2(77);
+  PaperWorkloadParams params;
+  params.num_flows = 10;
+  const auto flows1 = paper_workload(topo, params, wl1);
+  const auto flows2 = paper_workload(topo, params, wl2);
+  const auto a = sp_mcf(topo.graph(), flows1, model);
+  const auto b = sp_mcf(topo.graph(), flows2, model);
+  EXPECT_DOUBLE_EQ(
+      energy_phi_f(topo.graph(), a.schedule, model, flow_horizon(flows1)),
+      energy_phi_f(topo.graph(), b.schedule, model, flow_horizon(flows2)));
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,117 @@
+// Cross-module contract coverage: every public entry point rejects
+// malformed input with dcn::ContractViolation instead of invoking UB.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "dcfs/most_critical_first.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/split.h"
+#include "flow/workload.h"
+#include "mcf/interval_decomposition.h"
+#include "schedule/schedule.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(Contracts, ViolationMessageNamesExpressionAndLocation) {
+  try {
+    DCN_EXPECTS(1 + 1 == 3);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresIsPostcondition) {
+  try {
+    DCN_ENSURES(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, FlowHorizonRejectsEmptySet) {
+  EXPECT_THROW((void)flow_horizon({}), ContractViolation);
+}
+
+TEST(Contracts, IntervalDecompositionRejectsEmptySet) {
+  EXPECT_THROW((void)decompose_intervals({}), ContractViolation);
+}
+
+TEST(Contracts, TopologyRejectsBogusHostIds) {
+  Graph g(2);
+  g.add_bidirectional_edge(0, 1);
+  EXPECT_THROW(Topology("bad", std::move(g), {5}), ContractViolation);
+}
+
+TEST(Contracts, EnergyRejectsEmptyHorizon) {
+  const Topology topo = line_network(2);
+  const PowerModel model(1.0, 1.0, 2.0);
+  const Schedule s;
+  EXPECT_THROW(
+      (void)energy_phi_f(topo.graph(), s, model, Interval{3.0, 3.0}),
+      ContractViolation);
+}
+
+TEST(Contracts, McfRejectsDuplicatePathMismatch) {
+  const Topology topo = line_network(3);
+  const std::vector<Flow> flows{{0, 0, 2, 1.0, 0.0, 1.0}};
+  const PowerModel model(0.0, 1.0, 2.0);
+  // Empty path list.
+  EXPECT_THROW((void)most_critical_first(topo.graph(), flows, {}, model),
+               ContractViolation);
+  // Zero-length path (src == dst impossible for a valid flow anyway).
+  std::vector<Path> paths{Path{0, 0, {}}};
+  EXPECT_THROW((void)most_critical_first(topo.graph(), flows, paths, model),
+               ContractViolation);
+}
+
+TEST(Contracts, DcfsOptionsValidated) {
+  const Topology topo = line_network(3);
+  const std::vector<Flow> flows{{0, 0, 2, 1.0, 0.0, 1.0}};
+  const PowerModel model(0.0, 1.0, 2.0);
+  std::vector<Path> paths{Path{0, 2, {0, 2}}};
+  DcfsOptions bad;
+  bad.escalation_factor = 1.0;  // must be > 1
+  EXPECT_THROW((void)most_critical_first(topo.graph(), flows, paths, model, bad),
+               ContractViolation);
+}
+
+TEST(Contracts, RandomScheduleOptionsValidated) {
+  const Topology topo = line_network(3);
+  const std::vector<Flow> flows{{0, 0, 2, 1.0, 0.0, 1.0}};
+  const PowerModel model(0.0, 1.0, 2.0);
+  Rng rng(1);
+  RandomScheduleOptions bad;
+  bad.max_rounding_attempts = 0;
+  EXPECT_THROW((void)random_schedule(topo.graph(), flows, model, rng, bad),
+               ContractViolation);
+  RandomScheduleOptions bad2;
+  bad2.best_of = 0;
+  EXPECT_THROW((void)random_schedule(topo.graph(), flows, model, rng, bad2),
+               ContractViolation);
+}
+
+TEST(Contracts, WorkloadGeneratorBounds) {
+  const Topology topo = fat_tree(4);
+  Rng rng(1);
+  PaperWorkloadParams params;
+  params.num_flows = 0;
+  EXPECT_THROW((void)paper_workload(topo, params, rng), ContractViolation);
+  EXPECT_THROW((void)slack_workload(topo, 5, 1.0, 1.0, 0.5, {0.0, 10.0}, rng),
+               ContractViolation);  // slack < 1
+}
+
+TEST(Contracts, SplitAggregationShapeChecked) {
+  const std::vector<Flow> flows{{0, 1, 2, 1.0, 0.0, 1.0}};
+  const SplitResult split = split_flows(flows, 2);
+  EXPECT_THROW((void)aggregate_by_parent(split, {1.0}, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dcn

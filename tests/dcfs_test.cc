@@ -1,0 +1,202 @@
+// Tests for Most-Critical-First (Algorithm 1), including the paper's
+// Example 1 closed form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfs/most_critical_first.h"
+#include "flow/workload.h"
+#include "graph/shortest_path.h"
+#include "schedule/schedule.h"
+#include "sim/replay.h"
+#include "speedscale/yds.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+std::vector<Path> bfs_paths(const Graph& g, const std::vector<Flow>& flows) {
+  std::vector<Path> paths;
+  for (const Flow& fl : flows) {
+    auto p = bfs_shortest_path(g, fl.src, fl.dst);
+    EXPECT_TRUE(p.has_value());
+    paths.push_back(std::move(*p));
+  }
+  return paths;
+}
+
+TEST(MostCriticalFirst, PaperExampleOneClosedForm) {
+  // Line network A-B-C, f(x) = x^2. Flows:
+  //   j1 = (A -> C, r=2, d=4, w=6),  j2 = (A -> B, r=1, d=3, w=8).
+  // Optimal: sqrt(2) * s1 = s2 = (8 + 6 sqrt 2) / 3.
+  const Topology topo = line_network(3);
+  const Graph& g = topo.graph();
+  const std::vector<Flow> flows{
+      {0, 0, 2, 6.0, 2.0, 4.0},  // j1
+      {1, 0, 1, 8.0, 1.0, 3.0},  // j2
+  };
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const DcfsResult r = most_critical_first(g, flows, bfs_paths(g, flows), model);
+
+  const double s2_expected = (8.0 + 6.0 * std::sqrt(2.0)) / 3.0;
+  EXPECT_NEAR(r.rates[1], s2_expected, 1e-9);
+  EXPECT_NEAR(r.rates[0] * std::sqrt(2.0), s2_expected, 1e-9);
+
+  // The objective from the example: Phi = 2*6*s1 + 8*s2 (Phi_g form
+  // w_i |P_i| s_i^(alpha-1) with alpha = 2).
+  const double phi = 2.0 * 6.0 * r.rates[0] + 8.0 * r.rates[1];
+  const Interval horizon{1.0, 4.0};
+  EXPECT_NEAR(energy_phi_g(g, r.schedule, model, horizon), phi, 1e-9);
+
+  // EDF order inside the critical interval: j2 (deadline 3) first, from
+  // t=1, then j1 finishes exactly at its deadline 4.
+  const auto report = check_feasibility(g, flows, r.schedule, model);
+  EXPECT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+  const double j2_finish = 1.0 + 8.0 / r.rates[1];
+  EXPECT_NEAR(r.schedule.flows[1].segments.back().interval.hi, j2_finish, 1e-9);
+  EXPECT_NEAR(r.schedule.flows[0].segments.back().interval.hi, 4.0, 1e-9);
+}
+
+TEST(MostCriticalFirst, SingleLinkReducesToYds) {
+  // All flows on one link: virtual weights equal plain weights and the
+  // schedule must match the plain YDS energy.
+  const Topology topo = line_network(2);
+  const Graph& g = topo.graph();
+  const std::vector<Flow> flows{
+      {0, 0, 1, 5.0, 0.0, 4.0},
+      {1, 0, 1, 3.0, 1.0, 3.0},
+      {2, 0, 1, 2.0, 2.0, 8.0},
+  };
+  const PowerModel model = PowerModel::pure_speed_scaling(3.0);
+  const DcfsResult r = most_critical_first(g, flows, bfs_paths(g, flows), model);
+
+  std::vector<SsJob> jobs;
+  for (const Flow& fl : flows) jobs.push_back({fl.id, fl.volume, fl.span()});
+  const SsSchedule yds = yds_schedule(jobs);
+
+  EXPECT_NEAR(energy_phi_g(g, r.schedule, model, flow_horizon(flows)),
+              yds.energy(3.0), 1e-6);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NEAR(r.rates[i], yds.jobs[i].speed, 1e-9);
+  }
+}
+
+TEST(MostCriticalFirst, IsolatedFlowRunsAtDensity) {
+  // A flow alone in the network transmits at its density (Lemma 2).
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const std::vector<Flow> flows{{0, topo.hosts()[0], topo.hosts()[5], 12.0, 0.0, 6.0}};
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const DcfsResult r = most_critical_first(g, flows, bfs_paths(g, flows), model);
+  EXPECT_NEAR(r.rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.schedule.flows[0].transmission_time(), 6.0, 1e-9);
+}
+
+TEST(MostCriticalFirst, DisjointFlowsAllRunAtDensity) {
+  // Flows on disjoint paths never interact: each runs at density.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  // Host pairs under different edge switches in different pods.
+  const std::vector<Flow> flows{
+      {0, topo.hosts()[0], topo.hosts()[1], 10.0, 0.0, 5.0},   // same edge switch
+      {1, topo.hosts()[4], topo.hosts()[5], 6.0, 1.0, 4.0},    // another pod pair
+  };
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const DcfsResult r = most_critical_first(g, flows, bfs_paths(g, flows), model);
+  EXPECT_NEAR(r.rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.rates[1], 2.0, 1e-9);
+}
+
+TEST(MostCriticalFirst, VirtualWeightBiasesAgainstLongPaths) {
+  // Two flows over a shared link; one continues over a second hop. With
+  // alpha = 2 the optimum satisfies sqrt(|P1|) s1 = sqrt(|P2|) s2 inside
+  // a shared critical interval (Eq. 12).
+  const Topology topo = line_network(3);
+  const Graph& g = topo.graph();
+  const std::vector<Flow> flows{
+      {0, 0, 2, 6.0, 0.0, 3.0},  // two hops
+      {1, 0, 1, 6.0, 0.0, 3.0},  // one hop
+  };
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const DcfsResult r = most_critical_first(g, flows, bfs_paths(g, flows), model);
+  EXPECT_NEAR(std::sqrt(2.0) * r.rates[0], std::sqrt(1.0) * r.rates[1], 1e-9);
+  // Both fit exactly into [0,3] on the shared link.
+  EXPECT_NEAR(6.0 / r.rates[0] + 6.0 / r.rates[1], 3.0, 1e-9);
+}
+
+TEST(MostCriticalFirst, EnergyMatchesAnalyticForm) {
+  // Phi_g = sum_i |P_i| w_i s_i^(alpha-1) for every instance.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  Rng rng(99);
+  PaperWorkloadParams params;
+  params.num_flows = 25;
+  params.horizon_hi = 20.0;
+  const auto flows = paper_workload(topo, params, rng);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const auto paths = bfs_paths(g, flows);
+  const DcfsResult r = most_critical_first(g, flows, paths, model);
+
+  double analytic = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    analytic += static_cast<double>(paths[i].length()) * flows[i].volume *
+                std::pow(r.rates[i], model.alpha() - 1.0);
+  }
+  const double measured = energy_phi_g(g, r.schedule, model, flow_horizon(flows));
+  if (r.availability_fallbacks == 0) {
+    // Overlap-free schedule: the timeline energy equals the analytic
+    // optimum form exactly.
+    EXPECT_NEAR(measured, analytic, 1e-6 * analytic);
+  } else {
+    // Fallback overlaps only ever add superadditive cost.
+    EXPECT_GE(measured, analytic * (1.0 - 1e-9));
+  }
+}
+
+TEST(MostCriticalFirst, ContractsOnMismatchedInputs) {
+  const Topology topo = line_network(3);
+  const Graph& g = topo.graph();
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 2.0, 4.0}};
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  EXPECT_THROW((void)most_critical_first(g, flows, {}, model), ContractViolation);
+  // Path that does not match the flow's endpoints.
+  std::vector<Path> wrong{Path{0, 1, {0}}};
+  EXPECT_THROW((void)most_critical_first(g, flows, wrong, model),
+               ContractViolation);
+}
+
+// Property sweep: on random low-load instances, Most-Critical-First
+// produces feasible schedules (every deadline met, volumes moved) whose
+// replayed energy matches the analytic evaluator.
+class McfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McfPropertyTest, FeasibleAndConsistentOnRandomInstances) {
+  Rng rng(GetParam());
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  PaperWorkloadParams params;
+  params.num_flows = 30;
+  const auto flows = paper_workload(topo, params, rng);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const DcfsResult r = most_critical_first(g, flows, bfs_paths(g, flows), model);
+
+  const auto report = check_feasibility(g, flows, r.schedule, model);
+  EXPECT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+  const auto replay = replay_schedule(g, flows, r.schedule, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  EXPECT_NEAR(replay.energy,
+              energy_phi_f(g, r.schedule, model, flow_horizon(flows)),
+              1e-6 * std::max(1.0, replay.energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McfPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,165 @@
+// Deeper statistical and structural properties of the Random-Schedule
+// pipeline (beyond the basics in random_schedule_test.cc).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "graph/shortest_path.h"
+#include "schedule/schedule.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(RoundingDistribution, EmpiricalFrequenciesMatchWbar) {
+  // Round one flow's candidate set many times; the empirical path
+  // frequencies must match the wbar distribution (Algorithm 2 step 9).
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  // Construct an instance where the relaxation genuinely splits: many
+  // identical-pair flows force load balancing across the 4 core routes.
+  std::vector<Flow> flows;
+  for (int i = 0; i < 6; ++i) {
+    flows.push_back({i, topo.hosts()[0], topo.hosts()[15], 8.0, 0.0, 4.0});
+  }
+  const auto relax = solve_relaxation(g, flows, model);
+  const auto& cand = relax.candidates[0];
+  ASSERT_GE(cand.paths.size(), 2u) << "relaxation should split this load";
+
+  Rng rng(1234);
+  std::map<std::vector<EdgeId>, int> counts;
+  const int draws = 4000;
+  for (int d = 0; d < draws; ++d) {
+    const auto paths = sample_paths(relax.candidates, rng);
+    ++counts[paths[0].edges];
+  }
+  for (const WeightedPath& wp : cand.paths) {
+    const double expected = wp.weight * draws;
+    if (expected < 40.0) continue;  // too rare to test tightly
+    const double got = counts[wp.path.edges];
+    EXPECT_NEAR(got / draws, wp.weight, 4.0 * std::sqrt(wp.weight / draws))
+        << "path weight " << wp.weight;
+  }
+}
+
+TEST(RoundingDistribution, ExpectedLinkLoadMatchesFractional) {
+  // E[rounded load on e] = sum_i wbar-probability that i uses e * D_i.
+  // Check the identity by Monte Carlo against the candidate weights.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 5; ++i) {
+    flows.push_back({i, topo.hosts()[0], topo.hosts()[15], 6.0, 0.0, 3.0});
+  }
+  const auto relax = solve_relaxation(g, flows, model);
+
+  // Analytic expectation from wbar.
+  std::vector<double> expected(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (const WeightedPath& wp : relax.candidates[i].paths) {
+      for (EdgeId e : wp.path.edges) {
+        expected[static_cast<std::size_t>(e)] += wp.weight * flows[i].density();
+      }
+    }
+  }
+
+  Rng rng(77);
+  std::vector<double> sampled(static_cast<std::size_t>(g.num_edges()), 0.0);
+  const int draws = 3000;
+  for (int d = 0; d < draws; ++d) {
+    const auto paths = sample_paths(relax.candidates, rng);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      for (EdgeId e : paths[i].edges) {
+        sampled[static_cast<std::size_t>(e)] +=
+            flows[i].density() / static_cast<double>(draws);
+      }
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto idx = static_cast<std::size_t>(e);
+    if (expected[idx] < 0.05) continue;
+    EXPECT_NEAR(sampled[idx], expected[idx], 0.15 * expected[idx] + 0.05)
+        << "edge " << e;
+  }
+}
+
+TEST(RandomSchedule, IdenticalFlowsSpreadAcrossCores) {
+  // 8 identical flows between the same cross-pod pair at alpha = 2:
+  // the rounded schedule should use more than one core route (pure SP
+  // would use exactly one).
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back({i, topo.hosts()[0], topo.hosts()[15], 10.0, 0.0, 10.0});
+  }
+  Rng rng(5);
+  const auto rs = random_schedule(g, flows, model, rng);
+  ASSERT_TRUE(rs.capacity_feasible);
+  std::map<std::vector<EdgeId>, int> used;
+  for (const FlowSchedule& fs : rs.schedule.flows) ++used[fs.path.edges];
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(RandomSchedule, CandidatePathsAllSimpleAndEndpointCorrect) {
+  const Topology topo = bcube(2, 1);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(31);
+  PaperWorkloadParams params;
+  params.num_flows = 12;
+  params.horizon_hi = 20.0;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto relax = solve_relaxation(g, flows, model);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (const WeightedPath& wp : relax.candidates[i].paths) {
+      EXPECT_TRUE(is_valid_path(g, wp.path));
+      EXPECT_EQ(wp.path.src, flows[i].src);
+      EXPECT_EQ(wp.path.dst, flows[i].dst);
+    }
+  }
+}
+
+TEST(RandomSchedule, LambdaReportedMatchesDecomposition) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(92);
+  PaperWorkloadParams params;
+  params.num_flows = 15;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto rs = random_schedule(topo.graph(), flows, model, rng);
+  EXPECT_NEAR(rs.lambda, decompose_intervals(flows).lambda(), 1e-9);
+}
+
+TEST(RandomSchedule, HigherAlphaSpreadsAtLeastAsManyLinks) {
+  // With alpha = 4 the superadditive penalty is harsher, so RS should
+  // activate at least as many links as with alpha = 2 on the same
+  // congested instance (more spreading).
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  std::vector<Flow> flows;
+  for (int i = 0; i < 10; ++i) {
+    flows.push_back({i, topo.hosts()[0], topo.hosts()[15], 10.0, 0.0, 10.0});
+  }
+  Rng rng2(42), rng4(42);
+  const auto rs2 = random_schedule(
+      g, flows, PowerModel::pure_speed_scaling(2.0), rng2);
+  const auto rs4 = random_schedule(
+      g, flows, PowerModel::pure_speed_scaling(4.0), rng4);
+  ASSERT_TRUE(rs2.capacity_feasible);
+  ASSERT_TRUE(rs4.capacity_feasible);
+  const auto links2 = active_edges(g, rs2.schedule).size();
+  const auto links4 = active_edges(g, rs4.schedule).size();
+  EXPECT_GE(links4 + 2, links2);  // allow small sampling slack
+}
+
+}  // namespace
+}  // namespace dcn

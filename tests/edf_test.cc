@@ -1,0 +1,161 @@
+// Tests for the preemptive EDF scheduler with allowed-time sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/piecewise.h"
+#include "common/random.h"
+#include "schedule/edf.h"
+
+namespace dcn {
+namespace {
+
+double total_time(const std::vector<Interval>& segments) {
+  double t = 0.0;
+  for (const Interval& iv : segments) t += iv.measure();
+  return t;
+}
+
+TEST(Edf, SingleJobRunsAtRelease) {
+  const std::vector<EdfJob> jobs{
+      {0, 10.0, 3.0, IntervalSet{Interval{2.0, 10.0}}},
+  };
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.segments[0].size(), 1u);
+  EXPECT_EQ(r.segments[0][0], Interval(2.0, 5.0));
+}
+
+TEST(Edf, EarlierDeadlineWins) {
+  // Both available from 0; job 1's deadline is earlier so it runs first.
+  const std::vector<EdfJob> jobs{
+      {0, 10.0, 2.0, IntervalSet{Interval{0.0, 10.0}}},
+      {1, 4.0, 2.0, IntervalSet{Interval{0.0, 4.0}}},
+  };
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.segments[1][0], Interval(0.0, 2.0));
+  EXPECT_EQ(r.segments[0][0], Interval(2.0, 4.0));
+}
+
+TEST(Edf, PreemptionOnLateUrgentArrival) {
+  // Job 0 (deadline 10) starts, then job 1 (deadline 3) arrives at t=1
+  // and preempts it.
+  const std::vector<EdfJob> jobs{
+      {0, 10.0, 5.0, IntervalSet{Interval{0.0, 10.0}}},
+      {1, 3.0, 1.5, IntervalSet{Interval{1.0, 3.0}}},
+  };
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.segments[1].size(), 1u);
+  EXPECT_EQ(r.segments[1][0], Interval(1.0, 2.5));
+  // Job 0 ran [0,1) and resumes [2.5, ...).
+  ASSERT_EQ(r.segments[0].size(), 2u);
+  EXPECT_EQ(r.segments[0][0], Interval(0.0, 1.0));
+  EXPECT_EQ(r.segments[0][1], Interval(2.5, 6.5));
+}
+
+TEST(Edf, RespectsAvailabilityGaps) {
+  // Machine unavailable in [2, 5).
+  IntervalSet allowed = IntervalSet::from_intervals({{0.0, 2.0}, {5.0, 9.0}});
+  const std::vector<EdfJob> jobs{{0, 9.0, 4.0, allowed}};
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.segments[0].size(), 2u);
+  EXPECT_EQ(r.segments[0][0], Interval(0.0, 2.0));
+  EXPECT_EQ(r.segments[0][1], Interval(5.0, 7.0));
+}
+
+TEST(Edf, InfeasibleWhenWorkExceedsAllowedTime) {
+  const std::vector<EdfJob> jobs{
+      {0, 3.0, 5.0, IntervalSet{Interval{0.0, 3.0}}},
+  };
+  const EdfResult r = preemptive_edf(jobs);
+  EXPECT_FALSE(r.feasible);
+  ASSERT_EQ(r.unfinished.size(), 1u);
+  EXPECT_EQ(r.unfinished[0], 0);
+  EXPECT_NEAR(r.remaining[0], 2.0, 1e-9);
+}
+
+TEST(Edf, ExactFitIsFeasible) {
+  // Three jobs exactly packing [0, 6).
+  const std::vector<EdfJob> jobs{
+      {0, 2.0, 2.0, IntervalSet{Interval{0.0, 2.0}}},
+      {1, 4.0, 2.0, IntervalSet{Interval{0.0, 4.0}}},
+      {2, 6.0, 2.0, IntervalSet{Interval{0.0, 6.0}}},
+  };
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(total_time(r.segments[0]) + total_time(r.segments[1]) +
+                  total_time(r.segments[2]),
+              6.0, 1e-9);
+}
+
+TEST(Edf, TieBreaksOnSmallerId) {
+  const std::vector<EdfJob> jobs{
+      {7, 5.0, 1.0, IntervalSet{Interval{0.0, 5.0}}},
+      {3, 5.0, 1.0, IntervalSet{Interval{0.0, 5.0}}},
+  };
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+  // Job with id 3 (index 1) runs first.
+  EXPECT_EQ(r.segments[1][0], Interval(0.0, 1.0));
+  EXPECT_EQ(r.segments[0][0], Interval(1.0, 2.0));
+}
+
+TEST(Edf, RejectsNonPositiveProcessing) {
+  const std::vector<EdfJob> jobs{{0, 1.0, 0.0, IntervalSet{Interval{0.0, 1.0}}}};
+  EXPECT_THROW((void)preemptive_edf(jobs), ContractViolation);
+}
+
+// Property: on random feasible instances (constructed by carving
+// per-job segments out of a machine timeline), EDF finds a feasible
+// schedule and the output segments stay within each job's allowed set
+// and never overlap across jobs.
+class EdfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfPropertyTest, FeasibleInstancesScheduleCleanly) {
+  Rng rng(GetParam());
+  // Build a feasible instance: slice [0, 20) into chunks, assign each
+  // chunk to a random job; the job's allowed set covers all its chunks
+  // and its processing time is the total chunk length.
+  const int n_jobs = 5;
+  std::vector<double> processing(n_jobs, 0.0);
+  std::vector<double> lo(n_jobs, 1e9), hi(n_jobs, -1e9);
+  double t = 0.0;
+  while (t < 20.0) {
+    const double len = rng.uniform(0.2, 1.5);
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, n_jobs - 1));
+    processing[j] += std::min(len, 20.0 - t);
+    lo[j] = std::min(lo[j], t);
+    hi[j] = std::max(hi[j], std::min(t + len, 20.0));
+    t += len;
+  }
+  std::vector<EdfJob> jobs;
+  for (int j = 0; j < n_jobs; ++j) {
+    if (processing[static_cast<std::size_t>(j)] <= 0.0) continue;
+    const auto js = static_cast<std::size_t>(j);
+    jobs.push_back(EdfJob{j, hi[js], processing[js],
+                          IntervalSet{Interval{lo[js], hi[js]}}});
+  }
+  const EdfResult r = preemptive_edf(jobs);
+  ASSERT_TRUE(r.feasible);
+
+  StepFunction usage;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_NEAR(total_time(r.segments[j]), jobs[j].processing, 1e-6);
+    for (const Interval& seg : r.segments[j]) {
+      EXPECT_TRUE(jobs[j].allowed.covers(seg))
+          << "job " << jobs[j].id << " segment " << seg.lo << "-" << seg.hi;
+      usage.add(seg, 1.0);
+    }
+  }
+  // One machine: no two jobs simultaneously.
+  EXPECT_LE(usage.max_value(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfPropertyTest,
+                         ::testing::Values(1u, 4u, 9u, 16u, 25u, 36u, 49u, 64u));
+
+}  // namespace
+}  // namespace dcn

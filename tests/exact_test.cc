@@ -1,0 +1,118 @@
+// Tests for the exhaustive DCFSR solver.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dcfs/most_critical_first.h"
+#include "dcfsr/exact.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "graph/k_shortest.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(ExactDcfsr, SingleFlowMatchesDensityOptimum) {
+  // One flow on the line network: the only choice is the single path;
+  // optimal rate is the density.
+  const Topology topo = line_network(3);
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 1.0, 4.0}};
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const auto exact = exact_dcfsr(topo.graph(), flows, model);
+  EXPECT_EQ(exact.assignments_tried, 1);
+  EXPECT_NEAR(exact.energy, 2.0 * 4.0 * 3.0, 1e-9);  // 2 links * 2^2 * 3s
+}
+
+TEST(ExactDcfsr, SplitsTwoFlowsAcrossParallelLinks) {
+  // Two identical simultaneous flows, two parallel links, alpha = 2:
+  // the optimum puts one flow per link (energy 2 * 1 * T) instead of
+  // stacking (energy (1+1)^2 * T = 4T... as one link at rate 2 serially
+  // or doubled rate).
+  const Topology topo = parallel_links(2);
+  const std::vector<Flow> flows{
+      {0, 0, 1, 10.0, 0.0, 10.0},
+      {1, 0, 1, 10.0, 0.0, 10.0},
+  };
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  const auto exact = exact_dcfsr(topo.graph(), flows, model);
+  EXPECT_EQ(exact.assignments_tried, 4);
+  // One flow per link at rate 1 for 10s each: 2 * 1^2 * 10 = 20.
+  EXPECT_NEAR(exact.energy, 20.0, 1e-6);
+  EXPECT_NE(exact.chosen_path_index[0], exact.chosen_path_index[1]);
+}
+
+TEST(ExactDcfsr, PrefersConsolidationWhenIdlePowerDominates) {
+  // Same two flows, huge sigma: one active link costs less despite the
+  // superadditive dynamic term — note both flows then share the link
+  // serially via MCF.
+  const Topology topo = parallel_links(2);
+  const std::vector<Flow> flows{
+      {0, 0, 1, 5.0, 0.0, 10.0},
+      {1, 0, 1, 5.0, 0.0, 10.0},
+  };
+  const PowerModel model(/*sigma=*/10.0, /*mu=*/1.0, /*alpha=*/2.0);
+  const auto exact = exact_dcfsr(topo.graph(), flows, model);
+  EXPECT_EQ(exact.chosen_path_index[0], exact.chosen_path_index[1]);
+  // One link: idle 10 * 10 + dynamic 1^2 * 10 (rate 1 for the combined
+  // 10 units over the horizon) = 110 < two links at rate 0.5:
+  // 2*100 + 2*0.25*10 = 205.
+  EXPECT_NEAR(exact.energy, 110.0, 1e-6);
+}
+
+TEST(ExactDcfsr, BoundedByLbAndNeverBeatenInItsOwnModel) {
+  // The exact virtual-circuit optimum is (a) lower-bounded by the
+  // fractional LB and (b) no worse than any single assignment drawn
+  // from the same candidate path space and scheduled with MCF.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    PaperWorkloadParams params;
+    params.num_flows = 5;
+    params.horizon_hi = 20.0;
+    const auto flows = paper_workload(topo, params, rng);
+    ExactDcfsrOptions options;
+    options.paths_per_flow = 4;
+    const auto exact = exact_dcfsr(g, flows, model, options);
+
+    const auto relax = solve_relaxation(g, flows, model);
+    EXPECT_GE(exact.energy, relax.lower_bound_energy * (1.0 - 1e-6))
+        << "seed " << seed;
+
+    // A random assignment from the same candidate space cannot beat it.
+    const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+    std::vector<Path> assignment;
+    for (const Flow& fl : flows) {
+      auto cands = yen_k_shortest_paths(g, fl.src, fl.dst, unit, 4);
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cands.size()) - 1));
+      assignment.push_back(cands[pick]);
+    }
+    const auto arbitrary = most_critical_first(g, flows, assignment, model);
+    const double arbitrary_energy =
+        energy_phi_f(g, arbitrary.schedule, model, flow_horizon(flows));
+    EXPECT_LE(exact.energy, arbitrary_energy * (1.0 + 1e-9)) << "seed " << seed;
+
+    const auto replay = replay_schedule(g, flows, exact.schedule, model);
+    EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  }
+}
+
+TEST(ExactDcfsr, RejectsExplosiveInstances) {
+  const Topology topo = fat_tree(4);
+  Rng rng(9);
+  PaperWorkloadParams params;
+  params.num_flows = 30;
+  const auto flows = paper_workload(topo, params, rng);
+  ExactDcfsrOptions options;
+  options.paths_per_flow = 4;
+  options.max_assignments = 1000;  // 4^30 >> 1000
+  EXPECT_THROW((void)exact_dcfsr(topo.graph(), flows,
+                                 PowerModel::pure_speed_scaling(2.0), options),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,122 @@
+// Tests for the Raghavan-Tompson style path decomposition.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/flow_decomposition.h"
+#include "graph/k_shortest.h"
+#include "graph/shortest_path.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(FlowDecomposition, SinglePathFlow) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  std::vector<double> flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  flow[static_cast<std::size_t>(e01)] = 2.0;
+  flow[static_cast<std::size_t>(e12)] = 2.0;
+  const auto paths = decompose_flow(g, 0, 2, flow, 2.0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 1.0);
+  EXPECT_EQ(paths[0].path.edges, (std::vector<EdgeId>{e01, e12}));
+}
+
+TEST(FlowDecomposition, SplitAcrossParallelRoutes) {
+  Graph g(4);
+  const EdgeId a1 = g.add_edge(0, 1);
+  const EdgeId a2 = g.add_edge(1, 3);
+  const EdgeId b1 = g.add_edge(0, 2);
+  const EdgeId b2 = g.add_edge(2, 3);
+  std::vector<double> flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  flow[static_cast<std::size_t>(a1)] = 0.75;
+  flow[static_cast<std::size_t>(a2)] = 0.75;
+  flow[static_cast<std::size_t>(b1)] = 0.25;
+  flow[static_cast<std::size_t>(b2)] = 0.25;
+  const auto paths = decompose_flow(g, 0, 3, flow, 1.0);
+  ASSERT_EQ(paths.size(), 2u);
+  double total = 0.0;
+  for (const auto& wp : paths) {
+    EXPECT_TRUE(is_valid_path(g, wp.path));
+    total += wp.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The heavier route carries 0.75.
+  const double max_w = std::max(paths[0].weight, paths[1].weight);
+  EXPECT_NEAR(max_w, 0.75, 1e-9);
+}
+
+TEST(FlowDecomposition, ContractsOnBadInput) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  std::vector<double> flow{1.0};
+  EXPECT_THROW((void)decompose_flow(g, 0, 0, flow, 1.0), ContractViolation);
+  EXPECT_THROW((void)decompose_flow(g, 0, 1, flow, 0.0), ContractViolation);
+  EXPECT_THROW((void)decompose_flow(g, 0, 1, std::vector<double>{}, 1.0),
+               ContractViolation);
+}
+
+// Property: decomposing a random convex combination of known simple
+// paths recovers weights that sum to 1 and only uses support edges.
+class DecompositionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecompositionPropertyTest, RecoversConvexCombinations) {
+  Rng rng(GetParam());
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const NodeId src = topo.hosts()[0];
+  const NodeId dst = topo.hosts()[topo.hosts().size() - 1];
+
+  const auto base_paths = equal_cost_paths(g, src, dst, 4);
+  ASSERT_EQ(base_paths.size(), 4u);
+
+  // Random convex combination.
+  std::vector<double> mix(base_paths.size());
+  double total = 0.0;
+  for (double& m : mix) {
+    m = rng.uniform(0.05, 1.0);
+    total += m;
+  }
+  for (double& m : mix) m /= total;
+
+  const double demand = rng.uniform(0.5, 10.0);
+  std::vector<double> edge_flow(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t p = 0; p < base_paths.size(); ++p) {
+    for (EdgeId e : base_paths[p].edges) {
+      edge_flow[static_cast<std::size_t>(e)] += mix[p] * demand;
+    }
+  }
+
+  const auto out = decompose_flow(g, src, dst, edge_flow, demand);
+  double weight_total = 0.0;
+  for (const auto& wp : out) {
+    EXPECT_TRUE(is_valid_path(g, wp.path));
+    EXPECT_EQ(wp.path.src, src);
+    EXPECT_EQ(wp.path.dst, dst);
+    EXPECT_GT(wp.weight, 0.0);
+    weight_total += wp.weight;
+    // Only support edges may appear.
+    for (EdgeId e : wp.path.edges) {
+      EXPECT_GT(edge_flow[static_cast<std::size_t>(e)], 0.0);
+    }
+  }
+  EXPECT_NEAR(weight_total, 1.0, 1e-9);
+  // Every edge's flow is fully explained by the extracted paths.
+  std::vector<double> reconstructed(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const auto& wp : out) {
+    for (EdgeId e : wp.path.edges) {
+      reconstructed[static_cast<std::size_t>(e)] += wp.weight * demand;
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NEAR(reconstructed[static_cast<std::size_t>(e)],
+                edge_flow[static_cast<std::size_t>(e)], 1e-6 * demand);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionPropertyTest,
+                         ::testing::Values(3u, 17u, 29u, 31u, 101u, 257u));
+
+}  // namespace
+}  // namespace dcn

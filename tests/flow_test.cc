@@ -1,0 +1,158 @@
+// Tests for Flow and the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/flow.h"
+#include "flow/workload.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(Flow, DensityAndSpan) {
+  const Flow fl{0, 1, 2, 10.0, 2.0, 7.0};
+  EXPECT_DOUBLE_EQ(fl.density(), 2.0);
+  EXPECT_EQ(fl.span(), Interval(2.0, 7.0));
+  EXPECT_TRUE(fl.active_at(2.0));
+  EXPECT_TRUE(fl.active_at(6.9));
+  EXPECT_FALSE(fl.active_at(7.0));
+  EXPECT_FALSE(fl.active_at(1.9));
+}
+
+TEST(Flow, HorizonAndMaxDensity) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 4.0, 3.0, 5.0},   // density 2
+      {1, 0, 1, 9.0, 1.0, 10.0},  // density 1
+  };
+  EXPECT_EQ(flow_horizon(flows), Interval(1.0, 10.0));
+  EXPECT_DOUBLE_EQ(max_density(flows), 2.0);
+}
+
+TEST(Flow, ValidationCatchesBadFlows) {
+  const Topology topo = line_network(3);
+  const Graph& g = topo.graph();
+  // Deadline before release.
+  EXPECT_THROW(validate_flows(g, {{0, 0, 2, 1.0, 5.0, 3.0}}), ContractViolation);
+  // Zero volume.
+  EXPECT_THROW(validate_flows(g, {{0, 0, 2, 0.0, 1.0, 3.0}}), ContractViolation);
+  // Same endpoints.
+  EXPECT_THROW(validate_flows(g, {{0, 1, 1, 1.0, 1.0, 3.0}}), ContractViolation);
+  // Misnumbered id.
+  EXPECT_THROW(validate_flows(g, {{5, 0, 2, 1.0, 1.0, 3.0}}), ContractViolation);
+  // A good one passes.
+  EXPECT_NO_THROW(validate_flows(g, {{0, 0, 2, 1.0, 1.0, 3.0}}));
+}
+
+TEST(PaperWorkload, RespectsAllParameters) {
+  const Topology topo = fat_tree(4);
+  Rng rng(42);
+  PaperWorkloadParams params;
+  params.num_flows = 200;
+  const auto flows = paper_workload(topo, params, rng);
+  ASSERT_EQ(flows.size(), 200u);
+  for (const Flow& fl : flows) {
+    EXPECT_GE(fl.release, params.horizon_lo);
+    EXPECT_LE(fl.deadline, params.horizon_hi);
+    EXPECT_GE(fl.deadline - fl.release, params.min_span);
+    EXPECT_GE(fl.volume, params.min_volume);
+    EXPECT_TRUE(topo.is_host(fl.src));
+    EXPECT_TRUE(topo.is_host(fl.dst));
+    EXPECT_NE(fl.src, fl.dst);
+  }
+}
+
+TEST(PaperWorkload, VolumeDistributionApproximatesNormal) {
+  const Topology topo = fat_tree(4);
+  Rng rng(7);
+  PaperWorkloadParams params;
+  params.num_flows = 5000;
+  const auto flows = paper_workload(topo, params, rng);
+  double sum = 0.0;
+  for (const Flow& fl : flows) sum += fl.volume;
+  EXPECT_NEAR(sum / static_cast<double>(flows.size()), 10.0, 0.2);  // N(10,3)
+}
+
+TEST(PaperWorkload, DeterministicPerSeed) {
+  const Topology topo = fat_tree(4);
+  Rng rng1(123), rng2(123);
+  PaperWorkloadParams params;
+  const auto a = paper_workload(topo, params, rng1);
+  const auto b = paper_workload(topo, params, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IncastWorkload, AllFlowsShareTheAggregator) {
+  const Topology topo = fat_tree(4);
+  Rng rng(11);
+  const auto flows = incast_workload(topo, 8, 5.0, {0.0, 10.0}, rng);
+  ASSERT_EQ(flows.size(), 8u);
+  const NodeId agg = flows[0].dst;
+  std::set<NodeId> senders;
+  for (const Flow& fl : flows) {
+    EXPECT_EQ(fl.dst, agg);
+    EXPECT_DOUBLE_EQ(fl.volume, 5.0);
+    EXPECT_DOUBLE_EQ(fl.release, 0.0);
+    EXPECT_DOUBLE_EQ(fl.deadline, 10.0);
+    senders.insert(fl.src);
+  }
+  EXPECT_EQ(senders.size(), 8u);  // distinct senders
+  EXPECT_EQ(senders.count(agg), 0u);
+}
+
+TEST(ShuffleWorkload, FullBipartitePattern) {
+  const Topology topo = fat_tree(4);
+  Rng rng(13);
+  const auto flows = shuffle_workload(topo, 3, 4, 2.0, {1.0, 5.0}, rng);
+  ASSERT_EQ(flows.size(), 12u);
+  std::set<NodeId> mappers, reducers;
+  for (const Flow& fl : flows) {
+    mappers.insert(fl.src);
+    reducers.insert(fl.dst);
+  }
+  EXPECT_EQ(mappers.size(), 3u);
+  EXPECT_EQ(reducers.size(), 4u);
+  for (NodeId m : mappers) EXPECT_EQ(reducers.count(m), 0u);
+}
+
+TEST(PermutationWorkload, DistinctPartners) {
+  const Topology topo = fat_tree(4);
+  Rng rng(17);
+  PaperWorkloadParams params;
+  const auto flows = permutation_workload(topo, 6, params, rng);
+  ASSERT_EQ(flows.size(), 6u);
+  std::set<NodeId> used;
+  for (const Flow& fl : flows) {
+    EXPECT_TRUE(used.insert(fl.src).second);
+    EXPECT_TRUE(used.insert(fl.dst).second);
+  }
+}
+
+TEST(SlackWorkload, SlackControlsSpanLength) {
+  const Topology topo = fat_tree(4);
+  Rng rng(19);
+  const auto tight = slack_workload(topo, 10, 10.0, 1.0, 1.0, {0.0, 100.0}, rng);
+  const auto loose = slack_workload(topo, 10, 10.0, 1.0, 4.0, {0.0, 100.0}, rng);
+  for (const Flow& fl : tight) {
+    EXPECT_NEAR(fl.deadline - fl.release, 10.0, 1e-9);
+    EXPECT_NEAR(fl.density(), 1.0, 1e-9);
+  }
+  for (const Flow& fl : loose) {
+    EXPECT_NEAR(fl.deadline - fl.release, 40.0, 1e-9);
+    EXPECT_NEAR(fl.density(), 0.25, 1e-9);
+  }
+}
+
+TEST(Workloads, RejectOversizedRequests) {
+  const Topology topo = line_network(3);  // 3 hosts
+  Rng rng(1);
+  EXPECT_THROW((void)incast_workload(topo, 3, 1.0, {0.0, 1.0}, rng),
+               ContractViolation);
+  EXPECT_THROW((void)shuffle_workload(topo, 2, 2, 1.0, {0.0, 1.0}, rng),
+               ContractViolation);
+  PaperWorkloadParams params;
+  EXPECT_THROW((void)permutation_workload(topo, 2, params, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,109 @@
+// Tests for the Graph container and Path validation.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "graph/graph.h"
+#include "graph/path.h"
+
+namespace dcn {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_EQ(g.num_nodes(), 2);
+  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).dst, b);
+  ASSERT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.out_edges(a)[0], e);
+  ASSERT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_EQ(g.in_edges(b)[0], e);
+  EXPECT_TRUE(g.out_edges(b).empty());
+}
+
+TEST(Graph, BulkNodeCreation) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  const NodeId first = g.add_nodes(3);
+  EXPECT_EQ(first, 5);
+  EXPECT_EQ(g.num_nodes(), 8);
+}
+
+TEST(Graph, BidirectionalEdgesKnowTheirReverse) {
+  Graph g(2);
+  const auto [fwd, bwd] = g.add_bidirectional_edge(0, 1);
+  EXPECT_EQ(g.reverse_edge(fwd), bwd);
+  EXPECT_EQ(g.reverse_edge(bwd), fwd);
+  const EdgeId solo = g.add_edge(0, 1);
+  EXPECT_EQ(g.reverse_edge(solo), kInvalidEdge);
+}
+
+TEST(Graph, ParallelEdgesAreDistinct) {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(0, 1);
+  const EdgeId e2 = g.add_edge(0, 1);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+}
+
+TEST(Graph, ContractsRejectInvalidEndpoints) {
+  Graph g(2);
+  EXPECT_THROW((void)g.add_edge(0, 5), ContractViolation);
+  EXPECT_THROW((void)g.add_edge(0, 0), ContractViolation);  // no self loops
+  EXPECT_THROW((void)g.edge(3), ContractViolation);
+  EXPECT_THROW((void)g.out_edges(-1), ContractViolation);
+}
+
+TEST(Path, ValidSimplePath) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e23 = g.add_edge(2, 3);
+  const Path p{0, 3, {e01, e12, e23}};
+  EXPECT_TRUE(is_valid_path(g, p));
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(path_nodes(g, p), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Path, DisconnectedChainIsInvalid) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e23 = g.add_edge(2, 3);
+  EXPECT_FALSE(is_valid_path(g, Path{0, 3, {e01, e23}}));
+}
+
+TEST(Path, WrongEndpointsAreInvalid) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  EXPECT_FALSE(is_valid_path(g, Path{0, 2, {e01}}));  // ends at 1, not 2
+  EXPECT_FALSE(is_valid_path(g, Path{1, 1, {e01}}));  // starts at 0, not 1
+}
+
+TEST(Path, RepeatedNodeIsInvalid) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e10 = g.add_edge(1, 0);
+  const EdgeId e01b = g.add_edge(0, 1);
+  EXPECT_FALSE(is_valid_path(g, Path{0, 1, {e01, e10, e01b}}));
+}
+
+TEST(Path, EmptyPathValidOnlyWhenSrcEqualsDst) {
+  Graph g(2);
+  EXPECT_TRUE(is_valid_path(g, Path{0, 0, {}}));
+  EXPECT_FALSE(is_valid_path(g, Path{0, 1, {}}));
+}
+
+TEST(Path, WeightSumsEdgeWeights) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const std::vector<double> w{2.0, 3.5};
+  EXPECT_DOUBLE_EQ(path_weight(Path{0, 2, {e01, e12}}, w), 5.5);
+}
+
+}  // namespace
+}  // namespace dcn

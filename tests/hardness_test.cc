@@ -1,0 +1,90 @@
+// Tests for the NP-hardness gadget builders (Theorems 2 and 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcfsr/hardness.h"
+
+namespace dcn {
+namespace {
+
+TEST(Hardness, CalibrationMakesRoptEqualB) {
+  // sigma = mu (alpha-1) B^alpha  =>  R_opt = B (the reduction's pivot).
+  const std::vector<double> volumes{3.0, 3.0, 4.0, 4.0, 3.0, 3.0};  // m=2, B=10
+  const auto inst = three_partition_instance(volumes, 10.0, 1.0, 2.0, 4);
+  EXPECT_NEAR(inst.model.r_opt(), 10.0, 1e-9);
+  EXPECT_EQ(inst.flows.size(), 6u);
+  EXPECT_EQ(inst.topology.graph().num_nodes(), 2);
+}
+
+TEST(Hardness, PerfectPartitionAchievesPhi0) {
+  // Volumes admit a perfect 3-partition into {3,3,4} + {4,3,3}: each
+  // group sums to B = 10, so grouped energy = m * alpha * mu * B^alpha.
+  const std::vector<double> volumes{3.0, 3.0, 4.0, 4.0, 3.0, 3.0};
+  const auto inst = three_partition_instance(volumes, 10.0, 1.0, 2.0, 4);
+  const double phi =
+      grouped_energy(inst, {{0, 1, 2}, {3, 4, 5}});
+  EXPECT_NEAR(phi, inst.phi0, 1e-9);
+  EXPECT_NEAR(inst.phi0, 2.0 * 2.0 * 1.0 * 100.0, 1e-9);
+}
+
+TEST(Hardness, ImbalancedPartitionCostsStrictlyMore) {
+  const std::vector<double> volumes{3.0, 3.0, 4.0, 4.0, 3.0, 3.0};
+  const auto inst = three_partition_instance(volumes, 10.0, 1.0, 2.0, 4);
+  // Imbalanced grouping: {3,3,3} = 9 and {4,4,3} = 11.
+  const double phi = grouped_energy(inst, {{0, 1, 5}, {2, 3, 4}});
+  EXPECT_GT(phi, inst.phi0 + 1e-9);
+  // More groups than necessary also costs more (extra idle charges).
+  const double phi3 =
+      grouped_energy(inst, {{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_GT(phi3, inst.phi0 + 1e-9);
+}
+
+TEST(Hardness, PowerRateOptimalityExplainsTheGap) {
+  // Theorem 2's "otherwise" direction: any link running at rate != B
+  // has power rate > f(B)/B, so total energy > m alpha mu B^alpha.
+  const std::vector<double> volumes{3.0, 3.0, 4.0, 4.0, 3.0, 3.0};
+  const auto inst = three_partition_instance(volumes, 10.0, 1.0, 3.0, 4);
+  const double optimal_rate = inst.model.power_rate(10.0);
+  for (double rate : {6.0, 8.0, 9.0, 11.0, 14.0}) {
+    EXPECT_GT(inst.model.power_rate(rate), optimal_rate);
+  }
+}
+
+TEST(Hardness, GroupedEnergySkipsEmptyGroups) {
+  const std::vector<double> volumes{3.0, 3.0, 4.0, 4.0, 3.0, 3.0};
+  const auto inst = three_partition_instance(volumes, 10.0, 1.0, 2.0, 4);
+  const double phi_with_empty = grouped_energy(inst, {{0, 1, 2}, {}, {3, 4, 5}});
+  const double phi = grouped_energy(inst, {{0, 1, 2}, {3, 4, 5}});
+  EXPECT_DOUBLE_EQ(phi_with_empty, phi);
+}
+
+TEST(Hardness, BuilderContracts) {
+  EXPECT_THROW(
+      (void)three_partition_instance({1.0, 2.0}, 10.0, 1.0, 2.0, 2),  // not 3m
+      ContractViolation);
+  EXPECT_THROW(
+      (void)three_partition_instance({1.0, 2.0, 3.0}, 10.0, 1.0, 2.0, 0),  // k < m
+      ContractViolation);
+  EXPECT_THROW(
+      (void)three_partition_instance({1.0, -2.0, 3.0}, 10.0, 1.0, 2.0, 2),
+      ContractViolation);
+}
+
+TEST(Hardness, Theorem3GapIsRealizedOnPartitionGadget) {
+  // Partition instance with a perfect split: 2 links at rate B/2 = C
+  // versus the imperfect 3-way alternative used in the proof. The ratio
+  // between the two certificate energies is the Theorem 3 bound, up to
+  // the sigma >= mu C^alpha (alpha-1) inequality used in the proof.
+  const double alpha = 2.0;
+  const double c = 5.0;  // capacity = B/2
+  const double mu = 1.0;
+  const double sigma = mu * std::pow(c, alpha) * (alpha - 1.0);  // equality case
+  const double two_link = 2.0 * sigma + 2.0 * mu * std::pow(c, alpha);
+  const double three_link = 3.0 * sigma + 3.0 * mu * std::pow(2.0 * c / 3.0, alpha);
+  const PowerModel model(sigma, mu, alpha, c);
+  EXPECT_NEAR(three_link / two_link, model.inapproximability_bound(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dcn

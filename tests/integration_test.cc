@@ -1,0 +1,146 @@
+// Integration tests: the full Fig. 2 pipeline (LB, SP+MCF, RS) on the
+// paper's workload shape, cross-validated by the independent replayer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+struct PipelineOutcome {
+  double lb = 0.0;
+  double rs = 0.0;
+  double sp = 0.0;
+};
+
+PipelineOutcome run_pipeline(const Topology& topo, double alpha, int num_flows,
+                             std::uint64_t seed) {
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(alpha);
+  Rng rng(seed);
+  PaperWorkloadParams params;
+  params.num_flows = num_flows;
+  const auto flows = paper_workload(topo, params, rng);
+
+  const auto rs = random_schedule(g, flows, model, rng);
+  EXPECT_TRUE(rs.capacity_feasible);
+  const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
+  EXPECT_TRUE(rs_replay.ok) << (rs_replay.issues.empty()
+                                    ? ""
+                                    : rs_replay.issues.front());
+
+  const auto sp = sp_mcf(g, flows, model);
+  const auto sp_replay = replay_schedule(g, flows, sp.schedule, model);
+  EXPECT_TRUE(sp_replay.ok) << (sp_replay.issues.empty()
+                                    ? ""
+                                    : sp_replay.issues.front());
+
+  return {rs.lower_bound_energy, rs_replay.energy, sp_replay.energy};
+}
+
+class PipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineTest, LowerBoundHoldsForBothAlgorithms) {
+  const Topology topo = fat_tree(4);
+  for (double alpha : {2.0, 4.0}) {
+    const auto out = run_pipeline(topo, alpha, 24, GetParam());
+    EXPECT_GE(out.rs, out.lb * (1.0 - 1e-6)) << "alpha=" << alpha;
+    EXPECT_GE(out.sp, out.lb * (1.0 - 1e-6)) << "alpha=" << alpha;
+    // The approximation ratio stays moderate on these low-load
+    // instances (Fig. 2 reports roughly 1-3 for RS).
+    EXPECT_LT(out.rs / out.lb, 10.0) << "alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineTest, ::testing::Values(101u, 202u, 303u));
+
+TEST(Pipeline, RsBeatsSpOnCongestedSharedBottleneck) {
+  // Many concurrent flows between the same pair of edge switches: SP
+  // stacks them all on one path, RS spreads them across the fabric.
+  // With sigma = 0 and alpha = 2, spreading must win.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 8; ++i) {
+    // Same source/destination edge switches, distinct hosts where
+    // possible (2 hosts per edge switch in fat_tree(4)).
+    const NodeId src = topo.hosts()[static_cast<std::size_t>(i % 2)];
+    const NodeId dst = topo.hosts()[static_cast<std::size_t>(14 + i % 2)];
+    flows.push_back({i, src, dst, 10.0, 0.0, 10.0});
+  }
+  Rng rng(7);
+  const auto rs = random_schedule(g, flows, model, rng);
+  ASSERT_TRUE(rs.capacity_feasible);
+  const auto sp = sp_mcf(g, flows, model);
+  const double sp_energy = energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
+  EXPECT_LT(rs.energy, sp_energy);
+}
+
+TEST(Pipeline, IncastWorkloadEndToEnd) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(55);
+  const auto flows = incast_workload(topo, 10, 4.0, {0.0, 20.0}, rng);
+  const auto rs = random_schedule(g, flows, model, rng);
+  ASSERT_TRUE(rs.capacity_feasible);
+  const auto replay = replay_schedule(g, flows, rs.schedule, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  EXPECT_GE(rs.energy, rs.lower_bound_energy * (1.0 - 1e-6));
+}
+
+TEST(Pipeline, ShuffleWorkloadEndToEnd) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(66);
+  const auto flows = shuffle_workload(topo, 4, 4, 2.0, {0.0, 25.0}, rng);
+  const auto rs = random_schedule(g, flows, model, rng);
+  ASSERT_TRUE(rs.capacity_feasible);
+  const auto sp = sp_mcf(g, flows, model);
+  const auto sp_replay = replay_schedule(g, flows, sp.schedule, model);
+  EXPECT_TRUE(sp_replay.ok);
+  EXPECT_GE(sp_replay.energy, rs.lower_bound_energy * (1.0 - 1e-6));
+}
+
+TEST(Pipeline, WorksOnBCubeAndLeafSpine) {
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  for (const Topology& topo : {bcube(2, 1), leaf_spine(4, 2, 4)}) {
+    Rng rng(88);
+    PaperWorkloadParams params;
+    params.num_flows = 10;
+    params.horizon_hi = 20.0;
+    const auto flows = paper_workload(topo, params, rng);
+    const auto rs = random_schedule(topo.graph(), flows, model, rng);
+    ASSERT_TRUE(rs.capacity_feasible) << topo.name();
+    const auto replay = replay_schedule(topo.graph(), flows, rs.schedule, model);
+    EXPECT_TRUE(replay.ok) << topo.name();
+    EXPECT_GE(rs.energy, rs.lower_bound_energy * (1.0 - 1e-6)) << topo.name();
+  }
+}
+
+TEST(Pipeline, GreedyBaselineAlsoBoundedByLb) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model(0.5, 1.0, 2.0);
+  Rng rng(99);
+  PaperWorkloadParams params;
+  params.num_flows = 15;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto relax = solve_relaxation(g, flows, model);
+  const Schedule greedy = greedy_energy_aware(g, flows, model);
+  const double greedy_energy =
+      energy_phi_f(g, greedy, model, flow_horizon(flows));
+  EXPECT_GE(greedy_energy, relax.lower_bound_energy * (1.0 - 1e-6));
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,100 @@
+// Tests for the breakpoint interval decomposition (Sec. V-A).
+#include <gtest/gtest.h>
+
+#include "mcf/interval_decomposition.h"
+
+namespace dcn {
+namespace {
+
+TEST(IntervalDecomposition, BreakpointsAreSortedUniqueReleaseDeadlines) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 2.0, 7.0},
+      {1, 0, 1, 1.0, 4.0, 9.0},
+      {2, 0, 1, 1.0, 2.0, 4.0},  // duplicates 2 and 4
+  };
+  const auto dec = decompose_intervals(flows);
+  EXPECT_EQ(dec.breakpoints, (std::vector<double>{2.0, 4.0, 7.0, 9.0}));
+  ASSERT_EQ(dec.num_intervals(), 3u);
+  EXPECT_EQ(dec.intervals[0], Interval(2.0, 4.0));
+  EXPECT_EQ(dec.intervals[1], Interval(4.0, 7.0));
+  EXPECT_EQ(dec.intervals[2], Interval(7.0, 9.0));
+}
+
+TEST(IntervalDecomposition, ActiveSetsPerInterval) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 2.0, 7.0},
+      {1, 0, 1, 1.0, 4.0, 9.0},
+      {2, 0, 1, 1.0, 2.0, 4.0},
+  };
+  const auto dec = decompose_intervals(flows);
+  EXPECT_EQ(dec.active[0], (std::vector<FlowId>{0, 2}));  // [2,4)
+  EXPECT_EQ(dec.active[1], (std::vector<FlowId>{0, 1}));  // [4,7)
+  EXPECT_EQ(dec.active[2], (std::vector<FlowId>{1}));     // [7,9)
+}
+
+TEST(IntervalDecomposition, EveryFlowSpanIsExactlyPartitioned) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 1.0, 10.0},
+      {1, 0, 1, 1.0, 3.0, 5.0},
+      {2, 0, 1, 1.0, 4.0, 8.0},
+  };
+  const auto dec = decompose_intervals(flows);
+  for (const Flow& fl : flows) {
+    double covered = 0.0;
+    for (std::size_t k = 0; k < dec.num_intervals(); ++k) {
+      const bool active = std::find(dec.active[k].begin(), dec.active[k].end(),
+                                    fl.id) != dec.active[k].end();
+      if (active) {
+        covered += dec.intervals[k].measure();
+        EXPECT_TRUE(fl.span().covers(dec.intervals[k]));
+      }
+    }
+    EXPECT_NEAR(covered, fl.deadline - fl.release, 1e-9);
+  }
+}
+
+TEST(IntervalDecomposition, LambdaAndBeta) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 0.0, 10.0},
+      {1, 0, 1, 1.0, 8.0, 10.0},
+  };
+  const auto dec = decompose_intervals(flows);
+  // Intervals [0,8) and [8,10): lambda = 10/2 = 5.
+  EXPECT_NEAR(dec.lambda(), 5.0, 1e-12);
+  EXPECT_NEAR(dec.beta(0), 0.8, 1e-12);
+  EXPECT_NEAR(dec.beta(1), 0.2, 1e-12);
+  EXPECT_EQ(dec.horizon(), Interval(0.0, 10.0));
+}
+
+TEST(IntervalDecomposition, SingleFlow) {
+  const std::vector<Flow> flows{{0, 0, 1, 5.0, 1.0, 3.0}};
+  const auto dec = decompose_intervals(flows);
+  ASSERT_EQ(dec.num_intervals(), 1u);
+  EXPECT_EQ(dec.intervals[0], Interval(1.0, 3.0));
+  EXPECT_NEAR(dec.lambda(), 1.0, 1e-12);
+  EXPECT_EQ(dec.active[0], (std::vector<FlowId>{0}));
+}
+
+TEST(IntervalDecomposition, GapsBetweenFlowsYieldEmptyActiveSets) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 0.0, 2.0},
+      {1, 0, 1, 1.0, 5.0, 6.0},
+  };
+  const auto dec = decompose_intervals(flows);
+  ASSERT_EQ(dec.num_intervals(), 3u);
+  EXPECT_TRUE(dec.active[1].empty());  // [2,5): nobody active
+}
+
+TEST(IntervalDecomposition, NearCoincidentBreakpointsAreMerged) {
+  const std::vector<Flow> flows{
+      {0, 0, 1, 1.0, 0.0, 5.0},
+      {1, 0, 1, 1.0, 5.0 + 1e-12, 9.0},
+  };
+  const auto dec = decompose_intervals(flows);
+  // 5.0 and 5.0+1e-12 merge: no degenerate interval, lambda stays sane.
+  EXPECT_EQ(dec.num_intervals(), 2u);
+  EXPECT_LT(dec.lambda(), 10.0);
+}
+
+}  // namespace
+}  // namespace dcn

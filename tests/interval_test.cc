@@ -1,0 +1,251 @@
+// Unit and property tests for Interval / IntervalSet.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/interval.h"
+#include "common/random.h"
+
+namespace dcn {
+namespace {
+
+TEST(Interval, MeasureAndEmptiness) {
+  EXPECT_DOUBLE_EQ(Interval(1.0, 4.0).measure(), 3.0);
+  EXPECT_DOUBLE_EQ(Interval(2.0, 2.0).measure(), 0.0);
+  EXPECT_DOUBLE_EQ(Interval(3.0, 1.0).measure(), 0.0);
+  EXPECT_TRUE(Interval(2.0, 2.0).empty());
+  EXPECT_TRUE(Interval(3.0, 1.0).empty());
+  EXPECT_FALSE(Interval(0.0, 0.5).empty());
+}
+
+TEST(Interval, ContainsIsClosedOpen) {
+  const Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_FALSE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(Interval, IntersectAndOverlap) {
+  const Interval a{0.0, 5.0}, b{3.0, 8.0}, c{6.0, 7.0};
+  EXPECT_EQ(a.intersect(b), Interval(3.0, 5.0));
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.intersect(c).empty());
+  // Touching intervals do not overlap (closed-open semantics).
+  EXPECT_FALSE(Interval(0.0, 1.0).overlaps(Interval(1.0, 2.0)));
+}
+
+TEST(Interval, Covers) {
+  EXPECT_TRUE(Interval(0.0, 10.0).covers(Interval(2.0, 3.0)));
+  EXPECT_TRUE(Interval(0.0, 10.0).covers(Interval(0.0, 10.0)));
+  EXPECT_FALSE(Interval(0.0, 10.0).covers(Interval(9.0, 11.0)));
+}
+
+TEST(IntervalSet, AddMergesTouchingIntervals) {
+  IntervalSet s;
+  s.add({0.0, 1.0});
+  s.add({2.0, 3.0});
+  EXPECT_EQ(s.size(), 2u);
+  s.add({1.0, 2.0});  // bridges the gap
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(0.0, 3.0));
+}
+
+TEST(IntervalSet, AddOverlappingKeepsCanonicalForm) {
+  IntervalSet s;
+  s.add({0.0, 4.0});
+  s.add({2.0, 6.0});
+  s.add({5.0, 5.5});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(0.0, 6.0));
+  EXPECT_DOUBLE_EQ(s.measure(), 6.0);
+}
+
+TEST(IntervalSet, SubtractSplitsInTheMiddle) {
+  IntervalSet s{Interval{0.0, 10.0}};
+  s.subtract(Interval{3.0, 4.0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], Interval(0.0, 3.0));
+  EXPECT_EQ(s.intervals()[1], Interval(4.0, 10.0));
+  EXPECT_DOUBLE_EQ(s.measure(), 9.0);
+}
+
+TEST(IntervalSet, SubtractEdgesAndDisjoint) {
+  IntervalSet s{Interval{0.0, 10.0}};
+  s.subtract(Interval{0.0, 2.0});
+  s.subtract(Interval{8.0, 12.0});
+  s.subtract(Interval{-5.0, -1.0});  // disjoint: no effect
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(2.0, 8.0));
+}
+
+TEST(IntervalSet, SubtractEverything) {
+  IntervalSet s{Interval{1.0, 2.0}};
+  s.subtract(Interval{0.0, 3.0});
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.measure(), 0.0);
+}
+
+TEST(IntervalSet, UniteSets) {
+  IntervalSet a = IntervalSet::from_intervals({{0.0, 1.0}, {4.0, 5.0}});
+  IntervalSet b = IntervalSet::from_intervals({{0.5, 4.5}, {7.0, 8.0}});
+  a.unite(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.intervals()[0], Interval(0.0, 5.0));
+  EXPECT_EQ(a.intervals()[1], Interval(7.0, 8.0));
+}
+
+TEST(IntervalSet, IntersectWindow) {
+  IntervalSet s = IntervalSet::from_intervals({{0.0, 2.0}, {3.0, 5.0}, {6.0, 9.0}});
+  const IntervalSet clipped = s.intersect(Interval{1.0, 7.0});
+  ASSERT_EQ(clipped.size(), 3u);
+  EXPECT_EQ(clipped.intervals()[0], Interval(1.0, 2.0));
+  EXPECT_EQ(clipped.intervals()[1], Interval(3.0, 5.0));
+  EXPECT_EQ(clipped.intervals()[2], Interval(6.0, 7.0));
+}
+
+TEST(IntervalSet, IntersectSets) {
+  const IntervalSet a = IntervalSet::from_intervals({{0.0, 4.0}, {6.0, 10.0}});
+  const IntervalSet b = IntervalSet::from_intervals({{2.0, 7.0}, {9.0, 12.0}});
+  const IntervalSet c = a.intersect(b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.intervals()[0], Interval(2.0, 4.0));
+  EXPECT_EQ(c.intervals()[1], Interval(6.0, 7.0));
+  EXPECT_EQ(c.intervals()[2], Interval(9.0, 10.0));
+}
+
+TEST(IntervalSet, MeasureWithin) {
+  const IntervalSet s = IntervalSet::from_intervals({{0.0, 2.0}, {3.0, 5.0}});
+  EXPECT_DOUBLE_EQ(s.measure_within({1.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(s.measure_within({5.0, 9.0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.measure_within({-1.0, 10.0}), 4.0);
+}
+
+TEST(IntervalSet, ContainsPoint) {
+  const IntervalSet s = IntervalSet::from_intervals({{0.0, 1.0}, {2.0, 3.0}});
+  EXPECT_TRUE(s.contains(0.0));
+  EXPECT_TRUE(s.contains(2.5));
+  EXPECT_FALSE(s.contains(1.0));  // closed-open
+  EXPECT_FALSE(s.contains(1.5));
+  EXPECT_FALSE(s.contains(3.0));
+}
+
+TEST(IntervalSet, CoversInterval) {
+  const IntervalSet s = IntervalSet::from_intervals({{0.0, 4.0}, {5.0, 6.0}});
+  EXPECT_TRUE(s.covers({1.0, 3.0}));
+  EXPECT_FALSE(s.covers({3.0, 5.5}));
+  EXPECT_TRUE(s.covers({2.0, 2.0}));  // empty interval is always covered
+}
+
+TEST(IntervalSet, MinMax) {
+  const IntervalSet s = IntervalSet::from_intervals({{3.0, 5.0}, {0.5, 1.0}});
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(IntervalSet, MinMaxOnEmptySetThrows) {
+  const IntervalSet s;
+  EXPECT_THROW((void)s.min(), ContractViolation);
+  EXPECT_THROW((void)s.max(), ContractViolation);
+}
+
+TEST(IntervalSet, FromIntervalsDropsEmptyAndSorts) {
+  const IntervalSet s =
+      IntervalSet::from_intervals({{5.0, 4.0}, {2.0, 3.0}, {0.0, 1.0}, {1.0, 2.0}});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals().front(), Interval(0.0, 3.0));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random interval operations checked against a dense
+// grid discretization of the same sets.
+// ---------------------------------------------------------------------------
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+constexpr int kGrid = 400;
+constexpr double kLo = 0.0, kHi = 10.0;
+
+std::vector<bool> rasterize(const IntervalSet& s) {
+  std::vector<bool> bits(kGrid);
+  for (int i = 0; i < kGrid; ++i) {
+    const double t = kLo + (kHi - kLo) * (i + 0.5) / kGrid;  // cell midpoints
+    bits[static_cast<std::size_t>(i)] = s.contains(t);
+  }
+  return bits;
+}
+
+Interval random_interval(Rng& rng) {
+  double a = rng.uniform(kLo, kHi);
+  double b = rng.uniform(kLo, kHi);
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+TEST_P(IntervalSetPropertyTest, OperationsMatchGridSemantics) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  std::vector<bool> grid(kGrid, false);
+  for (int step = 0; step < 60; ++step) {
+    const Interval iv = random_interval(rng);
+    const bool add = rng.uniform() < 0.6;
+    if (add) {
+      s.add(iv);
+    } else {
+      s.subtract(iv);
+    }
+    for (int i = 0; i < kGrid; ++i) {
+      const double t = kLo + (kHi - kLo) * (i + 0.5) / kGrid;
+      if (iv.contains(t)) grid[static_cast<std::size_t>(i)] = add;
+    }
+  }
+  EXPECT_EQ(rasterize(s), grid);
+  // Canonical form invariants: sorted, disjoint, non-adjacent, non-empty.
+  const auto& ivs = s.intervals();
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    EXPECT_FALSE(ivs[i].empty());
+    if (i > 0) EXPECT_LT(ivs[i - 1].hi, ivs[i].lo);
+  }
+  // Measure roughly matches the grid density.
+  const double grid_measure =
+      static_cast<double>(std::count(grid.begin(), grid.end(), true)) *
+      (kHi - kLo) / kGrid;
+  EXPECT_NEAR(s.measure(), grid_measure, 60.0 * (kHi - kLo) / kGrid);
+}
+
+TEST_P(IntervalSetPropertyTest, IntersectionIsPointwiseAnd) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  IntervalSet a, b;
+  for (int i = 0; i < 15; ++i) a.add(random_interval(rng));
+  for (int i = 0; i < 15; ++i) b.add(random_interval(rng));
+  const IntervalSet c = a.intersect(b);
+  const auto ra = rasterize(a), rb = rasterize(b), rc = rasterize(c);
+  for (int i = 0; i < kGrid; ++i) {
+    EXPECT_EQ(rc[static_cast<std::size_t>(i)],
+              ra[static_cast<std::size_t>(i)] && rb[static_cast<std::size_t>(i)])
+        << "cell " << i;
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, SubtractSetIsPointwiseAndNot) {
+  Rng rng(GetParam() ^ 0x1234567);
+  IntervalSet a, b;
+  for (int i = 0; i < 15; ++i) a.add(random_interval(rng));
+  for (int i = 0; i < 15; ++i) b.add(random_interval(rng));
+  IntervalSet c = a;
+  c.subtract(b);
+  const auto ra = rasterize(a), rb = rasterize(b), rc = rasterize(c);
+  for (int i = 0; i < kGrid; ++i) {
+    EXPECT_EQ(rc[static_cast<std::size_t>(i)],
+              ra[static_cast<std::size_t>(i)] && !rb[static_cast<std::size_t>(i)])
+        << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace dcn

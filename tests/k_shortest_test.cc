@@ -1,0 +1,97 @@
+// Tests for Yen's k-shortest paths and equal-cost path enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/k_shortest.h"
+#include "graph/shortest_path.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(YenKShortest, EnumeratesAllSimplePathsInOrder) {
+  // Diamond with an extra direct edge: three simple 0->3 paths.
+  Graph g(4);
+  g.add_edge(0, 1);  // e0
+  g.add_edge(1, 3);  // e1
+  g.add_edge(0, 2);  // e2
+  g.add_edge(2, 3);  // e3
+  g.add_edge(0, 3);  // e4 direct
+  const std::vector<double> w{1.0, 1.0, 2.0, 2.0, 5.0};
+  const auto paths = yen_k_shortest_paths(g, 0, 3, w, 10);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].edges, (std::vector<EdgeId>{0, 1}));  // cost 2
+  EXPECT_EQ(paths[1].edges, (std::vector<EdgeId>{2, 3}));  // cost 4
+  EXPECT_EQ(paths[2].edges, (std::vector<EdgeId>{4}));     // cost 5
+  for (const Path& p : paths) EXPECT_TRUE(is_valid_path(g, p));
+}
+
+TEST(YenKShortest, RespectsK) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const std::vector<double> w{1.0, 1.0, 2.0, 2.0};
+  EXPECT_EQ(yen_k_shortest_paths(g, 0, 3, w, 1).size(), 1u);
+  EXPECT_EQ(yen_k_shortest_paths(g, 0, 3, w, 0).size(), 0u);
+}
+
+TEST(YenKShortest, WeightsAreNonDecreasing) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const auto paths =
+      yen_k_shortest_paths(g, topo.hosts()[0], topo.hosts()[8], unit, 12);
+  ASSERT_GE(paths.size(), 4u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(path_weight(paths[i - 1], unit), path_weight(paths[i], unit));
+  }
+  // All returned paths are distinct.
+  std::set<std::vector<EdgeId>> distinct;
+  for (const Path& p : paths) distinct.insert(p.edges);
+  EXPECT_EQ(distinct.size(), paths.size());
+}
+
+TEST(YenKShortest, UnreachableGivesEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const std::vector<double> w{1.0};
+  EXPECT_TRUE(yen_k_shortest_paths(g, 0, 2, w, 5).empty());
+}
+
+TEST(EqualCostPaths, FatTreeCrossPodCount) {
+  // In fat_tree(k), two hosts in different pods have (k/2)^2 equal-cost
+  // 6-hop paths (one per core switch).
+  const Topology topo = fat_tree(4);
+  const auto paths = equal_cost_paths(topo.graph(), topo.hosts()[0],
+                                      topo.hosts()[topo.hosts().size() - 1], 16);
+  EXPECT_EQ(paths.size(), 4u);  // (4/2)^2
+  for (const Path& p : paths) EXPECT_EQ(p.length(), 6u);
+}
+
+TEST(EqualCostPaths, SameEdgeSwitchSinglePath) {
+  const Topology topo = fat_tree(4);
+  const auto paths =
+      equal_cost_paths(topo.graph(), topo.hosts()[0], topo.hosts()[1], 16);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 2u);
+}
+
+TEST(EqualCostPaths, RespectsLimit) {
+  const Topology topo = fat_tree(8);
+  const auto paths = equal_cost_paths(topo.graph(), topo.hosts()[0],
+                                      topo.hosts()[topo.hosts().size() - 1], 5);
+  EXPECT_EQ(paths.size(), 5u);
+}
+
+TEST(EqualCostPaths, ParallelLinksAreAllEqualCost) {
+  const Topology topo = parallel_links(6);
+  const auto paths = equal_cost_paths(topo.graph(), 0, 1, 16);
+  EXPECT_EQ(paths.size(), 6u);
+  for (const Path& p : paths) EXPECT_EQ(p.length(), 1u);
+}
+
+}  // namespace
+}  // namespace dcn

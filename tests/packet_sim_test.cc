@@ -1,0 +1,296 @@
+// Tests for the discrete-event packet simulator — the executable check
+// of Sec. III-C's "priorities realize the fluid schedule" claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "graph/shortest_path.h"
+#include "sim/packet_sim.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+struct LineFixture {
+  Topology topo = line_network(3);
+  EdgeId ab = 0, bc = 2;
+};
+
+TEST(PacketSim, SingleFlowFinishesWithPipelineFill) {
+  // One flow at constant rate 2 on a 2-hop path, volume 6 in [0,3]:
+  // fluid completion 3.0; packetized completion ~ 3.0 + S/2 (one extra
+  // hop of pipeline fill at rate 2).
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 3.0}, 2.0}};
+
+  PacketSimOptions options;
+  options.packet_size = 0.1;
+  const auto report = packet_simulate(fx.topo.graph(), flows, s, options);
+  EXPECT_TRUE(report.all_deadlines_met);
+  EXPECT_EQ(report.packets_delivered, 60);
+  EXPECT_EQ(report.packets_starved, 0);
+  EXPECT_NEAR(report.completion_time[0], 3.0 + 0.1 / 2.0, 1e-9);
+  EXPECT_NEAR(report.lateness[0], 0.05, 1e-9);
+  EXPECT_LE(report.lateness[0], report.pipeline_allowance[0] + 1e-12);
+}
+
+TEST(PacketSim, PipelineFillShrinksLinearlyWithPacketSize) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 3.0}, 2.0}};
+
+  double prev = 1e9;
+  for (double size : {0.4, 0.2, 0.1, 0.05}) {
+    PacketSimOptions options;
+    options.packet_size = size;
+    const auto report = packet_simulate(fx.topo.graph(), flows, s, options);
+    EXPECT_NEAR(report.lateness[0], size / 2.0, 1e-9) << "S=" << size;
+    EXPECT_LT(report.lateness[0], prev);
+    prev = report.lateness[0];
+  }
+}
+
+TEST(PacketSim, ExampleOneScheduleIsRealizable) {
+  // The MCF schedule of the paper's Example 1 survives packetization:
+  // both flows complete within their deadlines + pipeline allowance.
+  const Topology topo = line_network(3);
+  const Graph& g = topo.graph();
+  const std::vector<Flow> flows{
+      {0, 0, 2, 6.0, 2.0, 4.0},
+      {1, 0, 1, 8.0, 1.0, 3.0},
+  };
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  std::vector<Path> paths;
+  for (const Flow& fl : flows) paths.push_back(*bfs_shortest_path(g, fl.src, fl.dst));
+  const DcfsResult mcf = most_critical_first(g, flows, paths, model);
+
+  for (auto priority : {PacketSimOptions::Priority::kEdf,
+                        PacketSimOptions::Priority::kStartTime}) {
+    PacketSimOptions options;
+    options.packet_size = 0.05;
+    options.priority = priority;
+    const auto report = packet_simulate(g, flows, mcf.schedule, options);
+    EXPECT_TRUE(report.all_deadlines_met);
+    EXPECT_EQ(report.packets_starved, 0);
+  }
+}
+
+TEST(PacketSim, SingleHopFlowsDeliverExactlyAtEmission) {
+  // One-hop paths: the scheduled emission is the whole journey, so the
+  // last packet lands exactly at the fluid completion time.
+  LineFixture fx;
+  const std::vector<Flow> flows{
+      {0, 0, 1, 4.0, 0.0, 4.0},
+      {1, 0, 1, 8.0, 0.0, 4.0},
+  };
+  Schedule s;
+  s.flows.resize(2);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{0.0, 4.0}, 1.0}};
+  s.flows[1].path = {0, 1, {fx.ab}};
+  s.flows[1].segments = {{{0.0, 4.0}, 2.0}};
+
+  PacketSimOptions options;
+  options.packet_size = 0.25;
+  const auto report = packet_simulate(fx.topo.graph(), flows, s, options);
+  EXPECT_TRUE(report.all_deadlines_met);
+  EXPECT_EQ(report.packets_delivered, 16 + 32);
+  EXPECT_NEAR(report.completion_time[0], 4.0, 1e-9);
+  EXPECT_NEAR(report.completion_time[1], 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.max_lateness, 0.0);
+}
+
+TEST(PacketSim, SharedDownstreamLinkSerializesWithoutLoss) {
+  // line(4): flow 0 goes 0->3, flow 1 goes 1->3; they share links B->C
+  // and C->D downstream of flow 1's emission. The shared links run at
+  // the sum rate; packets interleave and everyone stays within the
+  // pipeline allowance.
+  const Topology topo = line_network(4);
+  const Graph& g = topo.graph();
+  const EdgeId ab = 0, bc = 2, cd = 4;
+  ASSERT_EQ(g.edge(cd).src, 2);
+  const std::vector<Flow> flows{
+      {0, 0, 3, 4.0, 0.0, 4.0},  // rate 1
+      {1, 1, 3, 8.0, 0.0, 4.0},  // rate 2
+  };
+  Schedule s;
+  s.flows.resize(2);
+  s.flows[0].path = {0, 3, {ab, bc, cd}};
+  s.flows[0].segments = {{{0.0, 4.0}, 1.0}};
+  s.flows[1].path = {1, 3, {bc, cd}};
+  s.flows[1].segments = {{{0.0, 4.0}, 2.0}};
+
+  PacketSimOptions options;
+  options.packet_size = 0.25;
+  const auto report = packet_simulate(g, flows, s, options);
+  EXPECT_TRUE(report.all_deadlines_met);
+  EXPECT_EQ(report.packets_delivered, 16 + 32);
+  EXPECT_EQ(report.packets_starved, 0);
+  EXPECT_GE(report.max_queue_packets, 1);
+}
+
+TEST(PacketSim, StarvedScheduleIsReported) {
+  // Schedule claims rate only on [0,1) but releases 4 units of data at
+  // rate 2 in [0,2): half the packets can never be served downstream.
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 4.0, 0.0, 2.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 2.0}, 2.0}};
+  // Tamper: a second schedule view where the BC link gets no time. We
+  // emulate by giving the flow a segment only on AB via a custom
+  // schedule: put rate on AB using a 1-hop path, then extend path to
+  // 2 hops with no BC rate — constructed by mixing two schedules.
+  Schedule tampered;
+  tampered.flows.resize(1);
+  tampered.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  tampered.flows[0].segments = {{{0.0, 1.0}, 2.0}};  // only half the volume
+  const auto report = packet_simulate(fx.topo.graph(), flows, tampered);
+  EXPECT_FALSE(report.all_deadlines_met);
+}
+
+TEST(PacketSim, FifoVersusEdfOrdering) {
+  // An urgent flow released slightly after a bulk flow, both two hops:
+  // EDF lets urgent packets overtake queued bulk packets on the shared
+  // second link, FIFO does not. The urgent flow's completion under EDF
+  // is no later than under FIFO.
+  LineFixture fx;
+  const std::vector<Flow> flows{
+      {0, 0, 2, 8.0, 0.0, 10.0},  // bulk, loose deadline
+      {1, 0, 2, 1.0, 0.5, 2.0},   // urgent
+  };
+  Schedule s;
+  s.flows.resize(2);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 10.0}, 0.8}};
+  s.flows[1].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[1].segments = {{{0.5, 2.0}, 1.0 / 1.5}};
+
+  PacketSimOptions edf;
+  edf.priority = PacketSimOptions::Priority::kEdf;
+  PacketSimOptions fifo;
+  fifo.priority = PacketSimOptions::Priority::kFifo;
+  const auto r_edf = packet_simulate(fx.topo.graph(), flows, s, edf);
+  const auto r_fifo = packet_simulate(fx.topo.graph(), flows, s, fifo);
+  EXPECT_LE(r_edf.completion_time[1], r_fifo.completion_time[1] + 1e-9);
+  EXPECT_TRUE(r_edf.all_deadlines_met);
+}
+
+TEST(PacketSim, RejectsNonPositivePacketSize) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 1, 1.0, 0.0, 1.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{0.0, 1.0}, 1.0}};
+  PacketSimOptions options;
+  options.packet_size = 0.0;
+  EXPECT_THROW((void)packet_simulate(fx.topo.graph(), flows, s, options),
+               ContractViolation);
+}
+
+// Property: Random-Schedule survives packetization on the paper's
+// workload — Theorem 4 continues to hold at packet granularity (within
+// the pipeline allowance).
+class PacketTheorem4Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PacketTheorem4Test, RandomScheduleSurvivesPacketization) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(GetParam());
+  PaperWorkloadParams params;
+  params.num_flows = 12;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto rs = random_schedule(g, flows, model, rng);
+  ASSERT_TRUE(rs.capacity_feasible);
+
+  PacketSimOptions options;
+  options.packet_size = 0.1;
+  const auto report = packet_simulate(g, flows, rs.schedule, options);
+  EXPECT_TRUE(report.all_deadlines_met);
+  EXPECT_EQ(report.packets_starved, 0);
+  // Lateness is bounded by the per-flow pipeline allowance.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_LE(report.lateness[i],
+              options.allowance_multiplier * report.pipeline_allowance[i] *
+                      (1.0 + 1e-6) +
+                  1e-9)
+        << "flow " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketTheorem4Test,
+                         ::testing::Values(2u, 4u, 6u, 8u, 10u, 12u));
+
+// SP+MCF schedules are also realizable with start-time priorities on
+// uncongested instances (the paper's own construction).
+class PacketMcfTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PacketMcfTest, McfScheduleSurvivesPacketization) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(GetParam());
+  PaperWorkloadParams params;
+  params.num_flows = 10;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto mcf = sp_mcf(g, flows, model);
+  if (mcf.availability_fallbacks > 0) {
+    GTEST_SKIP() << "congested instance with overlap fallback";
+  }
+  PacketSimOptions options;
+  options.packet_size = 0.05;
+  const auto report = packet_simulate(g, flows, mcf.schedule, options);
+  EXPECT_TRUE(report.all_deadlines_met);
+  EXPECT_EQ(report.packets_starved, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketMcfTest,
+                         ::testing::Values(3u, 5u, 7u, 9u, 11u));
+
+// Reproduction finding (documented in EXPERIMENTS.md): the paper's
+// packet-priority rule — smaller scheduled start r'_i means higher
+// priority (Sec. III-C) — does NOT always realize the fluid schedule in
+// a store-and-forward network. A tight flow whose window starts late is
+// starved behind an early-starting loose flow on shared links and can
+// miss its deadline by tens of time units, while EDF priorities realize
+// the same schedule within the packet-granularity envelope.
+TEST(PacketSim, StartTimePriorityIsBrittleWhereEdfIsNot) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(3);  // the instance where the inversion manifests
+  PaperWorkloadParams params;
+  params.num_flows = 10;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto mcf = sp_mcf(g, flows, model);
+  ASSERT_EQ(mcf.availability_fallbacks, 0);
+
+  PacketSimOptions start_time;
+  start_time.packet_size = 0.05;
+  start_time.priority = PacketSimOptions::Priority::kStartTime;
+  PacketSimOptions edf;
+  edf.packet_size = 0.05;
+  const auto r_start = packet_simulate(g, flows, mcf.schedule, start_time);
+  const auto r_edf = packet_simulate(g, flows, mcf.schedule, edf);
+  EXPECT_TRUE(r_edf.all_deadlines_met);
+  EXPECT_FALSE(r_start.all_deadlines_met);
+  EXPECT_GT(r_start.max_lateness, 10.0);  // structural, not granularity
+  EXPECT_LT(r_edf.max_lateness, 3.0);
+}
+
+}  // namespace
+}  // namespace dcn

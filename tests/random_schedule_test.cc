@@ -1,0 +1,183 @@
+// Tests for Random-Schedule (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/workload.h"
+#include "graph/shortest_path.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(RandomSchedule, SingleFlowPipelineEndToEnd) {
+  const Topology topo = line_network(3);
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 1.0, 4.0}};
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(1);
+  const auto result = random_schedule(topo.graph(), flows, model, rng);
+  EXPECT_TRUE(result.capacity_feasible);
+  // Unique route: schedule transmits at density 2 over [1,4) on 2 links.
+  EXPECT_NEAR(result.energy, 2.0 * 4.0 * 3.0, 1e-3);
+  EXPECT_NEAR(result.energy, result.lower_bound_energy,
+              1e-3 * result.lower_bound_energy);
+  const auto replay = replay_schedule(topo.graph(), flows, result.schedule, model);
+  EXPECT_TRUE(replay.ok);
+}
+
+TEST(RandomSchedule, DensityScheduleMeetsEveryDeadlineByConstruction) {
+  const Topology topo = fat_tree(4);
+  Rng rng(3);
+  PaperWorkloadParams params;
+  params.num_flows = 12;
+  const auto flows = paper_workload(topo, params, rng);
+  std::vector<Path> paths;
+  for (const Flow& fl : flows) {
+    paths.push_back(*bfs_shortest_path(topo.graph(), fl.src, fl.dst));
+  }
+  const Schedule s = density_schedule(flows, paths);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NEAR(s.flows[i].transmitted_volume(), flows[i].volume,
+                1e-9 * flows[i].volume);
+    EXPECT_EQ(s.flows[i].segments.front().interval, flows[i].span());
+  }
+}
+
+TEST(RandomSchedule, SamplePathsRespectsDistribution) {
+  // A two-candidate distribution 0.9 / 0.1: sampling should strongly
+  // favor the heavy path.
+  FlowCandidates cand;
+  cand.paths = {{Path{0, 1, {0}}, 0.9}, {Path{0, 1, {2}}, 0.1}};
+  Rng rng(17);
+  int heavy = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto paths = sample_paths({cand}, rng);
+    if (paths[0].edges[0] == 0) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / 2000.0, 0.9, 0.04);
+}
+
+TEST(RandomSchedule, EnergyNeverBelowLowerBound) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    Rng rng(seed);
+    PaperWorkloadParams params;
+    params.num_flows = 15;
+    params.horizon_hi = 40.0;
+    const auto flows = paper_workload(topo, params, rng);
+    const auto result = random_schedule(topo.graph(), flows, model, rng);
+    EXPECT_GE(result.energy, result.lower_bound_energy * (1.0 - 1e-6))
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomSchedule, DeterministicGivenSeed) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  PaperWorkloadParams params;
+  params.num_flows = 10;
+  Rng wl1(5), wl2(5);
+  const auto flows1 = paper_workload(topo, params, wl1);
+  const auto flows2 = paper_workload(topo, params, wl2);
+  Rng rs1(99), rs2(99);
+  const auto a = random_schedule(topo.graph(), flows1, model, rs1);
+  const auto b = random_schedule(topo.graph(), flows2, model, rs2);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.rounding_attempts, b.rounding_attempts);
+}
+
+TEST(RandomSchedule, BestOfKNeverWorse) {
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(31);
+  PaperWorkloadParams params;
+  params.num_flows = 16;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto relax = solve_relaxation(topo.graph(), flows, model);
+
+  RandomScheduleOptions one;
+  one.best_of = 1;
+  RandomScheduleOptions ten;
+  ten.best_of = 10;
+  ten.max_rounding_attempts = 100;
+  Rng r1(7), r10(7);
+  const auto a = round_relaxation(topo.graph(), flows, model, relax, r1, one);
+  const auto b = round_relaxation(topo.graph(), flows, model, relax, r10, ten);
+  EXPECT_LE(b.energy, a.energy + 1e-9);
+}
+
+TEST(RandomSchedule, CapacityRejectionRetriesAndReports) {
+  // Two flows, two parallel links, capacity fits exactly one density
+  // each: any rounding putting both on one link is rejected.
+  const Topology topo = parallel_links(2);
+  const std::vector<Flow> flows{
+      {0, 0, 1, 10.0, 0.0, 10.0},  // density 1
+      {1, 0, 1, 10.0, 0.0, 10.0},
+  };
+  const PowerModel model(0.0, 1.0, 2.0, /*capacity=*/1.5);
+  Rng rng(13);
+  RandomScheduleOptions options;
+  options.max_rounding_attempts = 200;
+  const auto result = random_schedule(topo.graph(), flows, model, rng, options);
+  EXPECT_TRUE(result.capacity_feasible);
+  const auto replay = replay_schedule(topo.graph(), flows, result.schedule, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  EXPECT_LE(replay.peak_rate, 1.5 + 1e-9);
+}
+
+TEST(RandomSchedule, ImpossibleCapacityReportsInfeasible) {
+  const Topology topo = parallel_links(1);
+  const std::vector<Flow> flows{
+      {0, 0, 1, 10.0, 0.0, 10.0},
+      {1, 0, 1, 10.0, 0.0, 10.0},
+  };
+  // One link, combined density 2 > capacity: no rounding can work.
+  const PowerModel model(0.0, 1.0, 2.0, /*capacity=*/1.5);
+  Rng rng(1);
+  RandomScheduleOptions options;
+  options.max_rounding_attempts = 5;
+  const auto result = random_schedule(topo.graph(), flows, model, rng, options);
+  EXPECT_FALSE(result.capacity_feasible);
+  EXPECT_EQ(result.rounding_attempts, 5);
+}
+
+// Theorem 4 as a property: every rounding meets every deadline. Sweep
+// seeds and both power exponents on the paper's workload shape.
+struct Theorem4Params {
+  std::uint64_t seed;
+  double alpha;
+};
+
+class Theorem4Test : public ::testing::TestWithParam<Theorem4Params> {};
+
+TEST_P(Theorem4Test, AllDeadlinesMet) {
+  const auto [seed, alpha] = GetParam();
+  const Topology topo = fat_tree(4);
+  const PowerModel model = PowerModel::pure_speed_scaling(alpha);
+  Rng rng(seed);
+  PaperWorkloadParams params;
+  params.num_flows = 20;
+  const auto flows = paper_workload(topo, params, rng);
+  const auto result = random_schedule(topo.graph(), flows, model, rng);
+  ASSERT_TRUE(result.capacity_feasible);
+  const auto replay = replay_schedule(topo.graph(), flows, result.schedule, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NEAR(replay.delivered[i], flows[i].volume, 1e-6 * flows[i].volume);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAlphas, Theorem4Test,
+    ::testing::Values(Theorem4Params{1, 2.0}, Theorem4Params{2, 2.0},
+                      Theorem4Params{3, 2.0}, Theorem4Params{4, 4.0},
+                      Theorem4Params{5, 4.0}, Theorem4Params{6, 4.0},
+                      Theorem4Params{7, 3.0}, Theorem4Params{8, 1.5}));
+
+}  // namespace
+}  // namespace dcn

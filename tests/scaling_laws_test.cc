@@ -1,0 +1,131 @@
+// Property tests for the model's scaling laws — analytic invariances
+// that any correct implementation of Eq. 5/6 and the optimal algorithms
+// must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/random.h"
+#include "dcfs/most_critical_first.h"
+#include "flow/workload.h"
+#include "schedule/schedule.h"
+#include "speedscale/yds.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+std::vector<Flow> scale_volumes(std::vector<Flow> flows, double c) {
+  for (Flow& fl : flows) fl.volume *= c;
+  return flows;
+}
+
+std::vector<Flow> scale_time(std::vector<Flow> flows, double c) {
+  for (Flow& fl : flows) {
+    fl.release *= c;
+    fl.deadline *= c;
+  }
+  return flows;
+}
+
+class ScalingLawTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingLawTest, VolumeScalingRaisesEnergyByCAlpha) {
+  // Doubling every volume doubles every optimal rate; the transmission
+  // times are unchanged, so Phi_g scales by c^alpha.
+  Rng rng(GetParam());
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const double alpha = 2.0 + rng.uniform(0.0, 2.0);
+  const PowerModel model = PowerModel::pure_speed_scaling(alpha);
+  PaperWorkloadParams params;
+  params.num_flows = 12;
+  const auto flows = paper_workload(topo, params, rng);
+  const double c = 2.0;
+  const auto scaled = scale_volumes(flows, c);
+
+  const auto base = sp_mcf(g, flows, model);
+  const auto big = sp_mcf(g, scaled, model);
+  if (base.availability_fallbacks > 0 || big.availability_fallbacks > 0) {
+    GTEST_SKIP() << "congested instance; scaling law holds only overlap-free";
+  }
+  const Interval horizon = flow_horizon(flows);
+  const double e1 = energy_phi_g(g, base.schedule, model, horizon);
+  const double e2 = energy_phi_g(g, big.schedule, model, horizon);
+  EXPECT_NEAR(e2 / e1, std::pow(c, alpha), 1e-6 * std::pow(c, alpha));
+}
+
+TEST_P(ScalingLawTest, TimeScalingLowersEnergyByCAlphaMinusOne) {
+  // Stretching all spans by c scales optimal rates by 1/c and
+  // transmission times by c: Phi_g scales by c^(1-alpha).
+  Rng rng(GetParam() ^ 0xf00d);
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const double alpha = 2.0;
+  const PowerModel model = PowerModel::pure_speed_scaling(alpha);
+  PaperWorkloadParams params;
+  params.num_flows = 12;
+  const auto flows = paper_workload(topo, params, rng);
+  const double c = 3.0;
+  const auto stretched = scale_time(flows, c);
+
+  const auto base = sp_mcf(g, flows, model);
+  const auto slow = sp_mcf(g, stretched, model);
+  if (base.availability_fallbacks > 0 || slow.availability_fallbacks > 0) {
+    GTEST_SKIP() << "congested instance; scaling law holds only overlap-free";
+  }
+  const double e1 = energy_phi_g(g, base.schedule, model, flow_horizon(flows));
+  const double e2 =
+      energy_phi_g(g, slow.schedule, model, flow_horizon(stretched));
+  EXPECT_NEAR(e2 / e1, std::pow(c, 1.0 - alpha), 1e-6);
+}
+
+TEST_P(ScalingLawTest, YdsEnergyIsScaleInvariantInTheSameWay) {
+  Rng rng(GetParam() ^ 0xbeef);
+  std::vector<SsJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    double a = rng.uniform(0.0, 20.0);
+    double b = a + rng.uniform(1.0, 10.0);
+    jobs.push_back({i, rng.uniform(1.0, 5.0), {a, b}});
+  }
+  const double alpha = 2.5;
+  const double base = yds_schedule(jobs).energy(alpha);
+
+  std::vector<SsJob> scaled = jobs;
+  for (SsJob& j : scaled) j.work *= 2.0;
+  EXPECT_NEAR(yds_schedule(scaled).energy(alpha) / base, std::pow(2.0, alpha),
+              1e-6 * std::pow(2.0, alpha));
+
+  std::vector<SsJob> stretched = jobs;
+  for (SsJob& j : stretched) {
+    j.span.lo *= 2.0;
+    j.span.hi *= 2.0;
+  }
+  EXPECT_NEAR(yds_schedule(stretched).energy(alpha) / base,
+              std::pow(2.0, 1.0 - alpha), 1e-9);
+}
+
+TEST_P(ScalingLawTest, MuIsAPureMultiplier) {
+  Rng rng(GetParam() ^ 0xcafe);
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  PaperWorkloadParams params;
+  params.num_flows = 10;
+  const auto flows = paper_workload(topo, params, rng);
+  const PowerModel m1(0.0, 1.0, 2.0);
+  const PowerModel m5(0.0, 5.0, 2.0);
+  // Most-Critical-First's schedule does not depend on mu (it cancels in
+  // the intensity comparison), so energy scales exactly by mu.
+  const auto r1 = sp_mcf(g, flows, m1);
+  const auto r5 = sp_mcf(g, flows, m5);
+  const Interval horizon = flow_horizon(flows);
+  EXPECT_NEAR(energy_phi_g(g, r5.schedule, m5, horizon),
+              5.0 * energy_phi_g(g, r1.schedule, m1, horizon), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingLawTest,
+                         ::testing::Values(11u, 13u, 17u, 19u, 23u, 29u));
+
+}  // namespace
+}  // namespace dcn

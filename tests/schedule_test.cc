@@ -1,0 +1,189 @@
+// Tests for schedule representation, timelines, energy (Eq. 5/6) and
+// feasibility checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "schedule/schedule.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+/// Line network A(0) - B(1) - C(2); rightward edges.
+struct LineFixture {
+  Topology topo = line_network(3);
+  EdgeId ab, bc;
+
+  LineFixture() {
+    // Edges are created in pairs (fwd, bwd) per hop: fwd A->B is edge 0,
+    // fwd B->C is edge 2.
+    ab = 0;
+    bc = 2;
+    const Graph& g = topo.graph();
+    EXPECT_EQ(g.edge(ab).src, 0);
+    EXPECT_EQ(g.edge(ab).dst, 1);
+    EXPECT_EQ(g.edge(bc).src, 1);
+    EXPECT_EQ(g.edge(bc).dst, 2);
+  }
+};
+
+TEST(FlowSchedule, VolumeAndTime) {
+  FlowSchedule fs;
+  fs.segments = {{{0.0, 2.0}, 3.0}, {{5.0, 6.0}, 1.0}};
+  EXPECT_DOUBLE_EQ(fs.transmitted_volume(), 7.0);
+  EXPECT_DOUBLE_EQ(fs.transmission_time(), 3.0);
+}
+
+TEST(Schedule, LinkTimelinesSumOverFlows) {
+  LineFixture fx;
+  const Graph& g = fx.topo.graph();
+  Schedule s;
+  s.flows.resize(2);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 4.0}, 1.5}};
+  s.flows[1].path = {0, 1, {fx.ab}};
+  s.flows[1].segments = {{{2.0, 6.0}, 2.0}};
+
+  const auto timelines = link_timelines(g, s);
+  EXPECT_DOUBLE_EQ(timelines[static_cast<std::size_t>(fx.ab)].value_at(1.0), 1.5);
+  EXPECT_DOUBLE_EQ(timelines[static_cast<std::size_t>(fx.ab)].value_at(3.0), 3.5);
+  EXPECT_DOUBLE_EQ(timelines[static_cast<std::size_t>(fx.ab)].value_at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(timelines[static_cast<std::size_t>(fx.bc)].value_at(3.0), 1.5);
+  EXPECT_DOUBLE_EQ(timelines[static_cast<std::size_t>(fx.bc)].value_at(5.0), 0.0);
+}
+
+TEST(Schedule, ActiveEdgesOnlyThoseCarryingTraffic) {
+  LineFixture fx;
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{0.0, 1.0}, 1.0}};
+  const auto active = active_edges(fx.topo.graph(), s);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], fx.ab);
+}
+
+TEST(Schedule, EnergyEq5HandComputed) {
+  LineFixture fx;
+  const Graph& g = fx.topo.graph();
+  const PowerModel model(/*sigma=*/1.0, /*mu=*/1.0, /*alpha=*/2.0);
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 2.0}, 3.0}};  // rate 3 for 2s on 2 links
+
+  const Interval horizon{0.0, 10.0};
+  // Dynamic: 2 links * 3^2 * 2s = 36. Idle: sigma * 10 * 2 links = 20.
+  EXPECT_NEAR(energy_phi_g(g, s, model, horizon), 36.0, 1e-9);
+  EXPECT_NEAR(energy_phi_f(g, s, model, horizon), 56.0, 1e-9);
+}
+
+TEST(Schedule, EnergyScalesWithMuAndAlpha) {
+  LineFixture fx;
+  const Graph& g = fx.topo.graph();
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{0.0, 1.0}, 2.0}};
+  const Interval horizon{0.0, 1.0};
+  EXPECT_NEAR(energy_phi_g(g, s, PowerModel(0.5, 2.0, 3.0), horizon),
+              2.0 * 8.0, 1e-9);
+  EXPECT_NEAR(energy_phi_g(g, s, PowerModel(0.5, 1.0, 4.0), horizon), 16.0, 1e-9);
+}
+
+TEST(Feasibility, AcceptsAValidSchedule) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 3.0}, 2.0}};
+  const auto report =
+      check_feasibility(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+}
+
+TEST(Feasibility, DetectsShortVolume) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{0.0, 2.0}, 2.0}};  // moves 4 of 6
+  const auto report =
+      check_feasibility(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Feasibility, DetectsDeadlineViolation) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 2, {fx.ab, fx.bc}};
+  s.flows[0].segments = {{{1.0, 4.0}, 2.0}};  // ends after the deadline
+  const auto report =
+      check_feasibility(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Feasibility, DetectsWrongPath) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};  // stops at B, not C
+  s.flows[0].segments = {{{0.0, 3.0}, 2.0}};
+  const auto report =
+      check_feasibility(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Feasibility, DetectsCapacityViolation) {
+  LineFixture fx;
+  const std::vector<Flow> flows{
+      {0, 0, 1, 6.0, 0.0, 3.0},
+      {1, 0, 1, 6.0, 0.0, 3.0},
+  };
+  Schedule s;
+  s.flows.resize(2);
+  for (int i = 0; i < 2; ++i) {
+    s.flows[static_cast<std::size_t>(i)].path = {0, 1, {fx.ab}};
+    s.flows[static_cast<std::size_t>(i)].segments = {{{0.0, 3.0}, 2.0}};
+  }
+  // Capacity 3 < combined rate 4.
+  const auto report = check_feasibility(fx.topo.graph(), flows, s,
+                                        PowerModel(1.0, 1.0, 2.0, /*capacity=*/3.0));
+  EXPECT_FALSE(report.feasible);
+  // With capacity 5 the same schedule passes.
+  const auto report2 = check_feasibility(fx.topo.graph(), flows, s,
+                                         PowerModel(1.0, 1.0, 2.0, /*capacity=*/5.0));
+  EXPECT_TRUE(report2.feasible);
+}
+
+TEST(Feasibility, DetectsOverlappingSegmentsOfOneFlow) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 1, 6.0, 0.0, 4.0}};
+  Schedule s;
+  s.flows.resize(1);
+  s.flows[0].path = {0, 1, {fx.ab}};
+  s.flows[0].segments = {{{0.0, 2.0}, 2.0}, {{1.0, 3.0}, 1.0}};
+  const auto report =
+      check_feasibility(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Feasibility, DetectsCountMismatch) {
+  LineFixture fx;
+  const std::vector<Flow> flows{{0, 0, 2, 6.0, 0.0, 3.0}};
+  const Schedule s;  // empty
+  const auto report =
+      check_feasibility(fx.topo.graph(), flows, s, PowerModel(1.0, 1.0, 2.0));
+  EXPECT_FALSE(report.feasible);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,130 @@
+// Tests for BFS and Dijkstra searches.
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+Graph diamond() {
+  // 0 -> 1 -> 3 (weights 1 + 1) and 0 -> 2 -> 3 (weights 3 + 0.5).
+  Graph g(4);
+  g.add_edge(0, 1);  // e0
+  g.add_edge(1, 3);  // e1
+  g.add_edge(0, 2);  // e2
+  g.add_edge(2, 3);  // e3
+  return g;
+}
+
+TEST(BfsShortestPath, FindsFewestHops) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 4);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  const auto p = bfs_shortest_path(g, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+  EXPECT_TRUE(is_valid_path(g, *p));
+}
+
+TEST(BfsShortestPath, UnreachableReturnsNullopt) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(bfs_shortest_path(g, 0, 2).has_value());
+  // Directed: 1 cannot reach 0.
+  EXPECT_FALSE(bfs_shortest_path(g, 1, 0).has_value());
+}
+
+TEST(BfsShortestPath, SrcEqualsDst) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto p = bfs_shortest_path(g, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(Dijkstra, PrefersCheaperLongerRoute) {
+  const Graph g = diamond();
+  const std::vector<double> w{1.0, 1.0, 3.0, 0.5};
+  const auto p = dijkstra_shortest_path(g, 0, 3, w);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges, (std::vector<EdgeId>{0, 1}));  // cost 2 < 3.5
+
+  const std::vector<double> w2{5.0, 5.0, 3.0, 0.5};
+  const auto p2 = dijkstra_shortest_path(g, 0, 3, w2);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->edges, (std::vector<EdgeId>{2, 3}));  // cost 3.5 < 10
+}
+
+TEST(Dijkstra, RejectsNegativeWeights) {
+  const Graph g = diamond();
+  const std::vector<double> w{1.0, -1.0, 3.0, 0.5};
+  EXPECT_THROW((void)dijkstra_shortest_path(g, 0, 3, w), ContractViolation);
+}
+
+TEST(Dijkstra, TreeDistancesMatchPathWeights) {
+  const Graph g = diamond();
+  const std::vector<double> w{1.0, 1.0, 3.0, 0.5};
+  const ShortestPathTree tree = dijkstra_tree(g, 0, w);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 3.0);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 2.0);
+  const auto p = tree_path(g, tree, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(path_weight(*p, w), tree.distance[3]);
+}
+
+TEST(BfsDistances, LineGraphDistances) {
+  const Topology topo = line_network(5);
+  const auto dist = bfs_distances(topo.graph(), 0);
+  EXPECT_EQ(dist, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(StrongConnectivity, BidirectionalTopologiesAreStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(fat_tree(4).graph()));
+  EXPECT_TRUE(is_strongly_connected(line_network(6).graph()));
+  EXPECT_TRUE(is_strongly_connected(bcube(2, 1).graph()));
+}
+
+TEST(StrongConnectivity, DirectedChainIsNot) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+// Property sweep: on fat-tree(k), BFS host-to-host distances follow the
+// standard pattern (2 hops same edge switch, 4 same pod, 6 across pods),
+// counting the two host links.
+class FatTreePathTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreePathTest, HostDistancesFollowFatTreeStructure) {
+  const int k = GetParam();
+  const Topology topo = fat_tree(k);
+  const Graph& g = topo.graph();
+  const auto& hosts = topo.hosts();
+  const int half = k / 2;
+  const int hosts_per_pod = half * half;
+  // Sample a few representative pairs.
+  const NodeId h0 = hosts[0];
+  const NodeId same_edge = hosts[1];
+  const NodeId same_pod = hosts[static_cast<std::size_t>(half)];
+  const NodeId other_pod = hosts[static_cast<std::size_t>(hosts_per_pod)];
+
+  const auto d_edge = bfs_shortest_path(g, h0, same_edge);
+  const auto d_pod = bfs_shortest_path(g, h0, same_pod);
+  const auto d_cross = bfs_shortest_path(g, h0, other_pod);
+  ASSERT_TRUE(d_edge && d_pod && d_cross);
+  EXPECT_EQ(d_edge->length(), 2u);
+  EXPECT_EQ(d_pod->length(), 4u);
+  EXPECT_EQ(d_cross->length(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreePathTest, ::testing::Values(4, 6, 8));
+
+}  // namespace
+}  // namespace dcn

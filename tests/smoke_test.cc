@@ -1,0 +1,43 @@
+// Build smoke test: every public header compiles and links together.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "common/contracts.h"
+#include "common/errors.h"
+#include "common/interval.h"
+#include "common/piecewise.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "dcfs/most_critical_first.h"
+#include "dcfsr/hardness.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/flow.h"
+#include "flow/workload.h"
+#include "graph/flow_decomposition.h"
+#include "graph/graph.h"
+#include "graph/k_shortest.h"
+#include "graph/path.h"
+#include "graph/shortest_path.h"
+#include "mcf/interval_decomposition.h"
+#include "mcf/relaxation.h"
+#include "opt/convex_mcf.h"
+#include "opt/line_search.h"
+#include "power/power_model.h"
+#include "schedule/edf.h"
+#include "schedule/schedule.h"
+#include "sim/replay.h"
+#include "speedscale/yds.h"
+#include "topology/builders.h"
+#include "topology/topology.h"
+
+namespace dcn {
+namespace {
+
+TEST(Smoke, PaperTopologyMatchesEvaluationSetup) {
+  const Topology topo = fat_tree(8);
+  EXPECT_EQ(topo.num_switches(), 80);  // "80 switches"
+  EXPECT_EQ(topo.num_hosts(), 128);    // "(with 128 servers connected)"
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,100 @@
+// Tests for flow splitting (the multipath hook of Sec. II-B).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/split.h"
+#include "flow/workload.h"
+#include "sim/replay.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(SplitFlows, PreservesEndpointsSpanAndTotalVolume) {
+  const std::vector<Flow> flows{
+      {0, 1, 2, 12.0, 0.0, 6.0},
+      {1, 3, 4, 5.0, 2.0, 9.0},
+  };
+  const SplitResult split = split_flows(flows, 4);
+  ASSERT_EQ(split.subflows.size(), 8u);
+  ASSERT_EQ(split.parent.size(), 8u);
+  double total0 = 0.0, total1 = 0.0;
+  for (std::size_t i = 0; i < split.subflows.size(); ++i) {
+    const Flow& sub = split.subflows[i];
+    EXPECT_EQ(sub.id, static_cast<FlowId>(i));  // renumbered densely
+    const Flow& parent = flows[static_cast<std::size_t>(split.parent[i])];
+    EXPECT_EQ(sub.src, parent.src);
+    EXPECT_EQ(sub.dst, parent.dst);
+    EXPECT_DOUBLE_EQ(sub.release, parent.release);
+    EXPECT_DOUBLE_EQ(sub.deadline, parent.deadline);
+    (split.parent[i] == 0 ? total0 : total1) += sub.volume;
+  }
+  EXPECT_NEAR(total0, 12.0, 1e-12);
+  EXPECT_NEAR(total1, 5.0, 1e-12);
+}
+
+TEST(SplitFlows, OneWayIsARenumberedCopy) {
+  const std::vector<Flow> flows{{0, 1, 2, 3.0, 0.0, 1.0}};
+  const SplitResult split = split_flows(flows, 1);
+  ASSERT_EQ(split.subflows.size(), 1u);
+  EXPECT_EQ(split.subflows[0], flows[0]);
+}
+
+TEST(SplitFlows, RejectsNonPositiveWays) {
+  EXPECT_THROW((void)split_flows({}, 0), ContractViolation);
+}
+
+TEST(AggregateByParent, SumsSubflowQuantities) {
+  const std::vector<Flow> flows{
+      {0, 1, 2, 10.0, 0.0, 5.0},
+      {1, 3, 4, 6.0, 0.0, 5.0},
+  };
+  const SplitResult split = split_flows(flows, 2);
+  const std::vector<double> delivered{5.0, 5.0, 3.0, 3.0};
+  const auto by_parent = aggregate_by_parent(split, delivered, 2);
+  EXPECT_DOUBLE_EQ(by_parent[0], 10.0);
+  EXPECT_DOUBLE_EQ(by_parent[1], 6.0);
+}
+
+TEST(SplitFlows, SubflowDensitiesScaleDown) {
+  const std::vector<Flow> flows{{0, 1, 2, 12.0, 0.0, 6.0}};  // density 2
+  const SplitResult split = split_flows(flows, 4);
+  for (const Flow& sub : split.subflows) {
+    EXPECT_NEAR(sub.density(), 0.5, 1e-12);
+  }
+}
+
+// Splitting must never hurt the fractional relaxation (the subflow
+// commodities can always replicate the parent's fractional routing),
+// and the rounded schedule still meets every parent's volume.
+class SplitRsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitRsTest, RandomScheduleOnSubflowsDeliversParents) {
+  const int ways = GetParam();
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  Rng rng(404);
+  PaperWorkloadParams params;
+  params.num_flows = 10;
+  const auto flows = paper_workload(topo, params, rng);
+  const SplitResult split = split_flows(flows, ways);
+
+  const auto rs = random_schedule(g, split.subflows, model, rng);
+  ASSERT_TRUE(rs.capacity_feasible);
+  const auto replay = replay_schedule(g, split.subflows, rs.schedule, model);
+  ASSERT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues.front());
+
+  const auto delivered =
+      aggregate_by_parent(split, replay.delivered, flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_NEAR(delivered[i], flows[i].volume, 1e-6 * flows[i].volume);
+  }
+  EXPECT_GE(rs.energy, rs.lower_bound_energy * (1.0 - 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, SplitRsTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dcn

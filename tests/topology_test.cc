@@ -1,0 +1,131 @@
+// Tests for the topology builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "graph/shortest_path.h"
+#include "topology/builders.h"
+
+namespace dcn {
+namespace {
+
+TEST(FatTree, NodeAndEdgeCounts) {
+  // fat_tree(k): 5k^2/4 switches, k^3/4 hosts; physical links:
+  // (k/2)^2 * k core-agg + (k/2)^2 * k agg-edge + k^3/4 host links,
+  // each physical link = 2 directed edges.
+  for (int k : {2, 4, 6, 8}) {
+    const Topology topo = fat_tree(k);
+    const int half = k / 2;
+    EXPECT_EQ(topo.num_switches(), half * half + k * half * 2) << "k=" << k;
+    EXPECT_EQ(topo.num_hosts(), k * half * half) << "k=" << k;
+    const int physical = k * half * half * 2 + k * half * half;
+    EXPECT_EQ(topo.graph().num_edges(), physical * 2) << "k=" << k;
+    EXPECT_TRUE(is_strongly_connected(topo.graph()));
+  }
+}
+
+TEST(FatTree, PaperEvaluationSize) {
+  const Topology topo = fat_tree(8);
+  EXPECT_EQ(topo.num_switches(), 80);
+  EXPECT_EQ(topo.num_hosts(), 128);
+}
+
+TEST(FatTree, HostsHaveDegreeOne) {
+  const Topology topo = fat_tree(4);
+  for (NodeId h : topo.hosts()) {
+    EXPECT_EQ(topo.graph().out_edges(h).size(), 1u);
+    EXPECT_EQ(topo.graph().in_edges(h).size(), 1u);
+    EXPECT_TRUE(topo.is_host(h));
+  }
+}
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW((void)fat_tree(3), ContractViolation);
+  EXPECT_THROW((void)fat_tree(0), ContractViolation);
+}
+
+TEST(BCube, CountsAndConnectivity) {
+  // bcube(n, l): n^(l+1) hosts, (l+1) * n^l switches, each host has
+  // degree l+1.
+  const Topology b1 = bcube(4, 1);
+  EXPECT_EQ(b1.num_hosts(), 16);
+  EXPECT_EQ(b1.num_switches(), 8);
+  EXPECT_TRUE(is_strongly_connected(b1.graph()));
+
+  const Topology b2 = bcube(2, 2);
+  EXPECT_EQ(b2.num_hosts(), 8);
+  EXPECT_EQ(b2.num_switches(), 12);
+  for (NodeId h : b2.hosts()) {
+    EXPECT_EQ(b2.graph().out_edges(h).size(), 3u);
+  }
+}
+
+TEST(BCube, Level0IsGroupedByHighDigits) {
+  // bcube(2,1): hosts 0,1 share a level-0 switch; 0,2 share a level-1
+  // switch.
+  const Topology topo = bcube(2, 1);
+  const Graph& g = topo.graph();
+  const auto p01 = bfs_shortest_path(g, 0, 1);
+  const auto p02 = bfs_shortest_path(g, 0, 2);
+  const auto p03 = bfs_shortest_path(g, 0, 3);
+  ASSERT_TRUE(p01 && p02 && p03);
+  EXPECT_EQ(p01->length(), 2u);  // via shared level-0 switch
+  EXPECT_EQ(p02->length(), 2u);  // via shared level-1 switch
+  EXPECT_EQ(p03->length(), 4u);  // two-hop host relay
+}
+
+TEST(LeafSpine, CountsAndDiameter) {
+  const Topology topo = leaf_spine(4, 2, 8);
+  EXPECT_EQ(topo.num_switches(), 6);
+  EXPECT_EQ(topo.num_hosts(), 32);
+  EXPECT_TRUE(is_strongly_connected(topo.graph()));
+  // Hosts on different leaves: host-leaf-spine-leaf-host = 4 hops.
+  const auto p = bfs_shortest_path(topo.graph(), topo.hosts()[0],
+                                   topo.hosts()[topo.hosts().size() - 1]);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 4u);
+}
+
+TEST(LineNetwork, StructureMatchesFig1) {
+  const Topology topo = line_network(3);  // A - B - C
+  EXPECT_EQ(topo.graph().num_nodes(), 3);
+  EXPECT_EQ(topo.graph().num_edges(), 4);  // 2 physical, directed pairs
+  EXPECT_EQ(topo.num_hosts(), 3);          // every node can source traffic
+  const auto p = bfs_shortest_path(topo.graph(), 0, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+}
+
+TEST(ParallelLinks, MultigraphShape) {
+  const Topology topo = parallel_links(5);
+  EXPECT_EQ(topo.graph().num_nodes(), 2);
+  EXPECT_EQ(topo.graph().num_edges(), 10);  // 5 physical pairs
+  EXPECT_EQ(topo.graph().out_edges(0).size(), 5u);
+}
+
+TEST(RandomFabric, ConnectedAndDeterministic) {
+  Rng rng1(77), rng2(77);
+  const Topology a = random_fabric(10, 6, 2, rng1);
+  const Topology b = random_fabric(10, 6, 2, rng2);
+  EXPECT_EQ(a.graph().num_edges(), b.graph().num_edges());
+  EXPECT_EQ(a.num_hosts(), 20);
+  EXPECT_TRUE(is_strongly_connected(a.graph()));
+  for (EdgeId e = 0; e < a.graph().num_edges(); ++e) {
+    EXPECT_EQ(a.graph().edge(e), b.graph().edge(e));
+  }
+}
+
+TEST(Topology, SwitchHostPartition) {
+  const Topology topo = fat_tree(4);
+  const auto switches = topo.switches();
+  EXPECT_EQ(static_cast<std::int32_t>(switches.size()), topo.num_switches());
+  std::set<NodeId> host_set(topo.hosts().begin(), topo.hosts().end());
+  for (NodeId sw : switches) {
+    EXPECT_FALSE(topo.is_host(sw));
+    EXPECT_EQ(host_set.count(sw), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dcn

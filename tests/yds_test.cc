@@ -1,0 +1,174 @@
+// Tests for the YDS optimal speed-scaling kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/piecewise.h"
+#include "common/random.h"
+#include "opt/line_search.h"
+#include "speedscale/yds.h"
+
+namespace dcn {
+namespace {
+
+TEST(Yds, SingleJobRunsAtDensity) {
+  const std::vector<SsJob> jobs{{0, 6.0, {2.0, 5.0}}};
+  const SsSchedule s = yds_schedule(jobs);
+  EXPECT_NEAR(s.jobs[0].speed, 2.0, 1e-9);
+  EXPECT_NEAR(s.jobs[0].execution_time(), 3.0, 1e-9);
+}
+
+TEST(Yds, TwoDisjointJobsKeepTheirOwnDensity) {
+  const std::vector<SsJob> jobs{
+      {0, 4.0, {0.0, 2.0}},   // density 2
+      {1, 3.0, {5.0, 11.0}},  // density 0.5
+  };
+  const SsSchedule s = yds_schedule(jobs);
+  EXPECT_NEAR(s.jobs[0].speed, 2.0, 1e-9);
+  EXPECT_NEAR(s.jobs[1].speed, 0.5, 1e-9);
+}
+
+TEST(Yds, NestedJobsShareCriticalSpeed) {
+  // Classic YDS example: a long job with a nested urgent one.
+  // Critical interval is the nested span if its intensity dominates.
+  const std::vector<SsJob> jobs{
+      {0, 2.0, {0.0, 10.0}},  // background
+      {1, 6.0, {4.0, 6.0}},   // intense: density 3
+  };
+  const SsSchedule s = yds_schedule(jobs);
+  EXPECT_NEAR(s.jobs[1].speed, 3.0, 1e-9);
+  // Background runs outside [4,6): 2 units of work in 8 units of time.
+  EXPECT_NEAR(s.jobs[0].speed, 0.25, 1e-9);
+  for (const Interval& seg : s.jobs[0].segments) {
+    EXPECT_FALSE(seg.overlaps(Interval{4.0, 6.0}));
+  }
+}
+
+TEST(Yds, ExampleOneVirtualWeights) {
+  // The SS-SP instance from the paper's Example 1: jobs with weights
+  // 6*sqrt(2) and 8, spans [2,4] and [1,3]. The YDS schedule runs both
+  // at (8 + 6 sqrt 2)/3 in interval [1,4].
+  const double w1 = 6.0 * std::sqrt(2.0);
+  const std::vector<SsJob> jobs{
+      {0, w1, {2.0, 4.0}},
+      {1, 8.0, {1.0, 3.0}},
+  };
+  const SsSchedule s = yds_schedule(jobs);
+  const double expected = (8.0 + 6.0 * std::sqrt(2.0)) / 3.0;
+  EXPECT_NEAR(s.jobs[0].speed, expected, 1e-9);
+  EXPECT_NEAR(s.jobs[1].speed, expected, 1e-9);
+}
+
+TEST(Yds, SpeedsAreNonIncreasingAcrossCriticality) {
+  // Energy optimality implies the speed profile is highest in the most
+  // critical interval; verify speeds sorted by criticality ordering on
+  // a mixed instance.
+  const std::vector<SsJob> jobs{
+      {0, 10.0, {0.0, 2.0}},  // density 5: most critical
+      {1, 4.0, {0.0, 8.0}},
+      {2, 1.0, {6.0, 10.0}},
+  };
+  const SsSchedule s = yds_schedule(jobs);
+  EXPECT_GE(s.jobs[0].speed, s.jobs[1].speed - 1e-9);
+  EXPECT_GE(s.jobs[1].speed, s.jobs[2].speed - 1e-9);
+}
+
+TEST(Yds, InfeasibleWithZeroAvailability) {
+  const std::vector<SsJob> jobs{{0, 1.0, {2.0, 3.0}}};
+  // Availability excludes the entire span.
+  const IntervalSet availability{Interval{5.0, 9.0}};
+  EXPECT_THROW((void)yds_schedule(jobs, availability), InfeasibleError);
+}
+
+TEST(Yds, AvailabilityGapRaisesSpeed) {
+  const std::vector<SsJob> jobs{{0, 6.0, {0.0, 6.0}}};
+  IntervalSet availability{Interval{0.0, 6.0}};
+  availability.subtract(Interval{1.0, 4.0});
+  const SsSchedule s = yds_schedule(jobs, availability);
+  EXPECT_NEAR(s.jobs[0].speed, 2.0, 1e-9);  // 6 work / 3 available
+  for (const Interval& seg : s.jobs[0].segments) {
+    EXPECT_FALSE(seg.overlaps(Interval{1.0, 4.0}));
+  }
+}
+
+TEST(Yds, EnergyFormula) {
+  const std::vector<SsJob> jobs{{0, 6.0, {0.0, 3.0}}};
+  const SsSchedule s = yds_schedule(jobs);
+  // One job at speed 2 for 3 time units: energy = 2^alpha * 3.
+  EXPECT_NEAR(s.energy(2.0), 12.0, 1e-9);
+  EXPECT_NEAR(s.energy(3.0), 24.0, 1e-9);
+}
+
+// Optimality cross-check: for two overlapping jobs, brute-force the
+// optimal single-rate assignment with a fine golden-section search and
+// compare energies.
+class YdsOptimalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YdsOptimalityTest, MatchesBruteForceOnTwoJobInstances) {
+  Rng rng(GetParam());
+  const double alpha = 2.0 + 2.0 * rng.uniform();
+  // Nested spans: job 1 inside job 0 (the interesting case).
+  const double r0 = 0.0, d0 = 10.0;
+  const double r1 = rng.uniform(1.0, 4.0);
+  const double d1 = rng.uniform(r1 + 1.0, 9.0);
+  const double w0 = rng.uniform(1.0, 10.0);
+  const double w1 = rng.uniform(1.0, 10.0);
+  const std::vector<SsJob> jobs{{0, w0, {r0, d0}}, {1, w1, {r1, d1}}};
+  const SsSchedule s = yds_schedule(jobs);
+  const double yds_energy = s.energy(alpha);
+
+  // Brute force: job 1 runs at speed s1 somewhere in its span; job 0
+  // uses the remaining time optimally (constant speed by convexity).
+  // Parameterize by t = time given to job 1 (in (0, d1 - r1]).
+  const auto energy_for = [&](double t) {
+    const double s1 = w1 / t;
+    const double s0 = w0 / (d0 - r0 - t);
+    return std::pow(s1, alpha) * t + std::pow(s0, alpha) * (d0 - r0 - t);
+  };
+  const double t_best = golden_section_minimize(
+      energy_for, 1e-6, d1 - r1, 1e-10);
+  const double brute = std::min(energy_for(t_best), energy_for(d1 - r1));
+  EXPECT_LE(yds_energy, brute + 1e-6);
+  EXPECT_NEAR(yds_energy, brute, 1e-3 * brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YdsOptimalityTest,
+                         ::testing::Values(2u, 3u, 5u, 7u, 11u, 13u, 17u, 19u));
+
+// Feasibility sweep: random instances always yield schedules meeting
+// every span, with per-job work conserved.
+class YdsFeasibilityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YdsFeasibilityTest, RandomInstancesAreScheduledFeasibly) {
+  Rng rng(GetParam());
+  std::vector<SsJob> jobs;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    double a = rng.uniform(0.0, 50.0);
+    double b = rng.uniform(0.0, 50.0);
+    if (a > b) std::swap(a, b);
+    if (b - a < 0.5) b = a + 0.5;
+    jobs.push_back({i, rng.uniform(0.5, 8.0), {a, b}});
+  }
+  const SsSchedule s = yds_schedule(jobs);
+  StepFunction usage;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    double work = 0.0;
+    for (const Interval& seg : s.jobs[idx].segments) {
+      EXPECT_GE(seg.lo, jobs[idx].span.lo - 1e-9);
+      EXPECT_LE(seg.hi, jobs[idx].span.hi + 1e-9);
+      work += seg.measure() * s.jobs[idx].speed;
+      usage.add(seg, 1.0);
+    }
+    EXPECT_NEAR(work, jobs[idx].work, 1e-6 * jobs[idx].work);
+  }
+  EXPECT_LE(usage.max_value(), 1.0 + 1e-9);  // one processor
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YdsFeasibilityTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u,
+                                           707u, 808u, 909u, 1010u));
+
+}  // namespace
+}  // namespace dcn
