@@ -3,67 +3,91 @@
 // leaf-spine — plus fat-tree(4) as a congested small fabric. Reports
 // RS/LB and SP+MCF/LB: path diversity (number of equal-cost routes)
 // drives how much joint routing+scheduling can save.
+//
+// Engine-driven: one BatchRunner grid (solver x scenario x seed),
+// executed on --jobs threads; every schedule is replay-validated by the
+// engine before it is counted.
+//
+// Flags: --runs <n> (seeds per cell, default 5), --flows <n> (default
+//        80), --seed <base>, --jobs <n>, --solvers <list> (dcfsr is
+//        always included — it computes the LB the table normalizes by).
+#include <algorithm>
 #include <cstdio>
+#include <map>
 
-#include "baselines/baselines.h"
 #include "bench_util.h"
-#include "common/random.h"
 #include "common/stats.h"
-#include "dcfsr/random_schedule.h"
-#include "flow/workload.h"
-#include "sim/replay.h"
-#include "topology/builders.h"
+#include "engine/batch_runner.h"
 
 int main(int argc, char** argv) {
   using namespace dcn;
+  using namespace dcn::engine;
   const bench::Args args(argc, argv);
-  const int runs = static_cast<int>(args.get_int("runs", 5));
-  const int num_flows = static_cast<int>(args.get_int("flows", 80));
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 67));
 
-  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
-
-  std::printf("Ablation A6: topology sweep (alpha=2, %d flows, %d runs)\n",
-              num_flows, runs);
-  bench::rule();
-  std::printf("%26s  %7s  %7s  %14s  %14s\n", "topology", "hosts", "links",
-              "RS/LB", "SP+MCF/LB");
-  bench::rule();
-
-  const std::vector<Topology> topologies{
-      fat_tree(8),
-      fat_tree(4),
-      bcube(4, 2),          // 64 hosts, 48 switches
-      leaf_spine(16, 8, 8)  // 128 hosts, 24 switches
-  };
-
-  for (const Topology& topo : topologies) {
-    const Graph& g = topo.graph();
-    RunningStats rs_ratio, sp_ratio;
-    for (int run = 0; run < runs; ++run) {
-      Rng rng(seed + static_cast<std::uint64_t>(run));
-      PaperWorkloadParams params;
-      params.num_flows = num_flows;
-      const auto flows = paper_workload(topo, params, rng);
-
-      RandomScheduleOptions options;
-      options.relaxation.frank_wolfe.max_iterations = 15;
-      options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
-      const auto rs = random_schedule(g, flows, model, rng, options);
-      if (!rs.capacity_feasible) continue;
-      const auto rs_replay = replay_schedule(g, flows, rs.schedule, model);
-      if (!rs_replay.ok) continue;
-      const auto sp = sp_mcf(g, flows, model);
-      const double sp_energy =
-          energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
-
-      rs_ratio.add(rs_replay.energy / rs.lower_bound_energy);
-      sp_ratio.add(sp_energy / rs.lower_bound_energy);
-    }
-    std::printf("%26s  %7d  %7d  %14s  %14s\n", topo.name().c_str(),
-                topo.num_hosts(), g.num_edges() / 2,
-                format_mean_ci(rs_ratio).c_str(),
-                format_mean_ci(sp_ratio).c_str());
+  BatchSpec spec;
+  spec.solvers = args.get_list("solvers", {"dcfsr", "mcf"});
+  // The ratios below normalize by the fractional LB, which only the
+  // dcfsr cells carry — keep dcfsr in the grid no matter what.
+  if (std::find(spec.solvers.begin(), spec.solvers.end(), "dcfsr") ==
+      spec.solvers.end()) {
+    spec.solvers.insert(spec.solvers.begin(), "dcfsr");
   }
-  return 0;
+  spec.scenarios = {"fat_tree8/paper", "fat_tree/paper", "bcube42/paper",
+                    "leaf_spine_wide/paper"};
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 67));
+  spec.seeds.clear();
+  for (int run = 0; run < runs; ++run) {
+    spec.seeds.push_back(seed + static_cast<std::uint64_t>(run));
+  }
+  spec.options.num_flows = static_cast<std::int32_t>(args.get_int("flows", 80));
+  spec.jobs = static_cast<std::int32_t>(args.get_int("jobs", 1));
+  spec.discard_schedules = true;
+
+  std::printf("Ablation A6: topology sweep (alpha=2, %d flows, %d runs, %d jobs)\n",
+              spec.options.num_flows, runs, spec.jobs);
+  bench::rule();
+
+  BatchResult result;
+  try {
+    result = run_batch(default_registry(), ScenarioSuite::default_suite(), spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_topology: %s\n", e.what());
+    return 2;
+  }
+
+  // Per (scenario, solver) mean energy; dcfsr also yields the per-cell
+  // LB, against which both solvers' ratios are normalized.
+  std::map<std::pair<std::string, std::string>, RunningStats> ratios;
+  std::map<std::pair<std::string, std::uint64_t>, double> lb;
+  for (const CellResult& cell : result.cells) {
+    if (cell.ran && cell.outcome.lower_bound > 0.0) {
+      lb[{cell.scenario, cell.seed}] = cell.outcome.lower_bound;
+    }
+  }
+  for (const CellResult& cell : result.cells) {
+    if (!cell.ran || !cell.outcome.feasible) continue;
+    const auto it = lb.find({cell.scenario, cell.seed});
+    if (it == lb.end()) continue;
+    ratios[{cell.scenario, cell.solver}].add(cell.outcome.energy / it->second);
+  }
+
+  std::printf("%22s", "scenario");
+  for (const std::string& solver : spec.solvers) {
+    std::printf("  %10s/LB", solver.c_str());
+  }
+  std::printf("\n");
+  bench::rule();
+  for (const std::string& scenario : spec.scenarios) {
+    std::printf("%22s", scenario.c_str());
+    for (const std::string& solver : spec.solvers) {
+      const RunningStats& stats = ratios[{scenario, solver}];
+      // "-" for cells with no feasible samples (e.g. a solver that
+      // threw on this fabric) instead of a misleading 0.000 ratio.
+      std::printf("  %13s",
+                  stats.count() == 0 ? "-" : format_mean_ci(stats).c_str());
+    }
+    std::printf("\n");
+  }
+  return result.all_feasible() ? 0 : 1;
 }

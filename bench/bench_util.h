@@ -1,73 +1,16 @@
-// Shared helpers for the benchmark harnesses: flag parsing and table
-// printing. Every bench prints its configuration (including seeds) so
-// EXPERIMENTS.md rows are reproducible from the logged command line.
+// Shared helpers for the benchmark harnesses.
+//
+// The flag parser and table helpers now live in the engine CLI layer
+// (src/engine/cli.h) so dcn_run and every bench share one
+// implementation; this header keeps the historical dcn::bench names
+// working for the bench sources.
 #pragma once
 
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-#include <vector>
+#include "engine/cli.h"
 
 namespace dcn::bench {
 
-/// Minimal --key value / --flag parser.
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
-  }
-
-  [[nodiscard]] bool has_flag(const std::string& name) const {
-    for (const std::string& t : tokens_) {
-      if (t == "--" + name) return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] std::string get(const std::string& name,
-                                const std::string& fallback) const {
-    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
-      if (tokens_[i] == "--" + name) return tokens_[i + 1];
-    }
-    return fallback;
-  }
-
-  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
-    const std::string v = get(name, "");
-    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
-  }
-
-  [[nodiscard]] std::int64_t get_int(const std::string& name,
-                                     std::int64_t fallback) const {
-    const std::string v = get(name, "");
-    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
-  }
-
-  /// Comma-separated integer list.
-  [[nodiscard]] std::vector<std::int64_t> get_int_list(
-      const std::string& name, const std::vector<std::int64_t>& fallback) const {
-    const std::string v = get(name, "");
-    if (v.empty()) return fallback;
-    std::vector<std::int64_t> out;
-    std::size_t pos = 0;
-    while (pos < v.size()) {
-      std::size_t next = v.find(',', pos);
-      if (next == std::string::npos) next = v.size();
-      out.push_back(std::strtoll(v.substr(pos, next - pos).c_str(), nullptr, 10));
-      pos = next + 1;
-    }
-    return out;
-  }
-
- private:
-  std::vector<std::string> tokens_;
-};
-
-/// Prints a horizontal rule sized for typical tables.
-inline void rule() {
-  std::printf("-------------------------------------------------------------------------------\n");
-}
+using Args = ::dcn::cli::Args;
+using ::dcn::cli::rule;
 
 }  // namespace dcn::bench

@@ -1,73 +1,56 @@
-// Quickstart: the full public-API tour in ~60 lines.
+// Quickstart: the engine-API tour in ~50 lines.
 //
-// Builds the paper's evaluation fabric (fat-tree k=8: 80 switches, 128
-// hosts), generates a deadline-constrained workload, then schedules it
-// three ways and compares energies:
-//   1. LB        — fractional relaxation (not a real schedule; a bound),
-//   2. RS        — Random-Schedule, the paper's DCFSR approximation,
-//   3. SP+MCF    — shortest paths + the optimal DCFS rate assignment.
+// Builds the paper's evaluation scenario (fat-tree k=8, Sec. V-C
+// workload), then runs two registry solvers on the same Instance and
+// compares them:
+//   * dcfsr — Random-Schedule, the paper's DCFSR approximation (also
+//             reports the fractional lower bound LB),
+//   * mcf   — shortest paths + the optimal DCFS rate assignment
+//             (the paper's SP+MCF baseline).
+// Every outcome is replay-validated by construction: `feasible` means
+// the independent replayer confirmed deadlines, volumes, capacities.
 //
 // Build & run:  ./build/examples/quickstart [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/baselines.h"
-#include "common/random.h"
-#include "dcfsr/random_schedule.h"
-#include "flow/workload.h"
-#include "sim/replay.h"
-#include "topology/builders.h"
+#include "engine/instance.h"
+#include "engine/registry.h"
+#include "engine/scenario.h"
 
 int main(int argc, char** argv) {
-  using namespace dcn;
+  using namespace dcn::engine;
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2014;
 
-  // 1. The network: fat-tree(8) and the Eq. 1 power model f(x) = x^2.
-  const Topology topo = fat_tree(8);
-  const Graph& g = topo.graph();
-  const PowerModel model = PowerModel::pure_speed_scaling(/*alpha=*/2.0);
-  std::printf("network: %s — %d switches, %d hosts, %d directed links\n",
-              topo.name().c_str(), topo.num_switches(), topo.num_hosts(),
-              g.num_edges());
+  // 1. The scenario: topology x workload x power model, one call.
+  ScenarioOptions options;
+  options.num_flows = 100;  // the Sec. V-C scale
+  const Instance instance =
+      ScenarioSuite::default_suite().build("fat_tree8/paper", seed, options);
+  std::printf("instance: %s\n\n", instance.summary().c_str());
 
-  // 2. A workload of deadline-constrained flows (the Sec. V-C shape).
-  Rng rng(seed);
-  PaperWorkloadParams params;
-  params.num_flows = 100;
-  const std::vector<Flow> flows = paper_workload(topo, params, rng);
-  std::printf("workload: %zu flows, horizon [%.1f, %.1f], max density %.2f\n",
-              flows.size(), flow_horizon(flows).lo, flow_horizon(flows).hi,
-              max_density(flows));
+  // 2. Solvers come from the registry by name; unknown names throw
+  //    with the full catalogue in the message.
+  const SolverRegistry& registry = default_registry();
 
-  // 3. Random-Schedule: joint routing + scheduling (Algorithm 2). The
-  //    trimmed Frank-Wolfe budget moves the lower bound by < 0.5%
-  //    relative to the library default while running ~5x faster.
-  RandomScheduleOptions options;
-  options.relaxation.frank_wolfe.max_iterations = 15;
-  options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
-  const RandomScheduleResult rs = random_schedule(g, flows, model, rng, options);
-  std::printf("\nRandom-Schedule: energy %.1f (LB %.1f, ratio %.3f, "
-              "%d rounding attempt%s)\n",
-              rs.energy, rs.lower_bound_energy,
-              rs.energy / rs.lower_bound_energy, rs.rounding_attempts,
-              rs.rounding_attempts == 1 ? "" : "s");
+  const SolverOutcome rs = registry.create("dcfsr")->solve(instance);
+  std::printf("dcfsr: energy %.1f (LB %.1f, ratio %.3f) — %s\n", rs.energy,
+              rs.lower_bound, rs.energy / rs.lower_bound,
+              rs.feasible ? "replay-validated" : rs.first_issue.c_str());
 
-  // 4. The baseline: shortest-path routing + Most-Critical-First rates.
-  const DcfsResult sp = sp_mcf(g, flows, model);
-  const double sp_energy =
-      energy_phi_f(g, sp.schedule, model, flow_horizon(flows));
-  std::printf("SP + MCF:        energy %.1f (ratio %.3f)\n", sp_energy,
-              sp_energy / rs.lower_bound_energy);
+  const SolverOutcome sp = registry.create("mcf")->solve(instance);
+  std::printf("mcf:   energy %.1f (ratio %.3f)       — %s\n", sp.energy,
+              sp.energy / rs.lower_bound,
+              sp.feasible ? "replay-validated" : sp.first_issue.c_str());
 
-  // 5. Always validate with the independent replayer: every flow done
-  //    by its deadline, no link over capacity, energy re-derived.
-  const ReplayReport replay = replay_schedule(g, flows, rs.schedule, model);
-  std::printf("\nreplay: %s — %d active links, peak rate %.2f\n",
-              replay.ok ? "all deadlines met" : "VIOLATIONS",
-              replay.active_links, replay.peak_rate);
-  for (const std::string& issue : replay.issues) {
-    std::printf("  !! %s\n", issue.c_str());
+  // 3. Solver-specific diagnostics travel in the outcome's stats list.
+  std::printf("\ndiagnostics:\n");
+  for (const auto& [key, value] : rs.stats) {
+    std::printf("  dcfsr %s = %g\n", key.c_str(), value);
   }
-  return replay.ok ? 0 : 1;
+
+  std::printf("\njoint routing+scheduling saves %.1f%% over SP routing here.\n",
+              100.0 * (1.0 - rs.energy / sp.energy));
+  return rs.feasible && sp.feasible ? 0 : 1;
 }

@@ -14,6 +14,19 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
+  // FNV-1a over the label, folded into the seed, then one splitmix64
+  // pass so nearby seeds / similar labels land far apart.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = seed ^ h;
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

@@ -9,12 +9,19 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace dcn {
 
 /// splitmix64 step — used for seeding and cheap hash-like mixing.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic seed derivation: mixes `seed` with a textual label
+/// (FNV-1a, then splitmix64). Used to give each (run, component) pair —
+/// e.g. a scenario build or a randomized solver on one instance — an
+/// independent stream that does not depend on execution order.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::string_view label);
 
 /// xoshiro256** engine with std::uniform_random_bit_generator interface.
 class Rng {

@@ -1,0 +1,167 @@
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "common/contracts.h"
+
+namespace dcn::engine {
+namespace {
+
+struct Cell {
+  std::string scenario;
+  std::string solver;
+  std::uint64_t seed;
+};
+
+void run_cell(const SolverRegistry& registry, const ScenarioSuite& suite,
+              const BatchSpec& spec, const Cell& cell, CellResult& result) {
+  result.scenario = cell.scenario;
+  result.solver = cell.solver;
+  result.seed = cell.seed;
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const Instance instance =
+        suite.build(cell.scenario, cell.seed, spec.options);
+    const std::unique_ptr<Solver> solver = registry.create(cell.solver);
+    result.outcome = solver->solve(instance);
+    result.ran = true;
+    if (spec.discard_schedules) result.outcome.schedule = Schedule{};
+  } catch (const std::exception& e) {
+    result.ran = false;
+    result.error = e.what();
+  }
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+}
+
+}  // namespace
+
+std::string BatchResult::canonical() const {
+  std::string out;
+  for (const CellResult& cell : cells) {
+    detail::append_format(out, "%s seed=%llu ", cell.scenario.c_str(),
+           static_cast<unsigned long long>(cell.seed));
+    if (cell.ran) {
+      out += canonical_summary(cell.outcome);
+    } else {
+      out += "solver=" + cell.solver + " error=\"" + cell.error + "\"";
+    }
+    out += "\n";
+  }
+  for (const SolverAggregate& agg : solvers) {
+    detail::append_format(out,
+           "aggregate solver=%s cells=%d ran=%d feasible=%d total_energy=%.17g "
+           "mean_energy=%.17g mean_lb_ratio=%.17g lb_cells=%d\n",
+           agg.solver.c_str(), agg.cells, agg.ran, agg.feasible,
+           agg.total_energy, agg.mean_energy, agg.mean_lb_ratio, agg.lb_cells);
+  }
+  return out;
+}
+
+std::string BatchResult::table() const {
+  std::string out;
+  detail::append_format(out, "%-12s  %6s  %6s  %9s  %14s  %10s\n", "solver", "cells",
+         "feasib", "failures", "mean energy", "mean /LB");
+  for (const SolverAggregate& agg : solvers) {
+    if (agg.lb_cells > 0) {
+      detail::append_format(out, "%-12s  %6d  %6d  %9d  %14.2f  %10.3f\n", agg.solver.c_str(),
+             agg.cells, agg.feasible, agg.cells - agg.ran, agg.mean_energy,
+             agg.mean_lb_ratio);
+    } else {
+      detail::append_format(out, "%-12s  %6d  %6d  %9d  %14.2f  %10s\n", agg.solver.c_str(),
+             agg.cells, agg.feasible, agg.cells - agg.ran, agg.mean_energy,
+             "-");
+    }
+  }
+  return out;
+}
+
+bool BatchResult::all_feasible() const {
+  for (const CellResult& cell : cells) {
+    if (!cell.ran || !cell.outcome.feasible) return false;
+  }
+  return !cells.empty();
+}
+
+BatchResult run_batch(const SolverRegistry& registry, const ScenarioSuite& suite,
+                      const BatchSpec& spec) {
+  DCN_EXPECTS(!spec.solvers.empty());
+  DCN_EXPECTS(!spec.scenarios.empty());
+  DCN_EXPECTS(!spec.seeds.empty());
+
+  // Resolve every name up front: misspellings fail fast, not mid-grid.
+  for (const std::string& name : spec.solvers) (void)registry.create(name);
+  for (const std::string& name : spec.scenarios) {
+    if (!suite.contains(name)) {
+      (void)suite.build(name, 0, spec.options);  // throws with the catalogue
+    }
+  }
+
+  std::vector<Cell> grid;
+  grid.reserve(spec.scenarios.size() * spec.solvers.size() * spec.seeds.size());
+  for (const std::string& scenario : spec.scenarios) {
+    for (const std::string& solver : spec.solvers) {
+      for (const std::uint64_t seed : spec.seeds) {
+        grid.push_back({scenario, solver, seed});
+      }
+    }
+  }
+
+  BatchResult result;
+  result.cells.resize(grid.size());
+
+  const std::size_t jobs = static_cast<std::size_t>(
+      std::max<std::int32_t>(1, spec.jobs));
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      run_cell(registry, suite, spec, grid[i], result.cells[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < grid.size();
+           i = next.fetch_add(1)) {
+        run_cell(registry, suite, spec, grid[i], result.cells[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t workers = std::min(jobs, grid.size());
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Serial aggregation in spec order: identical for any thread count.
+  for (const std::string& solver : spec.solvers) {
+    SolverAggregate agg;
+    agg.solver = solver;
+    for (const CellResult& cell : result.cells) {
+      if (cell.solver != solver) continue;
+      ++agg.cells;
+      if (!cell.ran) continue;
+      ++agg.ran;
+      if (cell.outcome.feasible) ++agg.feasible;
+      agg.total_energy += cell.outcome.energy;
+      if (cell.outcome.lower_bound > 0.0) {
+        agg.mean_lb_ratio += cell.outcome.energy / cell.outcome.lower_bound;
+        ++agg.lb_cells;
+      }
+    }
+    if (agg.ran > 0) agg.mean_energy = agg.total_energy / agg.ran;
+    if (agg.lb_cells > 0) agg.mean_lb_ratio /= agg.lb_cells;
+    result.solvers.push_back(agg);
+  }
+  return result;
+}
+
+}  // namespace dcn::engine

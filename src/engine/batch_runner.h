@@ -1,0 +1,93 @@
+// Multi-threaded solver x scenario x seed grid execution.
+//
+// BatchRunner expands a BatchSpec into a flat list of cells (scenario-
+// major, then solver, then seed), executes them on `jobs` worker
+// threads, replays every schedule, and aggregates per-solver statistics
+// after the join. Results are *thread-count invariant*: each cell
+// builds its own instance and solver, randomized solvers derive their
+// stream from (instance, solver) alone, results land in a pre-sized
+// vector indexed by cell, and aggregation runs serially in cell order —
+// so --jobs 8 is byte-identical to --jobs 1 (asserted by
+// batch_runner_test).
+//
+// A cell whose solver throws (exact on a too-large instance, an
+// infeasible workload) becomes a failed cell carrying the exception
+// text; the grid keeps going.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/scenario.h"
+#include "engine/solver.h"
+
+namespace dcn::engine {
+
+/// The grid to run.
+struct BatchSpec {
+  std::vector<std::string> solvers;
+  std::vector<std::string> scenarios;
+  std::vector<std::uint64_t> seeds{1};
+  ScenarioOptions options;
+  /// Worker threads; values < 1 are treated as 1.
+  std::int32_t jobs = 1;
+  /// When true, drop each cell's Schedule after replay (keeps big grids
+  /// in bounded memory; outcomes keep their scalar fields).
+  bool discard_schedules = false;
+};
+
+/// One executed (scenario, solver, seed) cell.
+struct CellResult {
+  std::string scenario;
+  std::string solver;
+  std::uint64_t seed = 0;
+
+  /// False when the solver threw; `error` holds the exception text and
+  /// `outcome` is default-constructed.
+  bool ran = false;
+  std::string error;
+
+  SolverOutcome outcome;
+
+  /// Wall-clock of instance build + solve + replay. Informational only:
+  /// excluded from canonical() and from aggregates.
+  double elapsed_ms = 0.0;
+};
+
+/// Per-solver aggregate over all cells that ran.
+struct SolverAggregate {
+  std::string solver;
+  std::int32_t cells = 0;     // cells attempted
+  std::int32_t ran = 0;       // cells that did not throw
+  std::int32_t feasible = 0;  // replay-validated cells
+  double total_energy = 0.0;  // sum of replayed Phi_f over ran cells
+  double mean_energy = 0.0;   // total_energy / ran (0 when none)
+  /// Mean of energy / lower_bound over cells with a lower bound.
+  double mean_lb_ratio = 0.0;
+  std::int32_t lb_cells = 0;
+};
+
+struct BatchResult {
+  std::vector<CellResult> cells;          // grid order
+  std::vector<SolverAggregate> solvers;   // spec order
+
+  /// Deterministic full dump (one line per cell + aggregates, %.17g,
+  /// no timing) — the byte-comparable form.
+  [[nodiscard]] std::string canonical() const;
+
+  /// Human-readable aggregate table.
+  [[nodiscard]] std::string table() const;
+
+  [[nodiscard]] bool all_feasible() const;
+};
+
+/// Expands and runs the grid. Solver and scenario names are resolved
+/// up front: unknown names throw UnknownSolverError /
+/// UnknownScenarioError before any work starts.
+[[nodiscard]] BatchResult run_batch(const SolverRegistry& registry,
+                                    const ScenarioSuite& suite,
+                                    const BatchSpec& spec);
+
+}  // namespace dcn::engine

@@ -1,0 +1,30 @@
+#include "engine/instance.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace dcn::engine {
+
+Instance::Instance(std::string name, Topology topology, std::vector<Flow> flows,
+                   PowerModel model, std::uint64_t seed)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      flows_(std::move(flows)),
+      model_(model),
+      seed_(seed) {
+  validate_flows(topology_.graph(), flows_);
+}
+
+std::string Instance::summary() const {
+  const Interval h = horizon();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %d hosts / %d switches / %d links, %zu flows, horizon "
+                "[%.6g, %.6g], alpha=%.6g sigma=%.6g, seed=%llu",
+                name_.c_str(), topology_.num_hosts(), topology_.num_switches(),
+                graph().num_edges(), flows_.size(), h.lo, h.hi, model_.alpha(),
+                model_.sigma(), static_cast<unsigned long long>(seed_));
+  return buf;
+}
+
+}  // namespace dcn::engine

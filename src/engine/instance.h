@@ -1,0 +1,51 @@
+// A solvable problem instance: the triple the whole paper operates on.
+//
+// Every algorithm in the library — Most-Critical-First, Random-Schedule,
+// the baselines, the exact solver — consumes the same three objects: a
+// network (Graph via Topology), a deadline-constrained flow set, and the
+// Eq. 1 power model. Instance bundles them as one value, together with
+// the seed the workload was drawn from and a human-readable name, so
+// solvers, the batch runner, and the CLI all speak about "the same
+// experiment" unambiguously and reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "power/power_model.h"
+#include "topology/topology.h"
+
+namespace dcn::engine {
+
+class Instance {
+ public:
+  /// Validates the flow set against the topology's graph on
+  /// construction (throws ContractViolation on malformed input).
+  Instance(std::string name, Topology topology, std::vector<Flow> flows,
+           PowerModel model, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const Graph& graph() const { return topology_.graph(); }
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  [[nodiscard]] const PowerModel& model() const { return model_; }
+  /// The seed the scenario generator drew this instance with.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// [min release, max deadline] of the flow set.
+  [[nodiscard]] Interval horizon() const { return flow_horizon(flows_); }
+
+  /// One-line summary for logs and tables.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::string name_;
+  Topology topology_;
+  std::vector<Flow> flows_;
+  PowerModel model_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dcn::engine

@@ -1,0 +1,134 @@
+#include "engine/scenario.h"
+
+#include <algorithm>
+
+#include "flow/workload.h"
+#include "topology/builders.h"
+
+namespace dcn::engine {
+namespace {
+
+std::int32_t clamp_count(std::int32_t requested, std::int32_t available) {
+  return std::max<std::int32_t>(1, std::min(requested, available));
+}
+
+}  // namespace
+
+ScenarioSuite::ScenarioSuite() {
+  topologies_ = {
+      {"line", [](Rng&) { return line_network(4); }},
+      {"fat_tree", [](Rng&) { return fat_tree(4); }},
+      {"fat_tree8", [](Rng&) { return fat_tree(8); }},
+      {"bcube", [](Rng&) { return bcube(4, 1); }},
+      {"bcube42", [](Rng&) { return bcube(4, 2); }},
+      {"leaf_spine", [](Rng&) { return leaf_spine(4, 4, 4); }},
+      {"leaf_spine_wide", [](Rng&) { return leaf_spine(16, 8, 8); }},
+      {"random",
+       [](Rng& rng) { return random_fabric(8, 5, 2, rng); }},
+  };
+
+  workloads_ = {
+      {"paper",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         PaperWorkloadParams params;
+         params.num_flows = std::max<std::int32_t>(1, o.num_flows);
+         return paper_workload(topo, params, rng);
+       }},
+      {"incast",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         const std::int32_t senders =
+             clamp_count(o.senders, topo.num_hosts() - 1);
+         return incast_workload(topo, senders, o.volume, o.window, rng);
+       }},
+      {"shuffle",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         const std::int32_t mappers =
+             clamp_count(o.mappers, topo.num_hosts() / 2);
+         const std::int32_t reducers =
+             clamp_count(o.reducers, topo.num_hosts() - mappers);
+         return shuffle_workload(topo, mappers, reducers, o.volume, o.window,
+                                 rng);
+       }},
+      {"permutation",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         const std::int32_t pairs =
+             clamp_count(o.num_flows, topo.num_hosts() / 2);
+         PaperWorkloadParams params;
+         return permutation_workload(topo, pairs, params, rng);
+       }},
+      {"slack",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         return slack_workload(topo, std::max<std::int32_t>(1, o.num_flows),
+                               o.volume, o.base_rate, o.slack, o.window, rng);
+       }},
+  };
+}
+
+const ScenarioSuite& ScenarioSuite::default_suite() {
+  static const ScenarioSuite suite;
+  return suite;
+}
+
+std::vector<std::string> ScenarioSuite::topology_names() const {
+  std::vector<std::string> out;
+  out.reserve(topologies_.size());
+  for (const auto& [name, factory] : topologies_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> ScenarioSuite::workload_names() const {
+  std::vector<std::string> out;
+  out.reserve(workloads_.size());
+  for (const auto& [name, factory] : workloads_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> ScenarioSuite::names() const {
+  std::vector<std::string> out;
+  out.reserve(topologies_.size() * workloads_.size());
+  for (const auto& [topo, tf] : topologies_) {
+    for (const auto& [work, wf] : workloads_) {
+      out.push_back(topo + "/" + work);
+    }
+  }
+  return out;
+}
+
+bool ScenarioSuite::contains(const std::string& spec) const {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos) return false;
+  return topologies_.contains(spec.substr(0, slash)) &&
+         workloads_.contains(spec.substr(slash + 1));
+}
+
+Instance ScenarioSuite::build(const std::string& spec, std::uint64_t seed,
+                              const ScenarioOptions& options) const {
+  const std::size_t slash = spec.find('/');
+  const std::string topo_name =
+      slash == std::string::npos ? spec : spec.substr(0, slash);
+  const std::string work_name =
+      slash == std::string::npos ? "" : spec.substr(slash + 1);
+
+  const auto topo_it = topologies_.find(topo_name);
+  const auto work_it = workloads_.find(work_name);
+  if (slash == std::string::npos || topo_it == topologies_.end() ||
+      work_it == workloads_.end()) {
+    std::string message = "unknown scenario \"" + spec +
+                          "\" (want <topology>/<workload>); topologies:";
+    for (const auto& [name, factory] : topologies_) message += " " + name;
+    message += "; workloads:";
+    for (const auto& [name, factory] : workloads_) message += " " + name;
+    throw UnknownScenarioError(message);
+  }
+
+  // One private stream per (spec, seed): instance content is a pure
+  // function of the two, independent of build order or thread.
+  Rng rng(mix_seed(seed, spec));
+  Topology topology = topo_it->second(rng);
+  std::vector<Flow> flows = work_it->second(topology, options, rng);
+
+  return Instance(spec + "#" + std::to_string(seed), std::move(topology),
+                  std::move(flows), options.power_model(), seed);
+}
+
+}  // namespace dcn::engine

@@ -1,0 +1,93 @@
+// Named, seeded scenarios: topology presets x workload generators.
+//
+// A scenario spec is "<topology>/<workload>", e.g. "fat_tree/paper" or
+// "leaf_spine/incast". The suite crosses the topology builders
+// (src/topology) with the workload generators (src/flow/workload) into
+// reproducible Instances: the same (spec, seed, options) always yields
+// the identical instance, on any thread, in any order — the scenario
+// rng is derived from mix_seed(seed, spec), never shared.
+//
+// Topology presets (sized so every solver terminates in seconds, with
+// *8 / *_wide variants at the paper's 128-host evaluation scale):
+//   line fat_tree fat_tree8 bcube bcube42 leaf_spine leaf_spine_wide
+//   random
+// Workload presets:
+//   paper incast shuffle permutation slack
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/instance.h"
+
+namespace dcn::engine {
+
+/// Thrown for unknown scenario specs; the message lists valid names.
+class UnknownScenarioError : public std::invalid_argument {
+ public:
+  explicit UnknownScenarioError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Knobs shared by the workload generators. Workloads clamp the counts
+/// to what the chosen topology's host set supports.
+struct ScenarioOptions {
+  /// Flow count for "paper" / "slack"; pair budget for "permutation".
+  std::int32_t num_flows = 40;
+
+  // Power model of Eq. 1 (defaults: the paper's x^2).
+  double alpha = 2.0;
+  double sigma = 0.0;
+  double mu = 1.0;
+  double capacity = std::numeric_limits<double>::infinity();
+
+  // Pattern-specific shape.
+  std::int32_t senders = 8;    // incast fan-in
+  std::int32_t mappers = 4;    // shuffle
+  std::int32_t reducers = 4;   // shuffle
+  double volume = 5.0;         // per-flow volume (incast/shuffle/slack)
+  double slack = 2.0;          // slack workload deadline looseness
+  double base_rate = 4.0;      // slack workload reference rate
+  Interval window{0.0, 20.0};  // common window (incast/shuffle/slack)
+
+  [[nodiscard]] PowerModel power_model() const {
+    return PowerModel(sigma, mu, alpha, capacity);
+  }
+};
+
+class ScenarioSuite {
+ public:
+  /// The default preset catalogue described in the header comment.
+  ScenarioSuite();
+
+  /// Shared immutable default suite.
+  static const ScenarioSuite& default_suite();
+
+  [[nodiscard]] std::vector<std::string> topology_names() const;
+  [[nodiscard]] std::vector<std::string> workload_names() const;
+  /// Every "<topology>/<workload>" combination, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] bool contains(const std::string& spec) const;
+
+  /// Builds the instance named "<topology>/<workload>#<seed>". Throws
+  /// UnknownScenarioError for malformed or unknown specs.
+  [[nodiscard]] Instance build(const std::string& spec, std::uint64_t seed,
+                               const ScenarioOptions& options = {}) const;
+
+ private:
+  using TopologyFactory = std::function<Topology(Rng&)>;
+  using WorkloadFactory = std::function<std::vector<Flow>(
+      const Topology&, const ScenarioOptions&, Rng&)>;
+
+  std::map<std::string, TopologyFactory> topologies_;
+  std::map<std::string, WorkloadFactory> workloads_;
+};
+
+}  // namespace dcn::engine

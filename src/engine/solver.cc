@@ -1,0 +1,65 @@
+#include "engine/solver.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/replay.h"
+
+namespace dcn::engine {
+
+namespace detail {
+
+void append_format(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace detail
+
+SolverOutcome finish_outcome(const std::string& solver, const Instance& instance,
+                             Schedule schedule) {
+  SolverOutcome out;
+  out.solver = solver;
+  out.instance = instance.name();
+  out.schedule = std::move(schedule);
+
+  const ReplayReport replay = replay_schedule(instance.graph(), instance.flows(),
+                                              out.schedule, instance.model());
+  out.feasible = replay.ok;
+  if (!replay.issues.empty()) out.first_issue = replay.issues.front();
+  out.energy = replay.energy;
+  out.dynamic_energy = replay.dynamic_energy;
+  out.idle_energy = replay.idle_energy;
+  out.active_links = replay.active_links;
+  out.peak_rate = replay.peak_rate;
+  return out;
+}
+
+Rng solver_rng(const Instance& instance, const std::string& solver) {
+  // Distinct solvers on one instance (and one solver across instances)
+  // get independent streams, regardless of execution order.
+  return Rng(mix_seed(instance.seed(), instance.name() + "|" + solver));
+}
+
+std::string canonical_summary(const SolverOutcome& outcome) {
+  std::string out;
+  detail::append_format(out, "solver=%s instance=%s feasible=%d energy=%.17g",
+         outcome.solver.c_str(), outcome.instance.c_str(),
+         outcome.feasible ? 1 : 0, outcome.energy);
+  detail::append_format(out, " dynamic=%.17g idle=%.17g active_links=%d peak=%.17g lb=%.17g",
+         outcome.dynamic_energy, outcome.idle_energy, outcome.active_links,
+         outcome.peak_rate, outcome.lower_bound);
+  for (const auto& [key, value] : outcome.stats) {
+    detail::append_format(out, " %s=%.17g", key.c_str(), value);
+  }
+  if (!outcome.feasible && !outcome.first_issue.empty()) {
+    out += " issue=\"" + outcome.first_issue + "\"";
+  }
+  return out;
+}
+
+}  // namespace dcn::engine

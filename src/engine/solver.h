@@ -1,0 +1,94 @@
+// The polymorphic solver interface of the engine.
+//
+// A Solver maps an Instance to a SolverOutcome: a complete schedule plus
+// replay-validated feasibility and energy. Every adapter funnels its
+// result through finish_outcome(), which runs the independent replayer
+// (src/sim) — so "feasible" always means *replay-validated*: every
+// deadline met, full volumes delivered, no link over capacity, energy
+// re-integrated from scratch. Solver-specific diagnostics (iterations,
+// rounding attempts, lower bounds) travel in a flat ordered stats list
+// so the batch runner can aggregate and print them uniformly.
+//
+// Randomized solvers must derive their generator with solver_rng(), a
+// pure function of (instance seed, solver name). This keeps every cell
+// of a solver x scenario grid independent of execution order, which is
+// what makes BatchRunner results identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/instance.h"
+#include "schedule/schedule.h"
+
+namespace dcn::engine {
+
+/// What a solver produced on one instance, replay-validated.
+struct SolverOutcome {
+  std::string solver;
+  std::string instance;
+
+  Schedule schedule;
+
+  /// True iff the independent replay found no violation.
+  bool feasible = false;
+  /// First replay issue when infeasible ("" otherwise).
+  std::string first_issue;
+
+  /// Replayed total energy Phi_f (Eq. 5) over the flow horizon.
+  double energy = 0.0;
+  double dynamic_energy = 0.0;
+  double idle_energy = 0.0;
+  std::int32_t active_links = 0;
+  double peak_rate = 0.0;
+
+  /// Fractional relaxation bound when the solver computes one
+  /// (Random-Schedule); 0 means "none".
+  double lower_bound = 0.0;
+
+  /// Ordered solver-specific counters (e.g. {"iterations", 12}).
+  std::vector<std::pair<std::string, double>> stats;
+};
+
+/// Abstract solver: every algorithm of the paper behind one call.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry key, e.g. "mcf", "dcfsr".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line description for --list output.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Solves the instance. May throw (InfeasibleError, ContractViolation)
+  /// when the instance is outside the algorithm's reach; BatchRunner
+  /// converts throws into failed cells.
+  [[nodiscard]] virtual SolverOutcome solve(const Instance& instance) const = 0;
+};
+
+/// Replays `schedule` on the instance and fills the common outcome
+/// fields. Solver adapters append their specific stats afterwards.
+[[nodiscard]] SolverOutcome finish_outcome(const std::string& solver,
+                                           const Instance& instance,
+                                           Schedule schedule);
+
+/// Deterministic per-(instance, solver) generator: a pure function of
+/// the instance seed and the solver name, independent of call order.
+[[nodiscard]] Rng solver_rng(const Instance& instance, const std::string& solver);
+
+/// Canonical text form of an outcome (fixed field order, %.17g floats,
+/// no wall-clock data) — the byte-comparable serialization the
+/// determinism tests and the batch runner's canonical dump use.
+[[nodiscard]] std::string canonical_summary(const SolverOutcome& outcome);
+
+namespace detail {
+/// printf-appends to `out` (shared by the canonical serializers).
+void append_format(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace dcn::engine

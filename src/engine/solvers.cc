@@ -1,0 +1,164 @@
+#include "engine/solvers.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "common/interval.h"
+
+namespace dcn::engine {
+
+// ---------------------------------------------------------------------------
+// McfSolver
+
+McfSolver::McfSolver(std::string name, DcfsOptions options, std::string description)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      options_(options) {}
+
+SolverOutcome McfSolver::solve(const Instance& instance) const {
+  const std::vector<Path> paths =
+      shortest_path_routing(instance.graph(), instance.flows());
+  const DcfsResult r = most_critical_first(instance.graph(), instance.flows(),
+                                           paths, instance.model(), options_);
+  SolverOutcome out = finish_outcome(name_, instance, r.schedule);
+  out.stats = {{"iterations", static_cast<double>(r.iterations)},
+               {"speed_escalations", static_cast<double>(r.speed_escalations)},
+               {"availability_fallbacks",
+                static_cast<double>(r.availability_fallbacks)}};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RandomScheduleSolver
+
+RandomScheduleSolver::RandomScheduleSolver(RandomScheduleOptions options)
+    : options_(options) {}
+
+std::string RandomScheduleSolver::description() const {
+  return "Random-Schedule: fractional relaxation + randomized rounding "
+         "(Algorithm 2)";
+}
+
+SolverOutcome RandomScheduleSolver::solve(const Instance& instance) const {
+  Rng rng = solver_rng(instance, name());
+  const RandomScheduleResult r = random_schedule(
+      instance.graph(), instance.flows(), instance.model(), rng, options_);
+  SolverOutcome out = finish_outcome(name(), instance, r.schedule);
+  out.lower_bound = r.lower_bound_energy;
+  out.stats = {{"lambda", r.lambda},
+               {"rounding_attempts", static_cast<double>(r.rounding_attempts)},
+               {"capacity_feasible", r.capacity_feasible ? 1.0 : 0.0},
+               {"mean_relative_gap", r.mean_relative_gap}};
+  if (!r.capacity_feasible && out.feasible) {
+    // The last rounding draw violated link capacity; replay would have
+    // flagged it, but keep the solver's own verdict authoritative too.
+    out.feasible = false;
+    out.first_issue = "no capacity-feasible rounding within attempt budget";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EcmpMcfSolver
+
+EcmpMcfSolver::EcmpMcfSolver(std::size_t width) : width_(width) {}
+
+std::string EcmpMcfSolver::description() const {
+  return "ECMP routing (width " + std::to_string(width_) +
+         ") + Most-Critical-First";
+}
+
+SolverOutcome EcmpMcfSolver::solve(const Instance& instance) const {
+  Rng rng = solver_rng(instance, name());
+  const std::vector<Path> paths =
+      ecmp_routing(instance.graph(), instance.flows(), width_, rng);
+  const DcfsResult r = most_critical_first(instance.graph(), instance.flows(),
+                                           paths, instance.model());
+  SolverOutcome out = finish_outcome(name(), instance, r.schedule);
+  out.stats = {{"iterations", static_cast<double>(r.iterations)},
+               {"availability_fallbacks",
+                static_cast<double>(r.availability_fallbacks)}};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GreedySolver
+
+SolverOutcome GreedySolver::solve(const Instance& instance) const {
+  Schedule schedule =
+      greedy_energy_aware(instance.graph(), instance.flows(), instance.model());
+  return finish_outcome(name(), instance, std::move(schedule));
+}
+
+// ---------------------------------------------------------------------------
+// EdfSolver
+
+SolverOutcome EdfSolver::solve(const Instance& instance) const {
+  const Graph& g = instance.graph();
+  const std::vector<Flow>& flows = instance.flows();
+  const std::vector<Path> paths = shortest_path_routing(g, flows);
+
+  // Deadline order, id tie-break (deterministic).
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (flows[a].deadline != flows[b].deadline)
+      return flows[a].deadline < flows[b].deadline;
+    return flows[a].id < flows[b].id;
+  });
+
+  std::vector<IntervalSet> busy(static_cast<std::size_t>(g.num_edges()));
+  Schedule schedule;
+  schedule.flows.resize(flows.size());
+  std::int32_t fallbacks = 0;
+
+  for (const std::size_t i : order) {
+    const Flow& flow = flows[i];
+    const Path& path = paths[i];
+
+    IntervalSet allowed{flow.span()};
+    for (const EdgeId e : path.edges) {
+      allowed.subtract(busy[static_cast<std::size_t>(e)]);
+    }
+    if (allowed.measure() <= 0.0) {
+      // Span fully booked on some link: overlap (packet realization).
+      allowed = IntervalSet{flow.span()};
+      ++fallbacks;
+    }
+
+    const double rate = flow.volume / allowed.measure();
+    schedule.flows[i].path = path;
+    for (const Interval& iv : allowed.intervals()) {
+      schedule.flows[i].segments.push_back({iv, rate});
+      for (const EdgeId e : path.edges) {
+        busy[static_cast<std::size_t>(e)].add(iv);
+      }
+    }
+  }
+
+  SolverOutcome out = finish_outcome(name(), instance, std::move(schedule));
+  out.stats = {{"availability_fallbacks", static_cast<double>(fallbacks)}};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExactSolver
+
+ExactSolver::ExactSolver(ExactDcfsrOptions options) : options_(options) {}
+
+std::string ExactSolver::description() const {
+  return "exhaustive DCFSR optimum (" + std::to_string(options_.paths_per_flow) +
+         " candidate paths per flow; tiny instances only)";
+}
+
+SolverOutcome ExactSolver::solve(const Instance& instance) const {
+  const ExactDcfsrResult r =
+      exact_dcfsr(instance.graph(), instance.flows(), instance.model(), options_);
+  SolverOutcome out = finish_outcome(name(), instance, r.schedule);
+  out.stats = {{"assignments_tried", static_cast<double>(r.assignments_tried)}};
+  return out;
+}
+
+}  // namespace dcn::engine

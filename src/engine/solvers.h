@@ -1,0 +1,115 @@
+// Concrete Solver adapters: every algorithm of the paper behind the
+// engine interface.
+//
+//   mcf        SP routing + Most-Critical-First, circuit-exact (the
+//              paper's SP+MCF baseline; optimal DCFS rates, Theorem 1)
+//   mcf_paper  SP routing + the paper-literal Algorithm 1 (per-critical-
+//              link availability; bench_ablation_circuit's subject)
+//   mcf_plain  SP routing + MCF without virtual weights (Theorem 1
+//              ablation)
+//   dcfsr      Random-Schedule: relaxation + randomized rounding
+//              (Algorithm 2; also reports the fractional lower bound)
+//   ecmp_mcf   ECMP routing (seeded) + Most-Critical-First
+//   greedy     Online greedy energy-aware routing at density rates
+//   edf        SP routing + deadline-ordered virtual-circuit packing:
+//              each flow grabs the earliest time still free on every
+//              link of its path and transmits at the constant rate that
+//              exactly fills it — the classic deadline heuristic, no
+//              energy awareness
+//   exact      Exhaustive path enumeration + MCF rates (tiny instances)
+#pragma once
+
+#include <cstdint>
+
+#include "dcfs/most_critical_first.h"
+#include "dcfsr/exact.h"
+#include "dcfsr/random_schedule.h"
+#include "engine/solver.h"
+
+namespace dcn::engine {
+
+/// Shortest-path routing + Most-Critical-First rate assignment.
+class McfSolver final : public Solver {
+ public:
+  explicit McfSolver(std::string name, DcfsOptions options = {},
+                     std::string description =
+                         "SP routing + Most-Critical-First (optimal DCFS rates)");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string description() const override { return description_; }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  std::string name_;
+  std::string description_;
+  DcfsOptions options_;
+};
+
+/// Random-Schedule (Algorithm 2): relaxation + randomized rounding.
+class RandomScheduleSolver final : public Solver {
+ public:
+  explicit RandomScheduleSolver(RandomScheduleOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "dcfsr"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  RandomScheduleOptions options_;
+};
+
+/// ECMP routing (one of up to `width` equal-cost shortest paths per
+/// flow, drawn with the engine's deterministic per-cell rng) + MCF.
+class EcmpMcfSolver final : public Solver {
+ public:
+  explicit EcmpMcfSolver(std::size_t width = 8);
+
+  [[nodiscard]] std::string name() const override { return "ecmp_mcf"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  std::size_t width_;
+};
+
+/// Online greedy energy-aware routing; flows transmit at density.
+class GreedySolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] std::string description() const override {
+    return "online greedy energy-aware routing at density rates";
+  }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+};
+
+/// Deadline-ordered virtual-circuit packing on shortest paths: the
+/// energy-oblivious EDF baseline. Flows are processed by (deadline, id);
+/// each receives the earliest still-free time on all links of its path
+/// and the single constant rate that exactly fills that free time. When
+/// a flow's span is fully booked on some link it falls back to its span
+/// (overlapping is legal in the packet realization, and the replayer
+/// charges the superadditive cost honestly) — counted in the stats.
+class EdfSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "edf"; }
+  [[nodiscard]] std::string description() const override {
+    return "SP routing + deadline-ordered circuit packing (no energy awareness)";
+  }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+};
+
+/// Exhaustive DCFSR optimum over candidate paths (tiny instances only;
+/// throws ContractViolation when the assignment space exceeds its cap).
+class ExactSolver final : public Solver {
+ public:
+  explicit ExactSolver(ExactDcfsrOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "exact"; }
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  ExactDcfsrOptions options_;
+};
+
+}  // namespace dcn::engine

@@ -51,7 +51,9 @@ TEST(ConvexMcf, QuadraticSplitsEvenlyAcrossParallelLinks) {
     // Per-edge flows near demand/k on forward edges.
     for (EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
       const double x = sol.total_flow[static_cast<std::size_t>(e)];
-      if (x > 1e-6) EXPECT_NEAR(x, demand / k, 0.15);
+      if (x > 1e-6) {
+        EXPECT_NEAR(x, demand / k, 0.15);
+      }
     }
   }
 }

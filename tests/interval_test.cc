@@ -206,7 +206,9 @@ TEST_P(IntervalSetPropertyTest, OperationsMatchGridSemantics) {
   const auto& ivs = s.intervals();
   for (std::size_t i = 0; i < ivs.size(); ++i) {
     EXPECT_FALSE(ivs[i].empty());
-    if (i > 0) EXPECT_LT(ivs[i - 1].hi, ivs[i].lo);
+    if (i > 0) {
+      EXPECT_LT(ivs[i - 1].hi, ivs[i].lo);
+    }
   }
   // Measure roughly matches the grid density.
   const double grid_measure =

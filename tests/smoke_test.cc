@@ -1,4 +1,8 @@
 // Build smoke test: every public header compiles and links together.
+//
+// Keep this list in sync with `find src -name '*.h'` — the test is the
+// all-headers-link invariant, so a header missing here is a hole in the
+// invariant.
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
@@ -9,9 +13,18 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "dcfs/most_critical_first.h"
+#include "dcfsr/exact.h"
 #include "dcfsr/hardness.h"
 #include "dcfsr/random_schedule.h"
+#include "engine/batch_runner.h"
+#include "engine/cli.h"
+#include "engine/instance.h"
+#include "engine/registry.h"
+#include "engine/scenario.h"
+#include "engine/solver.h"
+#include "engine/solvers.h"
 #include "flow/flow.h"
+#include "flow/split.h"
 #include "flow/workload.h"
 #include "graph/flow_decomposition.h"
 #include "graph/graph.h"
@@ -25,6 +38,7 @@
 #include "power/power_model.h"
 #include "schedule/edf.h"
 #include "schedule/schedule.h"
+#include "sim/packet_sim.h"
 #include "sim/replay.h"
 #include "speedscale/yds.h"
 #include "topology/builders.h"
@@ -37,6 +51,16 @@ TEST(Smoke, PaperTopologyMatchesEvaluationSetup) {
   const Topology topo = fat_tree(8);
   EXPECT_EQ(topo.num_switches(), 80);  // "80 switches"
   EXPECT_EQ(topo.num_hosts(), 128);    // "(with 128 servers connected)"
+}
+
+TEST(Smoke, EngineEndToEnd) {
+  // The one-call tour: scenario -> solver -> replay-validated outcome.
+  const engine::Instance instance =
+      engine::ScenarioSuite::default_suite().build("line/paper", 1);
+  const engine::SolverOutcome outcome =
+      engine::default_registry().create("mcf")->solve(instance);
+  EXPECT_TRUE(outcome.feasible) << outcome.first_issue;
+  EXPECT_GT(outcome.energy, 0.0);
 }
 
 }  // namespace

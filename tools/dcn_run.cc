@@ -1,0 +1,147 @@
+// dcn_run — the single entry point for engine experiments.
+//
+// Runs any solver x scenario x seed grid through the parallel
+// BatchRunner, replays every schedule, and prints per-cell lines plus a
+// per-solver aggregate table.
+//
+//   dcn_run --solver mcf --scenario fat_tree/paper --seed 1
+//   dcn_run --solver dcfsr,mcf,greedy --scenario fat_tree/shuffle
+//           --seeds 1,2,3 --jobs 8
+//   dcn_run --solver all --scenario fat_tree/paper --flows 60
+//   dcn_run --list
+//
+// Flags:
+//   --solver a,b,..    solvers to run; "all" = every registered solver
+//                      except exact (name it explicitly to include the
+//                      exhaustive solver, which refuses big instances) [mcf]
+//   --scenario s,..    "<topology>/<workload>" specs      [fat_tree/paper]
+//   --seed n           single seed                        [1]
+//   --seeds a,b,..     seed list (overrides --seed)
+//   --jobs n           worker threads                     [1]
+//   --flows n          flow count (paper/slack/permutation)
+//   --alpha x          power exponent                     [2]
+//   --sigma x          idle power                         [0]
+//   --senders n        incast fan-in                      [8]
+//   --volume x         per-flow volume (pattern workloads)
+//   --verbose          per-cell canonical lines
+//   --canonical        dump the full canonical result (for diffing)
+//   --list             list solvers and scenarios, then exit
+//
+// Exit status: 0 when every cell produced a replay-validated schedule.
+#include <cstdio>
+
+#include "engine/batch_runner.h"
+#include "engine/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  using namespace dcn::engine;
+  const cli::Args args(argc, argv);
+
+  const SolverRegistry& registry = default_registry();
+  const ScenarioSuite& suite = ScenarioSuite::default_suite();
+
+  if (args.has_flag("list")) {
+    std::printf("solvers:\n");
+    for (const std::string& name : registry.names()) {
+      std::printf("  %-12s %s\n", name.c_str(),
+                  registry.create(name)->description().c_str());
+    }
+    std::printf("\nscenarios (<topology>/<workload>):\n  topologies:");
+    for (const std::string& name : suite.topology_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n  workloads: ");
+    for (const std::string& name : suite.workload_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  BatchSpec spec;
+  spec.solvers = args.get_list("solver", {"mcf"});
+  if (spec.solvers.size() == 1 && spec.solvers[0] == "all") {
+    // "all" means every solver that can attempt any instance; exact
+    // (exhaustive, tiny instances only) must be named explicitly, so
+    // `--solver all` keeps its exit-0 = replay-validated contract.
+    spec.solvers.clear();
+    for (const std::string& name : registry.names()) {
+      if (name != "exact") spec.solvers.push_back(name);
+    }
+  }
+  spec.scenarios = args.get_list("scenario", {"fat_tree/paper"});
+  if (spec.scenarios.size() == 1 && spec.scenarios[0] == "all") {
+    spec.scenarios = suite.names();
+  }
+  spec.seeds.clear();
+  for (const std::int64_t s : args.get_int_list("seeds", {args.get_int("seed", 1)})) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  spec.jobs = static_cast<std::int32_t>(args.get_int("jobs", 1));
+  spec.options.num_flows = static_cast<std::int32_t>(
+      args.get_int("flows", spec.options.num_flows));
+  spec.options.alpha = args.get_double("alpha", spec.options.alpha);
+  spec.options.sigma = args.get_double("sigma", spec.options.sigma);
+  spec.options.senders = static_cast<std::int32_t>(
+      args.get_int("senders", spec.options.senders));
+  spec.options.volume = args.get_double("volume", spec.options.volume);
+  spec.discard_schedules = true;
+
+  const bool canonical = args.has_flag("canonical");
+  if (!canonical) {
+    std::printf("dcn_run: %zu solver(s) x %zu scenario(s) x %zu seed(s), "
+                "jobs=%d, flows=%d, alpha=%g, sigma=%g\n",
+                spec.solvers.size(), spec.scenarios.size(), spec.seeds.size(),
+                spec.jobs, spec.options.num_flows, spec.options.alpha,
+                spec.options.sigma);
+  }
+
+  BatchResult result;
+  try {
+    result = run_batch(registry, suite, spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dcn_run: %s\n", e.what());
+    return 2;
+  }
+
+  if (canonical) {
+    std::fputs(result.canonical().c_str(), stdout);
+    return result.all_feasible() ? 0 : 1;
+  }
+
+  if (args.has_flag("verbose")) {
+    for (const auto& cell : result.cells) {
+      if (cell.ran) {
+        std::printf("%s seed=%llu %s (%.0f ms)\n", cell.scenario.c_str(),
+                    static_cast<unsigned long long>(cell.seed),
+                    canonical_summary(cell.outcome).c_str(), cell.elapsed_ms);
+      } else {
+        std::printf("%s seed=%llu solver=%s FAILED: %s\n", cell.scenario.c_str(),
+                    static_cast<unsigned long long>(cell.seed),
+                    cell.solver.c_str(), cell.error.c_str());
+      }
+    }
+    std::printf("\n");
+  } else {
+    for (const auto& cell : result.cells) {
+      if (!cell.ran) {
+        std::printf("!! %s seed=%llu solver=%s failed: %s\n",
+                    cell.scenario.c_str(),
+                    static_cast<unsigned long long>(cell.seed),
+                    cell.solver.c_str(), cell.error.c_str());
+      } else if (!cell.outcome.feasible) {
+        std::printf("!! %s seed=%llu solver=%s infeasible: %s\n",
+                    cell.scenario.c_str(),
+                    static_cast<unsigned long long>(cell.seed),
+                    cell.solver.c_str(), cell.outcome.first_issue.c_str());
+      }
+    }
+  }
+
+  std::fputs(result.table().c_str(), stdout);
+  const bool ok = result.all_feasible();
+  std::printf("%s\n", ok ? "all schedules replay-validated"
+                         : "NOT all schedules replay-validated");
+  return ok ? 0 : 1;
+}
