@@ -148,6 +148,62 @@ void BM_FlowDecomposition(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowDecomposition);
 
+// The full multi-interval fractional relaxation (Algorithm 2 steps 1-7)
+// at the sizes the north star cares about: fat-tree k=6/k=8 with
+// hundreds to a thousand concurrent deadline flows. This is the
+// hot path of Random-Schedule and the headline case for the sparse
+// Frank-Wolfe core. Args are {fat-tree k, num_flows}.
+void BM_SolveRelaxation(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const auto n = static_cast<int>(state.range(1));
+  const Topology topo = fat_tree(k);
+  Rng rng(37);
+  PaperWorkloadParams params;
+  params.num_flows = n;
+  const auto flows = paper_workload(topo, params, rng);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  RelaxationOptions options;
+  options.frank_wolfe.max_iterations = 12;
+  options.frank_wolfe.gap_tolerance = 1e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_relaxation(topo.graph(), flows, model, options));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SolveRelaxation)
+    ->Args({6, 200})
+    ->Args({6, 500})
+    ->Args({8, 400})
+    ->Args({8, 1000})
+    ->Iterations(1)  // one full multi-interval solve per measurement
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload with the parallel linearization oracle (one worker per
+// hardware thread; byte-identical results to the sequential solve).
+void BM_SolveRelaxationParallelOracle(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const auto n = static_cast<int>(state.range(1));
+  const Topology topo = fat_tree(k);
+  Rng rng(37);
+  PaperWorkloadParams params;
+  params.num_flows = n;
+  const auto flows = paper_workload(topo, params, rng);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+  RelaxationOptions options;
+  options.frank_wolfe.max_iterations = 12;
+  options.frank_wolfe.gap_tolerance = 1e-3;
+  options.frank_wolfe.oracle_threads = 0;  // hardware concurrency
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_relaxation(topo.graph(), flows, model, options));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SolveRelaxationParallelOracle)
+    ->Args({8, 400})
+    ->Args({8, 1000})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RandomScheduleFull(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   const Topology topo = fat_tree(8);

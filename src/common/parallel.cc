@@ -1,0 +1,92 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    work(worker_index);
+  }
+}
+
+void WorkerPool::work(std::size_t worker_index) {
+  while (true) {
+    std::size_t task;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (next_task_ >= num_tasks_) return;
+      task = next_task_++;
+    }
+    try {
+      (*task_fn_)(task, worker_index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (++tasks_finished_ == num_tasks_) {
+        done_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DCN_EXPECTS(task_fn_ == nullptr);  // not reentrant
+    task_fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    tasks_finished_ = 0;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  work(/*worker_index=*/0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return tasks_finished_ == num_tasks_; });
+    task_fn_ = nullptr;
+    num_tasks_ = 0;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dcn

@@ -1,0 +1,60 @@
+// A small persistent worker pool for fine-grained deterministic fan-out.
+//
+// BatchRunner-style "spawn threads per call" is fine when a call does
+// seconds of work; the Frank-Wolfe linearization oracle dispatches
+// ~10^4 times per relaxation solve, so workers must persist and be
+// woken cheaply. Tasks are claimed from an atomic counter; the caller
+// participates as worker 0 and run() blocks until every task finished.
+// Determinism is by construction: callers write results into
+// per-task-disjoint slots, so the outcome is independent of how tasks
+// land on workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcn {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads - 1` background workers (the calling thread is
+  /// worker 0). `threads` == 0 means hardware concurrency.
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total worker count including the calling thread (>= 1).
+  [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(task_index, worker_index) for every task_index in
+  /// [0, num_tasks); worker_index < threads(). Blocks until all tasks
+  /// completed. The first exception thrown by any task is rethrown
+  /// here (remaining tasks still drain). Not reentrant.
+  void run(std::size_t num_tasks,
+           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void work(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, std::size_t)>* task_fn_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t tasks_finished_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped per run(); wakes sleeping workers
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dcn

@@ -66,6 +66,17 @@ const SolverRegistry& default_registry() {
       options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
       return std::make_unique<RandomScheduleSolver>(options);
     });
+    // dcfsr with the parallel Frank-Wolfe oracle (one worker per
+    // hardware thread): byte-identical outcomes to dcfsr, less
+    // wall-clock on single-cell runs. Prefer plain dcfsr inside wide
+    // batch grids, where BatchRunner already saturates the cores.
+    r.add("dcfsr_mt", [] {
+      RandomScheduleOptions options;
+      options.relaxation.frank_wolfe.max_iterations = 15;
+      options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      options.relaxation.frank_wolfe.oracle_threads = 0;
+      return std::make_unique<RandomScheduleSolver>(options, "dcfsr_mt");
+    });
     r.add("ecmp_mcf", [] { return std::make_unique<EcmpMcfSolver>(); });
     r.add("greedy", [] { return std::make_unique<GreedySolver>(); });
     r.add("edf", [] { return std::make_unique<EdfSolver>(); });

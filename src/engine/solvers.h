@@ -46,16 +46,21 @@ class McfSolver final : public Solver {
 };
 
 /// Random-Schedule (Algorithm 2): relaxation + randomized rounding.
+/// Variants (e.g. dcfsr_mt with the parallel Frank-Wolfe oracle) share
+/// the algorithm's rng stream, so every variant produces byte-identical
+/// outcomes — only the wall-clock differs.
 class RandomScheduleSolver final : public Solver {
  public:
-  explicit RandomScheduleSolver(RandomScheduleOptions options = {});
+  explicit RandomScheduleSolver(RandomScheduleOptions options = {},
+                                std::string name = "dcfsr");
 
-  [[nodiscard]] std::string name() const override { return "dcfsr"; }
+  [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::string description() const override;
   [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
 
  private:
   RandomScheduleOptions options_;
+  std::string name_;
 };
 
 /// ECMP routing (one of up to `width` equal-cost shortest paths per

@@ -5,6 +5,8 @@ namespace dcn {
 NodeId Graph::add_node() {
   out_edges_.emplace_back();
   in_edges_.emplace_back();
+  solo_neighbor_.push_back(kInvalidNode);
+  multi_neighbor_.push_back(false);
   return num_nodes() - 1;
 }
 
@@ -13,7 +15,20 @@ NodeId Graph::add_nodes(std::int32_t n) {
   const NodeId first = num_nodes();
   out_edges_.resize(out_edges_.size() + static_cast<std::size_t>(n));
   in_edges_.resize(in_edges_.size() + static_cast<std::size_t>(n));
+  solo_neighbor_.resize(solo_neighbor_.size() + static_cast<std::size_t>(n),
+                        kInvalidNode);
+  multi_neighbor_.resize(multi_neighbor_.size() + static_cast<std::size_t>(n),
+                         false);
   return first;
+}
+
+void Graph::note_neighbor(NodeId u, NodeId neighbor) {
+  NodeId& solo = solo_neighbor_[static_cast<std::size_t>(u)];
+  if (solo == kInvalidNode) {
+    solo = neighbor;
+  } else if (solo != neighbor) {
+    multi_neighbor_[static_cast<std::size_t>(u)] = true;
+  }
 }
 
 EdgeId Graph::add_edge(NodeId src, NodeId dst) {
@@ -25,6 +40,8 @@ EdgeId Graph::add_edge(NodeId src, NodeId dst) {
   reverse_.push_back(kInvalidEdge);
   out_edges_[static_cast<std::size_t>(src)].push_back(id);
   in_edges_[static_cast<std::size_t>(dst)].push_back(id);
+  note_neighbor(src, dst);
+  note_neighbor(dst, src);
   return id;
 }
 

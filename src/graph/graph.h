@@ -64,6 +64,10 @@ class Graph {
     return edges_[static_cast<std::size_t>(e)];
   }
 
+  /// All edges, indexed by EdgeId — lets hot loops hoist one bounds
+  /// check instead of paying edge()'s per-call contract check.
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
   /// Ids of edges leaving `u`, in insertion order (deterministic
   /// tie-breaking in the search algorithms relies on this).
   [[nodiscard]] std::span<const EdgeId> out_edges(NodeId u) const {
@@ -91,11 +95,27 @@ class Graph {
     return reverse_[static_cast<std::size_t>(e)];
   }
 
+  /// True when every edge at `u` (either direction) joins the same
+  /// single neighbor, or `u` has no edges at all. A leaf's only way out
+  /// leads straight back to its sole neighbor, so a leaf can never be an
+  /// intermediate hop of a shortest path — targeted searches skip
+  /// non-target leaves entirely. Hosts in fat-tree and leaf-spine
+  /// fabrics are leaves; the flag is maintained incrementally by
+  /// add_edge.
+  [[nodiscard]] bool is_leaf(NodeId u) const {
+    DCN_EXPECTS(valid_node(u));
+    return !multi_neighbor_[static_cast<std::size_t>(u)];
+  }
+
  private:
+  void note_neighbor(NodeId u, NodeId neighbor);
+
   std::vector<Edge> edges_;
   std::vector<EdgeId> reverse_;
   std::vector<std::vector<EdgeId>> out_edges_;
   std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<NodeId> solo_neighbor_;  // the one neighbor seen so far
+  std::vector<bool> multi_neighbor_;   // node has >= 2 distinct neighbors
 };
 
 }  // namespace dcn

@@ -1,0 +1,52 @@
+// Sparse per-commodity edge flows.
+//
+// A commodity's flow in the Frank-Wolfe F-MCF solver is a convex
+// combination of one shortest path per iteration, so its support is a
+// handful of edges out of thousands — storing it as (edge, value) pairs
+// keeps per-solve commodity state O(support) instead of the dense
+// O(commodities x edges) matrix the seed implementation materialized,
+// and it is the interchange format between the solver
+// (opt/convex_mcf), the relaxation warm starts (mcf/relaxation), and
+// the Raghavan-Tompson path extraction (graph/flow_decomposition).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn {
+
+/// Sparse edge flow: (edge, value) pairs. Producers sort rows by edge
+/// id before handing them across module boundaries (deterministic
+/// iteration order); scratch rows inside a solver may be unsorted.
+using SparseEdgeFlow = std::vector<std::pair<EdgeId, double>>;
+
+/// Adds `delta` to edge `e` in an (unsorted) row by linear scan — the
+/// support is small enough that scans beat hashing.
+inline void sparse_flow_add(SparseEdgeFlow& row, EdgeId e, double delta) {
+  for (auto& [edge, value] : row) {
+    if (edge == e) {
+      value += delta;
+      return;
+    }
+  }
+  row.emplace_back(e, delta);
+}
+
+/// Canonicalizes a row: drops entries at or below `threshold` and sorts
+/// by edge id.
+inline void sparse_flow_canonicalize(SparseEdgeFlow& row, double threshold) {
+  std::erase_if(row, [threshold](const auto& kv) { return kv.second <= threshold; });
+  std::sort(row.begin(), row.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+/// Densifies a row into `out` (sized num_edges), accumulating values.
+inline void sparse_flow_accumulate(const SparseEdgeFlow& row,
+                                   std::vector<double>& out) {
+  for (const auto& [e, v] : row) out[static_cast<std::size_t>(e)] += v;
+}
+
+}  // namespace dcn

@@ -1,13 +1,36 @@
 #include "mcf/relaxation.h"
 
 #include <algorithm>
-#include <map>
+#include <cstddef>
+#include <unordered_map>
 #include <utility>
 
 #include "common/contracts.h"
 #include "graph/shortest_path.h"
 
 namespace dcn {
+
+namespace {
+
+/// FNV-1a over the edge ids of a candidate path (the accumulator key).
+struct EdgeSeqHash {
+  std::size_t operator()(const std::vector<EdgeId>& edges) const noexcept {
+    std::size_t h = 14695981039346656037ull;
+    for (const EdgeId e : edges) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(e));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// wbar accumulator of one flow: hashed path -> aggregated weight
+/// (replaces the seed's std::map keyed by the edge vector — hashed
+/// lookups avoid the O(path length) lexicographic compares per probe).
+using PathAccumulator =
+    std::unordered_map<std::vector<EdgeId>, double, EdgeSeqHash>;
+
+}  // namespace
 
 FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& flows,
                                       const PowerModel& model,
@@ -18,11 +41,29 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   const IntervalDecomposition& dec = out.decomposition;
 
   // Per flow: candidate paths keyed by edge sequence, accumulating wbar.
-  std::vector<std::map<std::vector<EdgeId>, double>> accum(flows.size());
+  std::vector<PathAccumulator> accum(flows.size());
 
-  // Warm-start bookkeeping: per flow, its fractional edge flow from the
-  // previous interval it was active in.
-  std::vector<std::vector<double>> prev_flow_by_flow(flows.size());
+  // Warm-start bookkeeping: per flow, its sparse fractional edge flow
+  // from the previous interval it was active in.
+  std::vector<SparseEdgeFlow> prev_flow_by_flow(flows.size());
+
+  // All O(V)/O(E) scratch lives in workspaces reused across intervals.
+  ConvexMcfWorkspace mcf_workspace;
+  DijkstraWorkspace sp_workspace;
+  FlowDecompositionWorkspace decomposition_workspace;
+  CsrAdjacency adjacency;
+  adjacency.build(g);
+
+  // The empty-network marginal weights are identical for every interval
+  // and every new flow: hoist them out of the loops.
+  const auto num_edges = static_cast<std::size_t>(g.num_edges());
+  const double w_zero = std::max(model.envelope_derivative(0.0), 1e-9);
+  const std::vector<double> w0(num_edges, w_zero);
+
+  // Scratch for grouping an interval's new flows by source.
+  std::vector<std::pair<NodeId, std::size_t>> new_by_source;
+  std::vector<NodeId> group_targets;
+  Path path_scratch;
 
   double gap_sum = 0.0;
   std::size_t solved_intervals = 0;
@@ -43,33 +84,51 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
       problem.commodities.push_back({fl.src, fl.dst, fl.density()});
     }
 
-    // Warm start: reuse each flow's previous fractional flow; new flows
-    // start on the cheapest path under the empty-network marginal cost.
-    std::vector<std::vector<double>> warm;
-    warm.reserve(active.size());
-    bool any_warm = false;
-    const auto num_edges = static_cast<std::size_t>(g.num_edges());
+    // Warm start: reuse each flow's previous sparse flow; new flows
+    // start on the cheapest path under the empty-network marginal cost,
+    // batched so new flows sharing a source share one Dijkstra sweep.
+    // The rows are always passed to the solver — for an all-new
+    // interval they equal the solver's own cold-start point, so handing
+    // them over (instead of letting it recompute) skips a full round of
+    // oracle sweeps with value-identical results.
+    std::vector<SparseEdgeFlow> warm(active.size());
+    new_by_source.clear();
     for (std::size_t c = 0; c < active.size(); ++c) {
       const auto fid = static_cast<std::size_t>(active[c]);
       if (!prev_flow_by_flow[fid].empty()) {
-        warm.push_back(prev_flow_by_flow[fid]);
-        any_warm = true;
+        warm[c] = prev_flow_by_flow[fid];
       } else {
-        std::vector<double> w0(num_edges,
-                               std::max(model.envelope_derivative(0.0), 1e-9));
-        const auto sp = dijkstra_shortest_path(
-            g, problem.commodities[c].src, problem.commodities[c].dst, w0);
-        DCN_ENSURES(sp.has_value());
-        std::vector<double> row(num_edges, 0.0);
-        for (EdgeId e : sp->edges) {
-          row[static_cast<std::size_t>(e)] = problem.commodities[c].demand;
-        }
-        warm.push_back(std::move(row));
+        new_by_source.emplace_back(problem.commodities[c].src, c);
       }
     }
+    std::sort(new_by_source.begin(), new_by_source.end());
+    for (std::size_t lo = 0; lo < new_by_source.size();) {
+      std::size_t hi = lo;
+      const NodeId src = new_by_source[lo].first;
+      group_targets.clear();
+      while (hi < new_by_source.size() && new_by_source[hi].first == src) {
+        group_targets.push_back(
+            problem.commodities[new_by_source[hi].second].dst);
+        ++hi;
+      }
+      dijkstra_sweep(adjacency, src, w0, group_targets, sp_workspace);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t c = new_by_source[i].second;
+        const bool reached = workspace_path_into(
+            g, sp_workspace, src, problem.commodities[c].dst, path_scratch);
+        DCN_ENSURES(reached);
+        for (const EdgeId e : path_scratch.edges) {
+          warm[c].emplace_back(e, problem.commodities[c].demand);
+        }
+        // Canonical (edge-ascending) order keeps the solver's float
+        // accumulation order independent of how the row was produced.
+        std::sort(warm[c].begin(), warm[c].end());
+      }
+      lo = hi;
+    }
 
-    const ConvexMcfSolution sol = solve_convex_mcf(
-        problem, options.frank_wolfe, any_warm ? &warm : nullptr);
+    const ConvexMcfSolution sol =
+        solve_convex_mcf(problem, options.frank_wolfe, &warm, &mcf_workspace);
 
     out.lower_bound_energy += sol.cost * dec.intervals[k].measure();
     gap_sum += sol.relative_gap;
@@ -79,9 +138,9 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
     for (std::size_t c = 0; c < active.size(); ++c) {
       const auto fid = static_cast<std::size_t>(active[c]);
       const Flow& fl = flows[fid];
-      const std::vector<WeightedPath> paths =
-          decompose_flow(g, fl.src, fl.dst, sol.commodity_flow[c], fl.density(),
-                         options.decomposition_tolerance);
+      const std::vector<WeightedPath> paths = decompose_flow_sparse(
+          g, fl.src, fl.dst, sol.commodity_flow[c], fl.density(),
+          options.decomposition_tolerance, &decomposition_workspace);
       const double interval_share =
           dec.intervals[k].measure() / (fl.deadline - fl.release);
       for (const WeightedPath& wp : paths) {
@@ -94,16 +153,23 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   out.mean_relative_gap =
       solved_intervals > 0 ? gap_sum / static_cast<double>(solved_intervals) : 0.0;
 
-  // Materialize candidates with normalized wbar.
+  // Materialize candidates with normalized wbar. The hashed accumulator
+  // is unordered, so sort candidates lexicographically by edge sequence
+  // — the exact order the seed's std::map iteration produced.
   out.candidates.resize(flows.size());
+  std::vector<std::pair<std::vector<EdgeId>, double>> sorted;
   for (std::size_t i = 0; i < flows.size(); ++i) {
     DCN_ENSURES(!accum[i].empty());
+    sorted.assign(std::make_move_iterator(accum[i].begin()),
+                  std::make_move_iterator(accum[i].end()));
+    std::sort(sorted.begin(), sorted.end());
     double total = 0.0;
-    for (const auto& [edges, w] : accum[i]) total += w;
+    for (const auto& [edges, w] : sorted) total += w;
     DCN_ENSURES(total > 0.0);
-    for (auto& [edges, w] : accum[i]) {
+    out.candidates[i].paths.reserve(sorted.size());
+    for (auto& [edges, w] : sorted) {
       out.candidates[i].paths.push_back(
-          {Path{flows[i].src, flows[i].dst, edges}, w / total});
+          {Path{flows[i].src, flows[i].dst, std::move(edges)}, w / total});
     }
   }
   return out;

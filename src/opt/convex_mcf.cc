@@ -2,67 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <thread>
 
 #include "common/contracts.h"
 #include "graph/path.h"
-#include "graph/shortest_path.h"
 #include "opt/line_search.h"
 
 namespace dcn {
 
 namespace {
 
-/// Sparse per-commodity edge flow: unsorted (edge, value) pairs with a
-/// small support (a convex combination of one shortest path per
-/// Frank-Wolfe iteration), so linear scans beat hash maps.
-using SparseRow = std::vector<std::pair<EdgeId, double>>;
-
-void sparse_add(SparseRow& row, EdgeId e, double delta) {
-  for (auto& [edge, value] : row) {
-    if (edge == e) {
-      value += delta;
-      return;
-    }
-  }
-  row.emplace_back(e, delta);
-}
-
-/// Cheapest path per commodity under `weights`, batched so commodities
-/// sharing a source share one Dijkstra tree.
-std::vector<Path> cheapest_paths(const Graph& g,
-                                 const std::vector<Commodity>& commodities,
-                                 const std::vector<double>& weights) {
-  std::vector<Path> out(commodities.size());
-  // Group commodity indices by source.
-  std::map<NodeId, std::vector<std::size_t>> by_source;
+/// Sorts (src, commodity) pairs so commodities sharing a source form a
+/// contiguous run; the index tie-break keeps the order deterministic.
+void group_by_source(const std::vector<Commodity>& commodities,
+                     std::vector<std::pair<NodeId, std::size_t>>& by_source) {
+  by_source.clear();
+  by_source.reserve(commodities.size());
   for (std::size_t c = 0; c < commodities.size(); ++c) {
-    by_source[commodities[c].src].push_back(c);
+    by_source.emplace_back(commodities[c].src, c);
   }
-  for (const auto& [src, indices] : by_source) {
-    const ShortestPathTree tree = dijkstra_tree(g, src, weights);
-    for (std::size_t c : indices) {
-      auto path = tree_path(g, tree, src, commodities[c].dst);
-      DCN_ENSURES(path.has_value());
-      out[c] = std::move(*path);
-    }
-  }
-  return out;
-}
-
-double total_cost(const ConvexMcfProblem& problem, const std::vector<double>& x) {
-  double cost = 0.0;
-  for (double xe : x) {
-    if (xe > 1e-15) cost += problem.cost(xe);
-  }
-  return cost;
+  std::sort(by_source.begin(), by_source.end());
 }
 
 }  // namespace
 
 ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
                                    const FrankWolfeOptions& options,
-                                   const std::vector<std::vector<double>>* warm_start) {
+                                   const std::vector<SparseEdgeFlow>* warm_start,
+                                   ConvexMcfWorkspace* workspace) {
   DCN_EXPECTS(problem.graph != nullptr);
   DCN_EXPECTS(static_cast<bool>(problem.cost));
   DCN_EXPECTS(static_cast<bool>(problem.cost_derivative));
@@ -80,103 +47,284 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   sol.total_flow.assign(num_edges, 0.0);
   if (num_commodities == 0) return sol;
 
+  ConvexMcfWorkspace local_ws;
+  ConvexMcfWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+
+  // Restore the workspace invariants (weights all w_zero, target flow
+  // all zero) when the graph, the cost model, or an interrupted prior
+  // solve invalidated them.
+  const double w_zero =
+      std::max(problem.cost_derivative(0.0), problem.min_edge_weight);
+  if (ws.weights_.size() != num_edges || ws.w_zero_ != w_zero || !ws.clean_) {
+    ws.weights_.assign(num_edges, w_zero);
+    ws.target_total_.assign(num_edges, 0.0);
+    ws.w_zero_ = w_zero;
+  }
+  if (ws.x_mark_.size() != num_edges) {
+    ws.x_mark_.assign(num_edges, 0);
+    ws.y_mark_.assign(num_edges, 0);
+    ws.x_generation_ = 0;
+    ws.y_generation_ = 0;
+  }
+  ws.clean_ = false;
+
+  ++ws.x_generation_;
+  ws.x_support_.clear();
+  auto touch_x = [&ws](EdgeId e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (ws.x_mark_[i] != ws.x_generation_) {
+      ws.x_mark_[i] = ws.x_generation_;
+      ws.x_support_.push_back(e);
+    }
+  };
+
+  ws.csr_.build(g);
+  group_by_source(problem.commodities, ws.by_source_);
+  ws.group_bounds_.clear();
+  for (std::size_t lo = 0; lo < ws.by_source_.size();) {
+    std::size_t hi = lo;
+    while (hi < ws.by_source_.size() &&
+           ws.by_source_[hi].first == ws.by_source_[lo].first) {
+      ++hi;
+    }
+    ws.group_bounds_.emplace_back(lo, hi);
+    lo = hi;
+  }
+
+  // Lazily materialize the oracle pool when parallelism is requested.
+  // 0 resolves to hardware concurrency here so a reused workspace never
+  // silently keeps a pool of the wrong width — and a single-core host
+  // resolves to 1 and skips the pool (and its dispatch overhead)
+  // entirely.
+  std::size_t requested_threads = static_cast<std::size_t>(
+      options.oracle_threads < 0 ? 1 : options.oracle_threads);
+  if (requested_threads == 0) {
+    requested_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (requested_threads > 1 &&
+      (ws.pool_ == nullptr || ws.pool_->threads() != requested_threads)) {
+    ws.pool_ = std::make_unique<WorkerPool>(requested_threads);
+  }
+  WorkerPool* pool = requested_threads > 1 ? ws.pool_.get() : nullptr;
+  if (pool != nullptr) {
+    ws.worker_dijkstra_.resize(pool->threads());
+    ws.worker_targets_.resize(pool->threads());
+  }
+
+  // One early-exit Dijkstra per distinct source; paths land in
+  // ws.target_paths_ indexed by commodity. Each source group writes a
+  // disjoint slice, so the parallel dispatch is byte-deterministic.
+  auto solve_group = [&](const std::vector<double>& weights, std::size_t group,
+                         DijkstraWorkspace& dijkstra,
+                         std::vector<NodeId>& targets) {
+    const auto [lo, hi] = ws.group_bounds_[group];
+    const NodeId src = ws.by_source_[lo].first;
+    targets.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      targets.push_back(problem.commodities[ws.by_source_[i].second].dst);
+    }
+    dijkstra_sweep(ws.csr_, src, weights, targets, dijkstra);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t c = ws.by_source_[i].second;
+      const bool reached = workspace_path_into(
+          g, dijkstra, src, problem.commodities[c].dst, ws.target_paths_[c]);
+      DCN_ENSURES(reached);
+    }
+  };
+  auto cheapest_paths = [&](const std::vector<double>& weights) {
+    ws.target_paths_.resize(num_commodities);
+    if (pool != nullptr && ws.group_bounds_.size() > 1) {
+      pool->run(ws.group_bounds_.size(),
+                [&](std::size_t group, std::size_t worker) {
+                  solve_group(weights, group, ws.worker_dijkstra_[worker],
+                              ws.worker_targets_[worker]);
+                });
+    } else {
+      for (std::size_t group = 0; group < ws.group_bounds_.size(); ++group) {
+        solve_group(weights, group, ws.dijkstra_, ws.group_targets_);
+      }
+    }
+  };
+
   // Initial point: warm start when shapes match, otherwise route every
-  // commodity on its cheapest path under the empty-network marginal cost.
-  std::vector<SparseRow> rows(num_commodities);
+  // commodity on its cheapest path under the empty-network marginal
+  // cost — which is exactly the clean workspace weights vector.
+  std::vector<SparseEdgeFlow>& rows = sol.commodity_flow;
+  rows.assign(num_commodities, {});
   if (warm_start != nullptr && warm_start->size() == num_commodities) {
     for (std::size_t c = 0; c < num_commodities; ++c) {
-      const auto& dense = (*warm_start)[c];
-      DCN_EXPECTS(dense.size() == num_edges);
-      for (std::size_t e = 0; e < num_edges; ++e) {
-        if (dense[e] > 1e-15) rows[c].emplace_back(static_cast<EdgeId>(e), dense[e]);
+      for (const auto& [e, v] : (*warm_start)[c]) {
+        DCN_EXPECTS(g.valid_edge(e));
+        if (v > 1e-15) rows[c].emplace_back(e, v);
       }
     }
   } else {
-    std::vector<double> w0(num_edges,
-                           std::max(problem.cost_derivative(0.0), problem.min_edge_weight));
-    const std::vector<Path> paths = cheapest_paths(g, problem.commodities, w0);
+    cheapest_paths(ws.weights_);
     for (std::size_t c = 0; c < num_commodities; ++c) {
-      for (EdgeId e : paths[c].edges) {
-        sparse_add(rows[c], e, problem.commodities[c].demand);
+      for (EdgeId e : ws.target_paths_[c].edges) {
+        sparse_flow_add(rows[c], e, problem.commodities[c].demand);
       }
     }
   }
   for (std::size_t c = 0; c < num_commodities; ++c) {
     for (const auto& [e, v] : rows[c]) {
       sol.total_flow[static_cast<std::size_t>(e)] += v;
+      touch_x(e);
     }
   }
+  std::sort(ws.x_support_.begin(), ws.x_support_.end());
 
-  std::vector<double> weights(num_edges, 0.0);
-  std::vector<double> target_total(num_edges, 0.0);
+  auto& x = sol.total_flow;
+  auto& y = ws.target_total_;
+
   for (std::int32_t iter = 0; iter < options.max_iterations; ++iter) {
     sol.iterations = iter + 1;
 
-    // Marginal costs at the current point.
-    for (std::size_t e = 0; e < num_edges; ++e) {
-      weights[e] = std::max(problem.cost_derivative(sol.total_flow[e]),
-                            problem.min_edge_weight);
+    // Marginal costs and current objective in one pass over the support
+    // of x (off-support weights already equal w_zero; iterating the
+    // sorted support reproduces a dense ascending-edge scan exactly,
+    // since zero-flow edges contribute exactly 0 to the objective).
+    double current_cost = 0.0;
+    for (const EdgeId e : ws.x_support_) {
+      const auto i = static_cast<std::size_t>(e);
+      ws.weights_[i] =
+          std::max(problem.cost_derivative(x[i]), problem.min_edge_weight);
+      if (x[i] > 1e-15) current_cost += problem.cost(x[i]);
     }
 
     // Linearized subproblem: one cheapest path per commodity.
-    const std::vector<Path> target = cheapest_paths(g, problem.commodities, weights);
-    std::fill(target_total.begin(), target_total.end(), 0.0);
+    cheapest_paths(ws.weights_);
+    ++ws.y_generation_;
+    ws.y_support_.clear();
     for (std::size_t c = 0; c < num_commodities; ++c) {
-      for (EdgeId e : target[c].edges) {
-        target_total[static_cast<std::size_t>(e)] += problem.commodities[c].demand;
+      for (EdgeId e : ws.target_paths_[c].edges) {
+        const auto i = static_cast<std::size_t>(e);
+        if (ws.y_mark_[i] != ws.y_generation_) {
+          ws.y_mark_[i] = ws.y_generation_;
+          ws.y_support_.push_back(e);
+          y[i] = 0.0;
+        }
+        y[i] += problem.commodities[c].demand;
       }
     }
+    std::sort(ws.y_support_.begin(), ws.y_support_.end());
 
-    // Frank-Wolfe gap: grad . (x - y) >= cost(x) - cost(opt).
+    // Frank-Wolfe gap grad . (x - y) >= cost(x) - cost(opt), plus the
+    // line-search restriction cost(t) = constant + sum over edges where
+    // x and y differ, both accumulated in one ascending merge over the
+    // two supports (off-support edges contribute exactly 0 to the gap
+    // and a constant 0 to the restriction).
     double gap = 0.0;
-    for (std::size_t e = 0; e < num_edges; ++e) {
-      gap += weights[e] * (sol.total_flow[e] - target_total[e]);
+    double line_constant = 0.0;
+    ws.line_search_diff_.clear();
+    {
+      const auto& xs = ws.x_support_;
+      const auto& ys = ws.y_support_;
+      std::size_t i = 0, j = 0;
+      while (i < xs.size() || j < ys.size()) {
+        EdgeId e;
+        if (j >= ys.size() || (i < xs.size() && xs[i] < ys[j])) {
+          e = xs[i++];
+        } else if (i >= xs.size() || ys[j] < xs[i]) {
+          e = ys[j++];
+        } else {
+          e = xs[i];
+          ++i;
+          ++j;
+        }
+        const auto idx = static_cast<std::size_t>(e);
+        const double xe = x[idx];
+        const double ye = ws.y_mark_[idx] == ws.y_generation_ ? y[idx] : 0.0;
+        gap += ws.weights_[idx] * (xe - ye);
+        if (xe != ye) {
+          ws.line_search_diff_.emplace_back(xe, ye);
+        } else if (xe > 1e-15) {
+          line_constant += problem.cost(xe);
+        }
+      }
     }
-    const double current_cost = total_cost(problem, sol.total_flow);
     sol.cost = current_cost;
-    sol.relative_gap = current_cost > 0.0 ? gap / current_cost : 0.0;
-    if (sol.relative_gap <= options.gap_tolerance) break;
+    // Clamp: float noise can make the gap marginally negative at
+    // convergence; a zero-cost instance reports a zero gap.
+    sol.relative_gap = current_cost > 0.0 ? std::max(0.0, gap / current_cost) : 0.0;
+    auto clear_targets = [&]() {
+      for (const EdgeId e : ws.y_support_) y[static_cast<std::size_t>(e)] = 0.0;
+    };
+    if (sol.relative_gap <= options.gap_tolerance) {
+      clear_targets();
+      break;
+    }
 
-    // Step size by golden section on the convex restriction.
-    const auto& x = sol.total_flow;
-    const auto& y = target_total;
+    // Step size by golden section on the convex restriction, evaluated
+    // only where x and y differ.
     const double gamma = golden_section_minimize(
         [&](double t) {
-          double c = 0.0;
-          for (std::size_t e = 0; e < num_edges; ++e) {
-            const double v = (1.0 - t) * x[e] + t * y[e];
+          double c = line_constant;
+          for (const auto& [xe, ye] : ws.line_search_diff_) {
+            const double v = (1.0 - t) * xe + t * ye;
             if (v > 1e-15) c += problem.cost(v);
           }
           return c;
         },
         0.0, 1.0, 1e-6);
-    if (gamma <= 1e-12) break;  // no further progress possible
+    if (gamma <= 1e-12) {  // no further progress possible
+      clear_targets();
+      break;
+    }
 
     // Sparse mix: y_c <- (1-gamma) y_c + gamma * demand_c * path_c.
     for (std::size_t c = 0; c < num_commodities; ++c) {
       for (auto& [e, v] : rows[c]) v *= (1.0 - gamma);
-      for (EdgeId e : target[c].edges) {
-        sparse_add(rows[c], e, gamma * problem.commodities[c].demand);
+      for (EdgeId e : ws.target_paths_[c].edges) {
+        sparse_flow_add(rows[c], e, gamma * problem.commodities[c].demand);
       }
       // Compact near-zero entries occasionally to bound the support.
       if (rows[c].size() > 256) {
         std::erase_if(rows[c], [](const auto& kv) { return kv.second < 1e-12; });
       }
     }
-    for (std::size_t e = 0; e < num_edges; ++e) {
-      sol.total_flow[e] = (1.0 - gamma) * sol.total_flow[e] + gamma * target_total[e];
+    // Dense mix over the union support only: untouched edges stay an
+    // exact 0 = (1-gamma)*0 + gamma*0.
+    for (const EdgeId e : ws.x_support_) {
+      const auto i = static_cast<std::size_t>(e);
+      const double ye = ws.y_mark_[i] == ws.y_generation_ ? y[i] : 0.0;
+      x[i] = (1.0 - gamma) * x[i] + gamma * ye;
     }
+    // New support edges arrive in ascending order (y_support_ is
+    // sorted), so one in-place merge keeps x_support_ sorted.
+    const auto old_support = static_cast<std::ptrdiff_t>(ws.x_support_.size());
+    for (const EdgeId e : ws.y_support_) {
+      const auto i = static_cast<std::size_t>(e);
+      if (ws.x_mark_[i] != ws.x_generation_) {
+        x[i] = gamma * y[i];
+        touch_x(e);
+      }
+    }
+    if (static_cast<std::ptrdiff_t>(ws.x_support_.size()) > old_support) {
+      std::inplace_merge(ws.x_support_.begin(),
+                         ws.x_support_.begin() + old_support,
+                         ws.x_support_.end());
+    }
+    clear_targets();
   }
 
-  sol.cost = total_cost(problem, sol.total_flow);
-
-  // Materialize the per-commodity dense rows once for the caller.
-  sol.commodity_flow.assign(num_commodities, std::vector<double>(num_edges, 0.0));
-  for (std::size_t c = 0; c < num_commodities; ++c) {
-    for (const auto& [e, v] : rows[c]) {
-      if (v > 1e-15) sol.commodity_flow[c][static_cast<std::size_t>(e)] = v;
-    }
+  // Final objective over the support (ascending, matching a dense scan).
+  sol.cost = 0.0;
+  for (const EdgeId e : ws.x_support_) {
+    const double xe = x[static_cast<std::size_t>(e)];
+    if (xe > 1e-15) sol.cost += problem.cost(xe);
   }
+
+  // Canonicalize the per-commodity rows for the caller: drop float
+  // dust, sort by edge id.
+  for (SparseEdgeFlow& row : rows) sparse_flow_canonicalize(row, 1e-15);
+
+  // Restore the workspace invariant for the next solve.
+  for (const EdgeId e : ws.x_support_) {
+    ws.weights_[static_cast<std::size_t>(e)] = w_zero;
+  }
+  ws.clean_ = true;
   return sol;
 }
 

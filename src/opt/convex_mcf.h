@@ -13,12 +13,29 @@
 // Raghavan-Tompson extraction — the per-commodity edge flows y_{c,e}
 // are maintained explicitly, so the fractional solution y*_{i,e}(k) of
 // Algorithm 2 comes out directly.
+//
+// The solver is sparse end-to-end: per-commodity flows are (edge,
+// value) rows whose support is a convex combination of shortest paths,
+// the linearization oracle batches commodities by source and stops each
+// Dijkstra as soon as the group's destinations are settled, and the
+// golden-section step evaluates the restricted objective only on edges
+// where the current point and the target differ. A ConvexMcfWorkspace
+// carries all O(V)/O(E) scratch between solves, so a sequence of
+// related instances (consecutive intervals of Algorithm 2) allocates
+// per-solve memory proportional to the solution support only.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "graph/sparse_flow.h"
 
 namespace dcn {
 
@@ -45,28 +62,88 @@ struct ConvexMcfProblem {
 struct FrankWolfeOptions {
   std::int32_t max_iterations = 120;
   double gap_tolerance = 1e-4;  // stop when gap / cost falls below this
+  /// Worker threads for the shortest-path linearization oracle (the
+  /// per-source Dijkstra sweeps are independent, so results are
+  /// byte-identical for any thread count). 1 = sequential (default —
+  /// callers that already parallelize at a coarser grain, like
+  /// BatchRunner, should keep it); 0 = hardware concurrency.
+  std::int32_t oracle_threads = 1;
 };
 
 /// Fractional solution.
 struct ConvexMcfSolution {
-  /// y[c][e]: amount of commodity c on edge e.
-  std::vector<std::vector<double>> commodity_flow;
+  /// y[c]: sparse flow of commodity c, sorted by edge id, entries
+  /// > 1e-15 only.
+  std::vector<SparseEdgeFlow> commodity_flow;
   /// x[e] = sum_c y[c][e].
   std::vector<double> total_flow;
   /// sum_e cost(x_e).
   double cost = 0.0;
   /// Final relative Frank-Wolfe duality gap (upper bound on relative
-  /// distance from the optimum).
+  /// distance from the optimum); clamped to [0, inf) — float noise can
+  /// drive the raw gap slightly negative at convergence.
   double relative_gap = 0.0;
   std::int32_t iterations = 0;
 };
 
-/// Solves the problem. `warm_start`, when non-null, must be a
-/// commodity_flow matrix of matching shape and is used as the initial
+class ConvexMcfWorkspace;
+
+/// Solves the problem. `warm_start`, when non-null and of matching
+/// length, provides one sparse row per commodity used as the initial
 /// point (consecutive intervals in Algorithm 2 share most active flows,
-/// so warm starts cut iteration counts substantially).
+/// so warm starts cut iteration counts substantially). `workspace`,
+/// when non-null, is reused across calls and eliminates all O(V)/O(E)
+/// scratch allocation after the first solve on a given graph.
 [[nodiscard]] ConvexMcfSolution solve_convex_mcf(
     const ConvexMcfProblem& problem, const FrankWolfeOptions& options = {},
-    const std::vector<std::vector<double>>* warm_start = nullptr);
+    const std::vector<SparseEdgeFlow>* warm_start = nullptr,
+    ConvexMcfWorkspace* workspace = nullptr);
+
+/// Reusable scratch for solve_convex_mcf: Dijkstra state, the dense
+/// marginal-weight and target vectors (kept in a canonical "clean"
+/// state between solves so only touched entries are ever rewritten),
+/// and the per-iteration support bookkeeping. Treat as opaque; a
+/// default-constructed workspace fits any problem and adapts to graph
+/// size changes automatically.
+class ConvexMcfWorkspace {
+ public:
+  ConvexMcfWorkspace() = default;
+
+ private:
+  friend ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem&,
+                                            const FrankWolfeOptions&,
+                                            const std::vector<SparseEdgeFlow>*,
+                                            ConvexMcfWorkspace*);
+
+  DijkstraWorkspace dijkstra_;
+  /// Flat adjacency snapshot, rebuilt per solve (the graph is fixed for
+  /// a solve's duration).
+  CsrAdjacency csr_;
+  /// Oracle worker pool + per-worker Dijkstra scratch; created lazily
+  /// when oracle_threads requests parallelism.
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<DijkstraWorkspace> worker_dijkstra_;
+  std::vector<std::vector<NodeId>> worker_targets_;
+  /// Dense marginal weights; invariant between solves: every entry
+  /// equals `w_zero_` (the marginal cost of an empty edge).
+  std::vector<double> weights_;
+  double w_zero_ = std::numeric_limits<double>::quiet_NaN();
+  /// Dense linearization-target flow; all-zero between solves.
+  std::vector<double> target_total_;
+  bool clean_ = false;
+
+  // Per-solve scratch (contents regenerated; capacity reused).
+  std::vector<std::pair<NodeId, std::size_t>> by_source_;  // (src, commodity)
+  std::vector<std::pair<std::size_t, std::size_t>> group_bounds_;
+  std::vector<NodeId> group_targets_;
+  std::vector<Path> target_paths_;
+  std::vector<EdgeId> x_support_;
+  std::vector<EdgeId> y_support_;
+  std::vector<std::uint64_t> x_mark_;
+  std::vector<std::uint64_t> y_mark_;
+  std::uint64_t x_generation_ = 0;
+  std::uint64_t y_generation_ = 0;
+  std::vector<std::pair<double, double>> line_search_diff_;  // (x_e, y_e)
+};
 
 }  // namespace dcn

@@ -81,6 +81,43 @@ TEST(BatchRunner, ResultsAreByteIdenticalForJobs1VsJobs8) {
   }
 }
 
+TEST(BatchRunner, SparseRelaxationGridIsByteIdenticalAcrossJobs) {
+  // Determinism re-check focused on the sparse Frank-Wolfe pipeline:
+  // dcfsr (relaxation + rounding) and mcf over a larger flow count than
+  // the smoke grid, so warm starts, sparse decomposition, and the
+  // hashed wbar accumulator all see real work.
+  BatchSpec spec;
+  spec.solvers = {"dcfsr", "mcf"};
+  spec.scenarios = {"fat_tree/paper"};
+  spec.seeds = {1, 2, 3};
+  spec.options.num_flows = 24;
+  spec.discard_schedules = true;
+  spec.jobs = 1;
+  const BatchResult serial =
+      run_batch(default_registry(), ScenarioSuite::default_suite(), spec);
+  spec.jobs = 8;
+  const BatchResult parallel =
+      run_batch(default_registry(), ScenarioSuite::default_suite(), spec);
+  EXPECT_EQ(serial.canonical(), parallel.canonical());
+  EXPECT_TRUE(serial.all_feasible());
+}
+
+TEST(BatchRunner, ParallelOracleVariantIsByteIdenticalToDcfsr) {
+  // dcfsr_mt differs from dcfsr only in how the Frank-Wolfe oracle is
+  // scheduled (worker pool vs sequential); the outcome must be
+  // byte-identical — same rng stream, same relaxation, same rounding.
+  ScenarioOptions options;
+  options.num_flows = 12;
+  const Instance instance =
+      ScenarioSuite::default_suite().build("fat_tree/paper", 3, options);
+  const SolverOutcome a = default_registry().create("dcfsr")->solve(instance);
+  const SolverOutcome b = default_registry().create("dcfsr_mt")->solve(instance);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
 TEST(BatchRunner, OversubscribedThreadsStillDeterministic) {
   BatchSpec spec = small_spec();
   spec.solvers = {"edf", "greedy"};

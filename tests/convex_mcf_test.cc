@@ -77,10 +77,10 @@ TEST(ConvexMcf, CommodityFlowsSumToTotal) {
   p.commodities = {{topo.hosts()[0], topo.hosts()[9], 3.0},
                    {topo.hosts()[2], topo.hosts()[12], 1.5}};
   const auto sol = solve_convex_mcf(p);
+  std::vector<double> sum(sol.total_flow.size(), 0.0);
+  for (const auto& yc : sol.commodity_flow) sparse_flow_accumulate(yc, sum);
   for (std::size_t e = 0; e < sol.total_flow.size(); ++e) {
-    double sum = 0.0;
-    for (const auto& yc : sol.commodity_flow) sum += yc[e];
-    EXPECT_NEAR(sum, sol.total_flow[e], 1e-9);
+    EXPECT_NEAR(sum[e], sol.total_flow[e], 1e-9);
   }
 }
 
@@ -91,10 +91,12 @@ TEST(ConvexMcf, FlowConservationHoldsPerCommodity) {
   const NodeId src = topo.hosts()[0], dst = topo.hosts()[15];
   p.commodities = {{src, dst, 2.0}};
   const auto sol = solve_convex_mcf(p);
+  std::vector<double> y0(static_cast<std::size_t>(g.num_edges()), 0.0);
+  sparse_flow_accumulate(sol.commodity_flow[0], y0);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     double net = 0.0;
-    for (EdgeId e : g.out_edges(u)) net += sol.commodity_flow[0][static_cast<std::size_t>(e)];
-    for (EdgeId e : g.in_edges(u)) net -= sol.commodity_flow[0][static_cast<std::size_t>(e)];
+    for (EdgeId e : g.out_edges(u)) net += y0[static_cast<std::size_t>(e)];
+    for (EdgeId e : g.in_edges(u)) net -= y0[static_cast<std::size_t>(e)];
     if (u == src) {
       EXPECT_NEAR(net, 2.0, 1e-6);
     } else if (u == dst) {

@@ -17,13 +17,13 @@ namespace {
 TEST(SolverRegistry, DefaultRegistryCarriesEveryAlgorithm) {
   const SolverRegistry& registry = default_registry();
   for (const char* name : {"mcf", "mcf_paper", "mcf_plain", "sp_mcf", "dcfsr",
-                           "ecmp_mcf", "greedy", "edf", "exact"}) {
+                           "dcfsr_mt", "ecmp_mcf", "greedy", "edf", "exact"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     const std::unique_ptr<Solver> solver = registry.create(name);
     EXPECT_EQ(solver->name(), name);
     EXPECT_FALSE(solver->description().empty());
   }
-  EXPECT_EQ(registry.size(), 9u);
+  EXPECT_EQ(registry.size(), 10u);
 }
 
 TEST(SolverRegistry, UnknownSolverThrowsWithCatalogue) {

@@ -47,6 +47,59 @@ TEST(FlowDecomposition, SplitAcrossParallelRoutes) {
   EXPECT_NEAR(max_w, 0.75, 1e-9);
 }
 
+TEST(FlowDecompositionSparse, MatchesDenseOnSplitFlow) {
+  Graph g(4);
+  const EdgeId a1 = g.add_edge(0, 1);
+  const EdgeId a2 = g.add_edge(1, 3);
+  const EdgeId b1 = g.add_edge(0, 2);
+  const EdgeId b2 = g.add_edge(2, 3);
+  std::vector<double> dense(static_cast<std::size_t>(g.num_edges()), 0.0);
+  dense[static_cast<std::size_t>(a1)] = 0.75;
+  dense[static_cast<std::size_t>(a2)] = 0.75;
+  dense[static_cast<std::size_t>(b1)] = 0.25;
+  dense[static_cast<std::size_t>(b2)] = 0.25;
+  // Deliberately unsorted sparse row: the decomposition canonicalizes.
+  const SparseEdgeFlow sparse{{b2, 0.25}, {a1, 0.75}, {b1, 0.25}, {a2, 0.75}};
+
+  const auto from_dense = decompose_flow(g, 0, 3, dense, 1.0);
+  const auto from_sparse = decompose_flow_sparse(g, 0, 3, sparse, 1.0);
+  ASSERT_EQ(from_dense.size(), from_sparse.size());
+  for (std::size_t i = 0; i < from_dense.size(); ++i) {
+    EXPECT_EQ(from_dense[i].path.edges, from_sparse[i].path.edges);
+    EXPECT_DOUBLE_EQ(from_dense[i].weight, from_sparse[i].weight);
+  }
+}
+
+TEST(FlowDecompositionSparse, WalksOnlyTheSupportSubgraph) {
+  // A big fat-tree, but a commodity whose flow touches one path: the
+  // sparse decomposition never needs the rest of the graph.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  const NodeId src = topo.hosts()[0];
+  const NodeId dst = topo.hosts()[15];
+  const auto sp = bfs_shortest_path(g, src, dst);
+  ASSERT_TRUE(sp.has_value());
+  SparseEdgeFlow row;
+  for (EdgeId e : sp->edges) row.emplace_back(e, 4.0);
+  const auto paths = decompose_flow_sparse(g, src, dst, row, 4.0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 1.0);
+  EXPECT_EQ(paths[0].path.edges, sp->edges);
+}
+
+TEST(FlowDecompositionSparse, ContractsOnBadInput) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const SparseEdgeFlow row{{0, 1.0}};
+  EXPECT_THROW((void)decompose_flow_sparse(g, 0, 0, row, 1.0), ContractViolation);
+  EXPECT_THROW((void)decompose_flow_sparse(g, 0, 1, row, 0.0), ContractViolation);
+  const SparseEdgeFlow bad_edge{{7, 1.0}};
+  EXPECT_THROW((void)decompose_flow_sparse(g, 0, 1, bad_edge, 1.0),
+               ContractViolation);
+  // No extractable path at all (empty support).
+  EXPECT_THROW((void)decompose_flow_sparse(g, 0, 1, {}, 1.0), ContractViolation);
+}
+
 TEST(FlowDecomposition, ContractsOnBadInput) {
   Graph g(2);
   g.add_edge(0, 1);

@@ -78,6 +78,117 @@ TEST(Dijkstra, TreeDistancesMatchPathWeights) {
   EXPECT_DOUBLE_EQ(path_weight(*p, w), tree.distance[3]);
 }
 
+TEST(DijkstraWorkspaceSweep, FullSweepMatchesTree) {
+  const Graph g = diamond();
+  const std::vector<double> w{1.0, 1.0, 3.0, 0.5};
+  CsrAdjacency adj;
+  adj.build(g);
+  DijkstraWorkspace ws;
+  dijkstra_sweep(adj, 0, w, {}, ws);
+  const ShortestPathTree tree = dijkstra_tree(g, 0, w);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(ws.distance(v), tree.distance[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(ws.parent_edge(v), tree.parent_edge[static_cast<std::size_t>(v)]);
+  }
+  const auto p = workspace_path(g, ws, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(DijkstraWorkspaceSweep, EarlyExitSettledTargetsMatchFullSweep) {
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  std::vector<double> w(static_cast<std::size_t>(g.num_edges()));
+  for (std::size_t e = 0; e < w.size(); ++e) {
+    w[e] = 1.0 + 0.01 * static_cast<double>(e % 7);
+  }
+  const NodeId src = topo.hosts()[0];
+  const std::vector<NodeId> targets{topo.hosts()[3], topo.hosts()[9],
+                                    topo.hosts()[9], topo.hosts()[14]};
+  CsrAdjacency adj;
+  adj.build(g);
+  DijkstraWorkspace ws;
+  dijkstra_sweep(adj, src, w, targets, ws);
+  const ShortestPathTree full = dijkstra_tree(g, src, w);
+  for (const NodeId t : targets) {
+    EXPECT_DOUBLE_EQ(ws.distance(t), full.distance[static_cast<std::size_t>(t)]);
+    const auto p = workspace_path(g, ws, src, t);
+    const auto q = tree_path(g, full, src, t);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(p->edges, q->edges);
+  }
+}
+
+TEST(DijkstraWorkspaceSweep, GenerationStampsInvalidateOldSweeps) {
+  const Graph g = diamond();
+  const std::vector<double> w{1.0, 1.0, 3.0, 0.5};
+  CsrAdjacency adj;
+  adj.build(g);
+  DijkstraWorkspace ws;
+  dijkstra_sweep(adj, 0, w, {}, ws);
+  EXPECT_DOUBLE_EQ(ws.distance(3), 2.0);
+  // A sweep from node 2 reaches only node 3; stale node-1 state from the
+  // previous sweep must read as unreached.
+  dijkstra_sweep(adj, 2, w, {}, ws);
+  EXPECT_DOUBLE_EQ(ws.distance(2), 0.0);
+  EXPECT_DOUBLE_EQ(ws.distance(3), 0.5);
+  EXPECT_EQ(ws.distance(1), kInfiniteDistance);
+  EXPECT_EQ(ws.parent_edge(1), kInvalidEdge);
+  EXPECT_FALSE(workspace_path(g, ws, 2, 1).has_value());
+}
+
+TEST(DijkstraWorkspaceSweep, EarlyExitWhenSourceIsTheTarget) {
+  const Graph g = diamond();
+  const std::vector<double> w{1.0, 1.0, 3.0, 0.5};
+  CsrAdjacency adj;
+  adj.build(g);
+  DijkstraWorkspace ws;
+  const std::vector<NodeId> targets{0};
+  dijkstra_sweep(adj, 0, w, targets, ws);
+  const auto p = workspace_path(g, ws, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(DijkstraWorkspaceSweep, AdaptsToGraphSizeChanges) {
+  DijkstraWorkspace ws;
+  const Graph small = diamond();
+  CsrAdjacency small_adj;
+  small_adj.build(small);
+  dijkstra_sweep(small_adj, 0, {1.0, 1.0, 3.0, 0.5}, {}, ws);
+  EXPECT_DOUBLE_EQ(ws.distance(3), 2.0);
+
+  const Topology topo = fat_tree(4);
+  const Graph& big = topo.graph();
+  CsrAdjacency big_adj;
+  big_adj.build(big);
+  const std::vector<double> w(static_cast<std::size_t>(big.num_edges()), 1.0);
+  dijkstra_sweep(big_adj, topo.hosts()[0], w, {}, ws);
+  EXPECT_DOUBLE_EQ(ws.distance(topo.hosts()[0]), 0.0);
+  EXPECT_DOUBLE_EQ(ws.distance(topo.hosts()[15]), 6.0);
+}
+
+TEST(DijkstraWorkspaceSweep, LeafSkipOnlyAppliesToTargetedSweeps) {
+  // Full sweeps must still settle leaves (hosts); targeted sweeps skip
+  // non-target leaves and report them unreached.
+  const Topology topo = fat_tree(4);
+  const Graph& g = topo.graph();
+  CsrAdjacency adj;
+  adj.build(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const NodeId src = topo.hosts()[0];
+  const NodeId other_host = topo.hosts()[7];
+  const NodeId target = topo.hosts()[15];
+  DijkstraWorkspace ws;
+  dijkstra_sweep(adj, src, w, {}, ws);
+  EXPECT_LT(ws.distance(other_host), kInfiniteDistance);
+  const std::vector<NodeId> targets{target};
+  dijkstra_sweep(adj, src, w, targets, ws);
+  EXPECT_DOUBLE_EQ(ws.distance(target), 6.0);
+  EXPECT_EQ(ws.distance(other_host), kInfiniteDistance);  // skipped leaf
+}
+
 TEST(BfsDistances, LineGraphDistances) {
   const Topology topo = line_network(5);
   const auto dist = bfs_distances(topo.graph(), 0);

@@ -9,6 +9,7 @@
 #include "common/contracts.h"
 #include "common/errors.h"
 #include "common/interval.h"
+#include "common/parallel.h"
 #include "common/piecewise.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -31,6 +32,7 @@
 #include "graph/k_shortest.h"
 #include "graph/path.h"
 #include "graph/shortest_path.h"
+#include "graph/sparse_flow.h"
 #include "mcf/interval_decomposition.h"
 #include "mcf/relaxation.h"
 #include "opt/convex_mcf.h"

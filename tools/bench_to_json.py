@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output into the repo's BENCH_*.json schema.
+
+The BENCH_*.json files are the repo's performance trajectory: one
+snapshot per recorded run, with one point per benchmark case, normalized
+to milliseconds so snapshots from different google-benchmark configs
+stay comparable.
+
+Usage:
+    bench_micro --benchmark_format=json > raw.json
+    python3 tools/bench_to_json.py raw.json > BENCH_engine.json
+
+    # Compare two snapshots (old new); prints per-case speedups:
+    python3 tools/bench_to_json.py --compare BENCH_old.json BENCH_new.json
+"""
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "dcn-bench-v1"
+
+_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def _canonical_name(name: str) -> str:
+    """Strips run-parameter suffixes (e.g. '/iterations:1') from a case name."""
+    return re.sub(r"/(iterations|repeats|min_time|min_warmup_time):[^/]+", "", name)
+
+
+def convert(raw: dict, exclude: str | None = None) -> dict:
+    context = raw.get("context", {})
+    pattern = re.compile(exclude) if exclude else None
+    points = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if pattern and pattern.search(bench["name"]):
+            continue
+        scale = _UNIT_TO_MS[bench.get("time_unit", "ns")]
+        points.append(
+            {
+                "name": _canonical_name(bench["name"]),
+                "real_time_ms": bench["real_time"] * scale,
+                "cpu_time_ms": bench["cpu_time"] * scale,
+                "iterations": bench.get("iterations", 1),
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "suite": "bench_micro",
+        "captured": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            # Note: this is the google-benchmark library's own build
+            # type, not the benchmarked binary's.
+            "benchmark_library_build_type": context.get("library_build_type"),
+        },
+        "points": points,
+    }
+
+
+def compare(old: dict, new: dict) -> int:
+    old_points = {p["name"]: p for p in old["points"]}
+    width = max((len(n) for n in old_points), default=0) + 2
+    for point in new["points"]:
+        name = point["name"]
+        if name not in old_points:
+            print(f"{name:{width}s} (new case)")
+            continue
+        before = old_points[name]["real_time_ms"]
+        after = point["real_time_ms"]
+        speedup = before / after if after > 0 else float("inf")
+        print(
+            f"{name:{width}s} {before:12.2f} ms -> {after:12.2f} ms"
+            f"   {speedup:6.2f}x"
+        )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="benchmark JSON file(s)")
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="treat the two arguments as old/new BENCH snapshots and print speedups",
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="REGEX",
+        help="drop cases matching REGEX from the snapshot (e.g. parallel-oracle "
+        "cases when capturing on a single-core host)",
+    )
+    args = parser.parse_args()
+
+    if args.compare:
+        if len(args.files) != 2:
+            parser.error("--compare takes exactly two snapshot files (old new)")
+        with open(args.files[0]) as f:
+            old = json.load(f)
+        with open(args.files[1]) as f:
+            new = json.load(f)
+        for snap in (old, new):
+            if snap.get("schema") != SCHEMA:
+                parser.error("--compare expects BENCH_*.json snapshots "
+                             f"(schema {SCHEMA})")
+        return compare(old, new)
+
+    if len(args.files) != 1:
+        parser.error("conversion takes exactly one google-benchmark JSON file")
+    with open(args.files[0]) as f:
+        raw = json.load(f)
+    json.dump(convert(raw, args.exclude), sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
