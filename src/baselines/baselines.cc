@@ -47,11 +47,6 @@ DcfsResult ecmp_mcf(const Graph& g, const std::vector<Flow>& flows,
   return most_critical_first(g, flows, ecmp_routing(g, flows, width, rng), model);
 }
 
-namespace {
-
-/// Marginal energy of adding density `d` to edge load `load` over
-/// `span`: integral of f(x + d) - f(x), where stretches with x = 0
-/// contribute f(d) (the link switches on).
 double marginal_energy(const StepFunction& load, const Interval& span, double d,
                        const PowerModel& model) {
   double covered = 0.0;
@@ -66,8 +61,6 @@ double marginal_energy(const StepFunction& load, const Interval& span, double d,
   if (gaps > 0.0) total += model.f(d) * gaps;
   return total;
 }
-
-}  // namespace
 
 Schedule greedy_energy_aware(const Graph& g, const std::vector<Flow>& flows,
                              const PowerModel& model) {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/piecewise.h"
 #include "common/random.h"
 #include "dcfs/most_critical_first.h"
 #include "flow/flow.h"
@@ -18,6 +19,13 @@
 #include "schedule/schedule.h"
 
 namespace dcn {
+
+/// Marginal energy of adding density `d` to edge load `load` over
+/// `span`: integral of f(x + d) - f(x), where stretches with x = 0
+/// contribute f(d) (the link switches on). The edge weight of the
+/// greedy energy-aware routers (offline `greedy`, online_greedy).
+[[nodiscard]] double marginal_energy(const StepFunction& load, const Interval& span,
+                                     double d, const PowerModel& model);
 
 /// Minimum-hop path per flow (deterministic tie-break).
 [[nodiscard]] std::vector<Path> shortest_path_routing(const Graph& g,

@@ -7,16 +7,22 @@
 
 namespace dcn {
 
+const Path& draw_path(const FlowCandidates& candidates, Rng& rng,
+                      std::vector<double>& weights) {
+  DCN_EXPECTS(!candidates.paths.empty());
+  weights.clear();
+  weights.reserve(candidates.paths.size());
+  for (const WeightedPath& wp : candidates.paths) weights.push_back(wp.weight);
+  return candidates.paths[rng.weighted_index(weights)].path;
+}
+
 std::vector<Path> sample_paths(const std::vector<FlowCandidates>& candidates,
                                Rng& rng) {
   std::vector<Path> paths;
   paths.reserve(candidates.size());
+  std::vector<double> weights;
   for (const FlowCandidates& cand : candidates) {
-    DCN_EXPECTS(!cand.paths.empty());
-    std::vector<double> weights;
-    weights.reserve(cand.paths.size());
-    for (const WeightedPath& wp : cand.paths) weights.push_back(wp.weight);
-    paths.push_back(cand.paths[rng.weighted_index(weights)].path);
+    paths.push_back(draw_path(cand, rng, weights));
   }
   return paths;
 }
@@ -50,9 +56,11 @@ double peak_link_rate(const Graph& g, const Schedule& schedule) {
 RandomScheduleResult round_relaxation(const Graph& g, const std::vector<Flow>& flows,
                                       const PowerModel& model,
                                       const FractionalRelaxation& relaxation,
-                                      Rng& rng, const RandomScheduleOptions& options) {
+                                      Rng& rng, const RandomScheduleOptions& options,
+                                      const std::vector<const Path*>* forced_paths) {
   DCN_EXPECTS(options.max_rounding_attempts >= 1);
   DCN_EXPECTS(options.best_of >= 1);
+  DCN_EXPECTS(forced_paths == nullptr || forced_paths->size() == flows.size());
 
   RandomScheduleResult result;
   result.lower_bound_energy = relaxation.lower_bound_energy;
@@ -64,9 +72,21 @@ RandomScheduleResult round_relaxation(const Graph& g, const std::vector<Flow>& f
   std::int32_t feasible_found = 0;
 
   Schedule last_draw;
+  std::vector<double> weights;
   for (std::int32_t attempt = 1; attempt <= options.max_rounding_attempts; ++attempt) {
     result.rounding_attempts = attempt;
-    const std::vector<Path> paths = sample_paths(relaxation.candidates, rng);
+    // Pinned flows keep their committed path; the rest draw from their
+    // candidate distribution through the same draw_path as
+    // sample_paths, so unpinned rounding consumes the rng identically.
+    std::vector<Path> paths;
+    paths.reserve(relaxation.candidates.size());
+    for (std::size_t i = 0; i < relaxation.candidates.size(); ++i) {
+      if (forced_paths != nullptr && (*forced_paths)[i] != nullptr) {
+        paths.push_back(*(*forced_paths)[i]);
+      } else {
+        paths.push_back(draw_path(relaxation.candidates[i], rng, weights));
+      }
+    }
     last_draw = density_schedule(flows, paths);
     if (peak_link_rate(g, last_draw) > model.capacity() * (1.0 + 1e-9)) {
       continue;  // capacity violated: redraw (Algorithm 2 repeat step)

@@ -56,6 +56,13 @@ struct RandomScheduleResult {
   double mean_relative_gap = 0.0;
 };
 
+/// One wbar draw for a single flow. Every sampling site (offline
+/// rounding, online joint-batch rounding, online per-flow admission)
+/// funnels through here, so rng consumption stays identical by
+/// construction across them. `weights` is caller-provided scratch.
+[[nodiscard]] const Path& draw_path(const FlowCandidates& candidates, Rng& rng,
+                                    std::vector<double>& weights);
+
 /// Draws one path per flow from its candidate distribution.
 [[nodiscard]] std::vector<Path> sample_paths(const std::vector<FlowCandidates>& candidates,
                                              Rng& rng);
@@ -74,11 +81,18 @@ struct RandomScheduleResult {
 /// Reruns only the rounding + rate-assignment stage on a precomputed
 /// relaxation (for rounding ablations; avoids re-solving the convex
 /// programs).
-[[nodiscard]] RandomScheduleResult round_relaxation(const Graph& g,
-                                                    const std::vector<Flow>& flows,
-                                                    const PowerModel& model,
-                                                    const FractionalRelaxation& relaxation,
-                                                    Rng& rng,
-                                                    const RandomScheduleOptions& options = {});
+///
+/// `forced_paths`, when non-null, must have one entry per flow; a
+/// non-null entry pins that flow to the given path — no draw, no rng
+/// consumption — while null entries sample from the flow's candidates
+/// as usual. The online scheduler uses this to hold admitted flows on
+/// their committed virtual circuits while routing new arrivals. With
+/// forced_paths null (or all-null) the rng consumption is identical to
+/// the unforced overload.
+[[nodiscard]] RandomScheduleResult round_relaxation(
+    const Graph& g, const std::vector<Flow>& flows, const PowerModel& model,
+    const FractionalRelaxation& relaxation, Rng& rng,
+    const RandomScheduleOptions& options = {},
+    const std::vector<const Path*>* forced_paths = nullptr);
 
 }  // namespace dcn

@@ -81,6 +81,16 @@ const SolverRegistry& default_registry() {
     r.add("greedy", [] { return std::make_unique<GreedySolver>(); });
     r.add("edf", [] { return std::make_unique<EdfSolver>(); });
     r.add("exact", [] { return std::make_unique<ExactSolver>(); });
+    // Online arrivals (src/online): the same calibrated Frank-Wolfe
+    // budget as dcfsr, so the all-at-t=0 degenerate case is the offline
+    // run bit for bit.
+    r.add("online_dcfsr", [] {
+      OnlineOptions options;
+      options.rounding.relaxation.frank_wolfe.max_iterations = 15;
+      options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      return std::make_unique<OnlineDcfsrSolver>(options);
+    });
+    r.add("online_greedy", [] { return std::make_unique<OnlineGreedySolver>(); });
     return r;
   }();
   return registry;

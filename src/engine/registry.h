@@ -49,8 +49,8 @@ class SolverRegistry {
 };
 
 /// All solvers of the library under their canonical names:
-/// mcf, mcf_paper, mcf_plain, dcfsr, sp_mcf (alias of mcf), ecmp_mcf,
-/// greedy, edf, exact.
+/// mcf, mcf_paper, mcf_plain, dcfsr, dcfsr_mt, sp_mcf (alias of mcf),
+/// ecmp_mcf, greedy, edf, exact, online_dcfsr, online_greedy.
 [[nodiscard]] const SolverRegistry& default_registry();
 
 }  // namespace dcn::engine

@@ -12,6 +12,17 @@ std::int32_t clamp_count(std::int32_t requested, std::int32_t available) {
   return std::max<std::int32_t>(1, std::min(requested, available));
 }
 
+OnlineWorkloadParams online_params(const ScenarioOptions& o, SizeModel model) {
+  OnlineWorkloadParams params;
+  params.num_flows = std::max<std::int32_t>(1, o.num_flows);
+  params.arrival_rate = o.arrival_rate;
+  params.mean_volume = o.volume;
+  params.size_model = model;
+  params.slack = o.slack;
+  params.base_rate = o.base_rate;
+  return params;
+}
+
 }  // namespace
 
 ScenarioSuite::ScenarioSuite() {
@@ -60,6 +71,19 @@ ScenarioSuite::ScenarioSuite() {
        [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
          return slack_workload(topo, std::max<std::int32_t>(1, o.num_flows),
                                o.volume, o.base_rate, o.slack, o.window, rng);
+       }},
+      {"poisson",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         return poisson_workload(topo, online_params(o, SizeModel::kFixed), rng);
+       }},
+      {"websearch",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         return poisson_workload(topo, online_params(o, SizeModel::kWebSearch),
+                                 rng);
+       }},
+      {"hadoop",
+       [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
+         return poisson_workload(topo, online_params(o, SizeModel::kHadoop), rng);
        }},
   };
 }

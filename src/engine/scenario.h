@@ -13,6 +13,9 @@
 //   random
 // Workload presets:
 //   paper incast shuffle permutation slack
+//   poisson websearch hadoop   (online arrival processes: Poisson
+//   releases at `arrival_rate`, fixed / websearch-tailed /
+//   hadoop-tailed sizes — the inputs the online solvers re-plan on)
 #pragma once
 
 #include <cstdint>
@@ -51,10 +54,13 @@ struct ScenarioOptions {
   std::int32_t senders = 8;    // incast fan-in
   std::int32_t mappers = 4;    // shuffle
   std::int32_t reducers = 4;   // shuffle
-  double volume = 5.0;         // per-flow volume (incast/shuffle/slack)
-  double slack = 2.0;          // slack workload deadline looseness
-  double base_rate = 4.0;      // slack workload reference rate
+  double volume = 5.0;         // per-flow volume (incast/shuffle/slack/online)
+  double slack = 2.0;          // deadline looseness (slack/online workloads)
+  double base_rate = 4.0;      // reference rate (slack/online workloads)
   Interval window{0.0, 20.0};  // common window (incast/shuffle/slack)
+  /// Poisson arrival intensity of the online workloads
+  /// (poisson/websearch/hadoop); sweep it to vary sustained load.
+  double arrival_rate = 2.0;
 
   [[nodiscard]] PowerModel power_model() const {
     return PowerModel(sigma, mu, alpha, capacity);

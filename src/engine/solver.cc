@@ -18,6 +18,16 @@ void append_format(std::string& out, const char* fmt, ...) {
   out += buf;
 }
 
+void apply_replay(SolverOutcome& out, const ReplayReport& replay) {
+  out.feasible = replay.ok;
+  if (!replay.issues.empty()) out.first_issue = replay.issues.front();
+  out.energy = replay.energy;
+  out.dynamic_energy = replay.dynamic_energy;
+  out.idle_energy = replay.idle_energy;
+  out.active_links = replay.active_links;
+  out.peak_rate = replay.peak_rate;
+}
+
 }  // namespace detail
 
 SolverOutcome finish_outcome(const std::string& solver, const Instance& instance,
@@ -29,13 +39,7 @@ SolverOutcome finish_outcome(const std::string& solver, const Instance& instance
 
   const ReplayReport replay = replay_schedule(instance.graph(), instance.flows(),
                                               out.schedule, instance.model());
-  out.feasible = replay.ok;
-  if (!replay.issues.empty()) out.first_issue = replay.issues.front();
-  out.energy = replay.energy;
-  out.dynamic_energy = replay.dynamic_energy;
-  out.idle_energy = replay.idle_energy;
-  out.active_links = replay.active_links;
-  out.peak_rate = replay.peak_rate;
+  detail::apply_replay(out, replay);
   return out;
 }
 

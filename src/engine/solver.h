@@ -24,6 +24,10 @@
 #include "engine/instance.h"
 #include "schedule/schedule.h"
 
+namespace dcn {
+struct ReplayReport;
+}
+
 namespace dcn::engine {
 
 /// What a solver produced on one instance, replay-validated.
@@ -89,6 +93,11 @@ namespace detail {
 /// printf-appends to `out` (shared by the canonical serializers).
 void append_format(std::string& out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+/// Copies a replay report's verdict and energy fields into an outcome —
+/// the single place replay results become outcome fields (shared by
+/// finish_outcome and the online adapters' admitted-subset replay).
+void apply_replay(SolverOutcome& out, const ReplayReport& replay);
 }  // namespace detail
 
 }  // namespace dcn::engine

@@ -17,6 +17,16 @@
 //              exactly fills it — the classic deadline heuristic, no
 //              energy awareness
 //   exact      Exhaustive path enumeration + MCF rates (tiny instances)
+//   online_dcfsr   event-driven rolling horizon: per-arrival admission
+//              control + warm-started incremental re-solve of the
+//              interval relaxation (src/online)
+//   online_greedy  per-arrival marginal-energy routing + density-rate
+//              admission with EDF fallback (src/online)
+//
+// The online solvers see the instance as an arrival stream (flows
+// revealed at their release times) and may *reject* flows; for them
+// `feasible` means every **admitted** flow is replay-validated on the
+// admitted subset, and the rejected count travels in the stats.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +35,7 @@
 #include "dcfsr/exact.h"
 #include "dcfsr/random_schedule.h"
 #include "engine/solver.h"
+#include "online/online_scheduler.h"
 
 namespace dcn::engine {
 
@@ -115,6 +126,38 @@ class ExactSolver final : public Solver {
 
  private:
   ExactDcfsrOptions options_;
+};
+
+/// Online rolling horizon with warm-started relaxation re-solves
+/// (src/online). The rounding rng is keyed to the "dcfsr" stream on
+/// purpose: when every flow of the instance arrives at t = 0 the run
+/// degenerates to exactly offline Random-Schedule (the differential
+/// test's anchor).
+class OnlineDcfsrSolver final : public Solver {
+ public:
+  explicit OnlineDcfsrSolver(OnlineOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "online_dcfsr"; }
+  [[nodiscard]] std::string description() const override {
+    return "online arrivals: admission control + warm-started relaxation "
+           "re-solve per arrival";
+  }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  OnlineOptions options_;
+};
+
+/// Online greedy admission: marginal-energy routing at density rates
+/// with an EDF fallback fill (src/online). Deterministic.
+class OnlineGreedySolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "online_greedy"; }
+  [[nodiscard]] std::string description() const override {
+    return "online arrivals: marginal-energy routing + density admission "
+           "with EDF fallback";
+  }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
 };
 
 }  // namespace dcn::engine

@@ -1,6 +1,7 @@
 #include "flow/workload.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contracts.h"
 
@@ -154,6 +155,81 @@ std::vector<Flow> slack_workload(const Topology& topo, std::int32_t num_flows,
     const auto [src, dst] = random_host_pair(topo, rng);
     const double release = rng.uniform(horizon.lo, horizon.hi - span_len);
     flows.push_back({i, src, dst, volume, release, release + span_len});
+  }
+  validate_flows(topo.graph(), flows);
+  return flows;
+}
+
+namespace {
+
+/// Bounded Pareto on [lo, hi] with tail index `shape` via inverse-CDF.
+double bounded_pareto(double lo, double hi, double shape, Rng& rng) {
+  const double u = rng.uniform();
+  const double ratio = std::pow(lo / hi, shape);
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / shape);
+}
+
+/// E[bounded Pareto(lo, hi, shape)] for shape != 1.
+double bounded_pareto_mean(double lo, double hi, double shape) {
+  const double r = lo / hi;
+  return lo * (shape / (shape - 1.0)) * (1.0 - std::pow(r, shape - 1.0)) /
+         (1.0 - std::pow(r, shape));
+}
+
+/// One flow size under `model`. The heavy-tailed models match the
+/// *shape* of the published traces, not the byte-exact CDFs; samples
+/// are rescaled by the analytic bounded-Pareto mean so E[size] == mean
+/// for every model — identical offered load, different tails.
+double sample_size(SizeModel model, double mean, Rng& rng) {
+  double lo = 0.0;
+  double hi = 0.0;
+  double shape = 0.0;
+  switch (model) {
+    case SizeModel::kFixed:
+      return mean;
+    case SizeModel::kWebSearch:
+      // Shape 1.5: median well under the mean, occasional multi-x
+      // elephants — the DCTCP websearch mix.
+      lo = mean / 5.0;
+      hi = 8.0 * mean;
+      shape = 1.5;
+      break;
+    case SizeModel::kHadoop:
+      // Shape 1.1: the vast majority of flows are mice, the vast
+      // majority of bytes ride rare elephants.
+      lo = mean / 20.0;
+      hi = 40.0 * mean;
+      shape = 1.1;
+      break;
+  }
+  return bounded_pareto(lo, hi, shape, rng) * mean /
+         bounded_pareto_mean(lo, hi, shape);
+}
+
+}  // namespace
+
+std::vector<Flow> poisson_workload(const Topology& topo,
+                                   const OnlineWorkloadParams& params, Rng& rng) {
+  DCN_EXPECTS(params.num_flows >= 1);
+  DCN_EXPECTS(params.arrival_rate > 0.0);
+  DCN_EXPECTS(params.mean_volume > 0.0);
+  DCN_EXPECTS(params.slack >= 1.0);
+  DCN_EXPECTS(params.base_rate > 0.0);
+  DCN_EXPECTS(params.min_span > 0.0);
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(params.num_flows));
+  double t = params.start;
+  for (std::int32_t i = 0; i < params.num_flows; ++i) {
+    if (i > 0) {
+      // Exponential inter-arrival gap (inverse-CDF; uniform() < 1 keeps
+      // the log argument positive).
+      t += -std::log(1.0 - rng.uniform()) / params.arrival_rate;
+    }
+    const auto [src, dst] = random_host_pair(topo, rng);
+    const double volume = sample_size(params.size_model, params.mean_volume, rng);
+    const double span =
+        std::max(params.min_span, params.slack * volume / params.base_rate);
+    flows.push_back({i, src, dst, volume, t, t + span});
   }
   validate_flows(topo.graph(), flows);
   return flows;

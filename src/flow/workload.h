@@ -63,4 +63,40 @@ struct PaperWorkloadParams {
                                                double base_rate, double slack,
                                                Interval horizon, Rng& rng);
 
+/// Flow-size models for the online arrival generator, shaped after the
+/// published data-center traces the online-scheduling literature
+/// evaluates on (RCD, DCoflow):
+///   kFixed      every flow carries mean_volume exactly
+///   kWebSearch  moderately heavy-tailed (bounded Pareto, shape 1.5 —
+///               the DCTCP websearch query/response mix)
+///   kHadoop     heavy-tailed (bounded Pareto, shape 1.1 — most flows
+///               tiny, most bytes in rare elephants)
+enum class SizeModel { kFixed, kWebSearch, kHadoop };
+
+/// Parameters of the online (arrival-driven) workload.
+struct OnlineWorkloadParams {
+  std::int32_t num_flows = 40;
+  /// Poisson arrival intensity: inter-arrival gaps ~ Exp(arrival_rate).
+  double arrival_rate = 2.0;
+  /// First arrival time (the horizon start).
+  double start = 0.0;
+  double mean_volume = 5.0;
+  SizeModel size_model = SizeModel::kFixed;
+  /// Deadline = release + max(min_span, slack * volume / base_rate):
+  /// slack = 1 means the deadline only just permits base_rate.
+  double slack = 2.0;
+  double base_rate = 4.0;
+  double min_span = 0.1;
+};
+
+/// Poisson arrival process: exactly `num_flows` flows with Exp(rate)
+/// inter-arrival gaps, sizes drawn from `size_model` (scaled so kFixed
+/// matches mean_volume), endpoints uniform over distinct host pairs,
+/// deadlines at slack * volume / base_rate past the release. The
+/// operationally relevant online regime: flows arrive over time and the
+/// schedule must be re-planned on each arrival (src/online).
+[[nodiscard]] std::vector<Flow> poisson_workload(const Topology& topo,
+                                                 const OnlineWorkloadParams& params,
+                                                 Rng& rng);
+
 }  // namespace dcn

@@ -34,7 +34,9 @@ using PathAccumulator =
 
 FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& flows,
                                       const PowerModel& model,
-                                      const RelaxationOptions& options) {
+                                      const RelaxationOptions& options,
+                                      RelaxationWorkspace* workspace,
+                                      const std::vector<SparseEdgeFlow>* warm_by_flow) {
   validate_flows(g, flows);
   FractionalRelaxation out;
   out.decomposition = decompose_intervals(flows);
@@ -44,14 +46,22 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   std::vector<PathAccumulator> accum(flows.size());
 
   // Warm-start bookkeeping: per flow, its sparse fractional edge flow
-  // from the previous interval it was active in.
+  // from the previous interval it was active in; seeded from the caller
+  // when it carries rows from a previous related solve.
   std::vector<SparseEdgeFlow> prev_flow_by_flow(flows.size());
+  if (warm_by_flow != nullptr) {
+    DCN_EXPECTS(warm_by_flow->size() == flows.size());
+    prev_flow_by_flow = *warm_by_flow;
+  }
 
-  // All O(V)/O(E) scratch lives in workspaces reused across intervals.
-  ConvexMcfWorkspace mcf_workspace;
-  DijkstraWorkspace sp_workspace;
-  FlowDecompositionWorkspace decomposition_workspace;
-  CsrAdjacency adjacency;
+  // All O(V)/O(E) scratch lives in workspaces reused across intervals —
+  // and, when the caller passes one, across whole solves.
+  RelaxationWorkspace local_workspace;
+  RelaxationWorkspace& ws = workspace != nullptr ? *workspace : local_workspace;
+  ConvexMcfWorkspace& mcf_workspace = ws.mcf;
+  DijkstraWorkspace& sp_workspace = ws.shortest_path;
+  FlowDecompositionWorkspace& decomposition_workspace = ws.decomposition;
+  CsrAdjacency& adjacency = ws.adjacency;
   adjacency.build(g);
 
   // The empty-network marginal weights are identical for every interval
@@ -64,6 +74,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   std::vector<std::pair<NodeId, std::size_t>> new_by_source;
   std::vector<NodeId> group_targets;
   Path path_scratch;
+  std::vector<double> loaded_weights;
 
   double gap_sum = 0.0;
   std::size_t solved_intervals = 0;
@@ -102,6 +113,30 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
       }
     }
     std::sort(new_by_source.begin(), new_by_source.end());
+
+    // Initialization weights for the new flows. In a caller-warm-started
+    // re-solve (the online scheduler's per-arrival path), route arrivals
+    // against the *carried load's* marginal costs rather than the empty
+    // network: a Frank-Wolfe step is a joint convex combination across
+    // all commodities, so it is very slow at re-routing one badly
+    // initialized arrival away from links the warm flows already
+    // occupy — better to never put it there. With no carried rows the
+    // sum below is zero and these weights degenerate to w0 exactly, so
+    // cold behavior (and the offline algorithm) is bit-identical.
+    const std::vector<double>* init_weights = &w0;
+    if (warm_by_flow != nullptr && !new_by_source.empty()) {
+      loaded_weights.assign(num_edges, 0.0);
+      for (const SparseEdgeFlow& row : warm) {
+        for (const auto& [e, v] : row) {
+          loaded_weights[static_cast<std::size_t>(e)] += v;
+        }
+      }
+      for (double& w : loaded_weights) {
+        w = std::max(model.envelope_derivative(w), 1e-9);
+      }
+      init_weights = &loaded_weights;
+    }
+
     for (std::size_t lo = 0; lo < new_by_source.size();) {
       std::size_t hi = lo;
       const NodeId src = new_by_source[lo].first;
@@ -111,7 +146,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
             problem.commodities[new_by_source[hi].second].dst);
         ++hi;
       }
-      dijkstra_sweep(adjacency, src, w0, group_targets, sp_workspace);
+      dijkstra_sweep(adjacency, src, *init_weights, group_targets, sp_workspace);
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t c = new_by_source[i].second;
         const bool reached = workspace_path_into(
@@ -132,6 +167,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
 
     out.lower_bound_energy += sol.cost * dec.intervals[k].measure();
     gap_sum += sol.relative_gap;
+    out.total_fw_iterations += sol.iterations;
     ++solved_intervals;
 
     // Raghavan-Tompson extraction per active flow, then aggregate wbar.
@@ -152,6 +188,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
 
   out.mean_relative_gap =
       solved_intervals > 0 ? gap_sum / static_cast<double>(solved_intervals) : 0.0;
+  out.final_flow = std::move(prev_flow_by_flow);
 
   // Materialize candidates with normalized wbar. The hashed accumulator
   // is unordered, so sort candidates lexicographically by edge sequence

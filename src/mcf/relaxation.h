@@ -21,11 +21,14 @@
 // relaxation only removes constraints.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "flow/flow.h"
 #include "graph/flow_decomposition.h"
 #include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "graph/sparse_flow.h"
 #include "mcf/interval_decomposition.h"
 #include "opt/convex_mcf.h"
 #include "power/power_model.h"
@@ -52,13 +55,41 @@ struct FractionalRelaxation {
   std::vector<FlowCandidates> candidates;
   /// Mean final Frank-Wolfe relative gap across intervals (diagnostic).
   double mean_relative_gap = 0.0;
+  /// Sum of Frank-Wolfe iterations over all interval solves (the cost
+  /// driver; warm starts show up here).
+  std::int64_t total_fw_iterations = 0;
+  /// Per flow: its sparse commodity flow from the last interval it was
+  /// active in — the warm-start seed for a subsequent related solve
+  /// (the online scheduler threads these across re-solves).
+  std::vector<SparseEdgeFlow> final_flow;
+};
+
+/// Reusable scratch for solve_relaxation: the Frank-Wolfe workspace,
+/// Dijkstra/decomposition state, and the adjacency snapshot. One
+/// workspace held across a sequence of related solves (the online
+/// scheduler's per-arrival re-solves) eliminates all O(V)/O(E)
+/// allocation after the first call. Treat as opaque.
+struct RelaxationWorkspace {
+  ConvexMcfWorkspace mcf;
+  DijkstraWorkspace shortest_path;
+  FlowDecompositionWorkspace decomposition;
+  CsrAdjacency adjacency;
 };
 
 /// Solves the relaxation interval by interval (streaming; consecutive
 /// intervals warm-start from each other).
-[[nodiscard]] FractionalRelaxation solve_relaxation(const Graph& g,
-                                                    const std::vector<Flow>& flows,
-                                                    const PowerModel& model,
-                                                    const RelaxationOptions& options = {});
+///
+/// `workspace`, when non-null, is reused across calls. `warm_by_flow`,
+/// when non-null, must have one sparse row per flow; a non-empty row
+/// seeds that flow's *first* interval solve instead of the cheapest-path
+/// cold start, and must route exactly the flow's density from src to dst
+/// (rows from a previous solve_relaxation's `final_flow` qualify as long
+/// as the flow's density is unchanged — densities are invariant under
+/// residual re-solves, see src/online). Empty rows fall back to the
+/// cold start.
+[[nodiscard]] FractionalRelaxation solve_relaxation(
+    const Graph& g, const std::vector<Flow>& flows, const PowerModel& model,
+    const RelaxationOptions& options = {}, RelaxationWorkspace* workspace = nullptr,
+    const std::vector<SparseEdgeFlow>* warm_by_flow = nullptr);
 
 }  // namespace dcn

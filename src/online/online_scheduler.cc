@@ -1,0 +1,297 @@
+#include "online/online_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "common/contracts.h"
+#include "common/piecewise.h"
+#include "graph/shortest_path.h"
+#include "mcf/relaxation.h"
+
+namespace dcn {
+
+namespace {
+
+/// Relative slack applied to every capacity comparison (mirrors the
+/// rounding accept/reject step of Algorithm 2).
+constexpr double kCapacitySlack = 1e-9;
+
+/// Arrival order: indices sorted by (release, id).
+std::vector<std::size_t> arrival_order(const std::vector<Flow>& flows) {
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&flows](std::size_t a, std::size_t b) {
+    if (flows[a].release != flows[b].release) {
+      return flows[a].release < flows[b].release;
+    }
+    return flows[a].id < flows[b].id;
+  });
+  return order;
+}
+
+/// Maximum committed load anywhere inside `span` (0 when the link is
+/// idle throughout).
+double max_load_within(const StepFunction& load, const Interval& span) {
+  double peak = 0.0;
+  for (const auto& [iv, value] : load.segments()) {
+    if (iv.overlaps(span)) peak = std::max(peak, value);
+  }
+  return peak;
+}
+
+/// True when adding constant rate `rate` over `span` keeps every edge of
+/// `path` within capacity against the committed `load`.
+bool rate_fits(const std::vector<StepFunction>& load, const Path& path,
+               const Interval& span, double rate, double capacity) {
+  const double limit = capacity * (1.0 + kCapacitySlack);
+  if (rate > limit) return false;
+  for (const EdgeId e : path.edges) {
+    if (max_load_within(load[static_cast<std::size_t>(e)], span) + rate > limit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Commits `segments` on `path` for flow `i`: records the flow schedule
+/// and adds every segment to the per-edge load profiles.
+void commit(OnlineResult& out, std::vector<StepFunction>& load, std::size_t i,
+            Path path, std::vector<RateSegment> segments) {
+  FlowSchedule& fs = out.schedule.flows[i];
+  fs.path = std::move(path);
+  fs.segments = std::move(segments);
+  for (const RateSegment& seg : fs.segments) {
+    for (const EdgeId e : fs.path.edges) {
+      load[static_cast<std::size_t>(e)].add(seg.interval, seg.rate);
+    }
+  }
+  out.admitted[i] = true;
+  ++out.num_admitted;
+}
+
+/// EDF-style fallback fill: packs `volume` into the earliest remaining
+/// capacity of `path` within `span`. Returns the segments on success,
+/// an empty vector when even the full remaining capacity cannot finish
+/// the flow by its deadline.
+std::vector<RateSegment> edf_fill(const std::vector<StepFunction>& load,
+                                  const Path& path, const Interval& span,
+                                  double volume, double capacity) {
+  // Elementary intervals: every committed-load breakpoint of the path's
+  // edges inside the span, so the combined load is constant per piece.
+  std::vector<double> cuts{span.lo, span.hi};
+  for (const EdgeId e : path.edges) {
+    for (const auto& [iv, value] : load[static_cast<std::size_t>(e)].segments()) {
+      if (iv.lo > span.lo && iv.lo < span.hi) cuts.push_back(iv.lo);
+      if (iv.hi > span.lo && iv.hi < span.hi) cuts.push_back(iv.hi);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<RateSegment> segments;
+  double remaining = volume;
+  for (std::size_t k = 0; k + 1 < cuts.size() && remaining > 0.0; ++k) {
+    const Interval piece{cuts[k], cuts[k + 1]};
+    double used = 0.0;
+    for (const EdgeId e : path.edges) {
+      used = std::max(used,
+                      load[static_cast<std::size_t>(e)].value_at(piece.lo));
+    }
+    const double avail = capacity - used;
+    if (avail <= kCapacitySlack * std::max(1.0, capacity)) continue;
+    const double takeable = avail * piece.measure();
+    if (takeable >= remaining) {
+      segments.push_back({{piece.lo, piece.lo + remaining / avail}, avail});
+      remaining = 0.0;
+    } else {
+      segments.push_back({piece, avail});
+      remaining -= takeable;
+    }
+  }
+  if (remaining > 1e-9 * std::max(1.0, volume)) return {};
+  return segments;
+}
+
+}  // namespace
+
+std::pair<std::vector<Flow>, Schedule> admitted_subset(
+    const std::vector<Flow>& flows, const Schedule& schedule,
+    const std::vector<bool>& admitted) {
+  DCN_EXPECTS(schedule.flows.size() == flows.size());
+  DCN_EXPECTS(admitted.size() == flows.size());
+  std::vector<Flow> sub_flows;
+  Schedule sub_schedule;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!admitted[i]) continue;
+    Flow fl = flows[i];
+    fl.id = static_cast<FlowId>(sub_flows.size());
+    sub_flows.push_back(fl);
+    sub_schedule.flows.push_back(schedule.flows[i]);
+  }
+  return {std::move(sub_flows), std::move(sub_schedule)};
+}
+
+OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
+                          const PowerModel& model, Rng& rng,
+                          const OnlineOptions& options) {
+  validate_flows(g, flows);
+  OnlineResult out;
+  out.schedule.flows.resize(flows.size());
+  out.admitted.assign(flows.size(), false);
+  if (flows.empty()) return out;
+
+  const std::vector<std::size_t> order = arrival_order(flows);
+  const double capacity = model.capacity();
+
+  // Warm-start rows by original flow id, threaded across re-solves, and
+  // one workspace for every re-solve of the run: the PR 2 fast path.
+  std::vector<SparseEdgeFlow> warm(flows.size());
+  RelaxationWorkspace workspace;
+
+  // Committed per-edge load (admitted density segments) for the
+  // per-flow admission fallback.
+  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+
+  for (std::size_t lo = 0; lo < order.size();) {
+    const double now = flows[order[lo]].release;
+    std::size_t hi = lo;
+    while (hi < order.size() && flows[order[hi]].release == now) ++hi;
+    ++out.num_events;
+
+    // Residual problem: admitted flows still in flight (at their
+    // original densities — the density schedule leaves the residual
+    // density invariant), then the arriving batch.
+    std::vector<Flow> residual;
+    std::vector<std::size_t> orig;
+    std::vector<const Path*> forced;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!out.admitted[i] || flows[i].deadline <= now) continue;
+      Flow res = flows[i];
+      res.id = static_cast<FlowId>(residual.size());
+      res.release = now;
+      res.volume = flows[i].density() * (flows[i].deadline - now);
+      residual.push_back(res);
+      orig.push_back(i);
+      forced.push_back(&out.schedule.flows[i].path);
+    }
+    const std::size_t first_new = residual.size();
+    for (std::size_t k = lo; k < hi; ++k) {
+      Flow res = flows[order[k]];
+      res.id = static_cast<FlowId>(residual.size());
+      residual.push_back(res);
+      orig.push_back(order[k]);
+      forced.push_back(nullptr);
+    }
+
+    // Warm-started incremental re-solve over the shifted horizon.
+    std::vector<SparseEdgeFlow> warm_rows(residual.size());
+    for (std::size_t r = 0; r < residual.size(); ++r) {
+      warm_rows[r] = warm[orig[r]];
+    }
+    FractionalRelaxation relax =
+        solve_relaxation(g, residual, model, options.rounding.relaxation,
+                         &workspace, &warm_rows);
+    ++out.resolves;
+    out.fw_iterations += relax.total_fw_iterations;
+    if (out.resolves == 1) out.first_lower_bound = relax.lower_bound_energy;
+    for (std::size_t r = 0; r < residual.size(); ++r) {
+      warm[orig[r]] = std::move(relax.final_flow[r]);
+    }
+
+    // Joint batch admission: randomized rounding with admitted flows
+    // pinned to their circuits (exactly offline Algorithm 2 when no
+    // flow is pinned, i.e. at the first event of an all-at-t=0 input).
+    RandomScheduleResult draw = round_relaxation(g, residual, model, relax, rng,
+                                                 options.rounding, &forced);
+    out.rounding_attempts += draw.rounding_attempts;
+    if (draw.capacity_feasible) {
+      for (std::size_t r = first_new; r < residual.size(); ++r) {
+        const Flow& fl = flows[orig[r]];
+        commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+               {{fl.span(), fl.density()}});
+      }
+      lo = hi;
+      continue;
+    }
+
+    // Joint admission failed within the attempt budget: fall back to
+    // admitting the batch one flow at a time (id order), each against
+    // the committed load only — so one unroutable elephant cannot veto
+    // an entire batch of mice.
+    ++out.batch_fallbacks;
+    std::vector<double> weights;
+    for (std::size_t r = first_new; r < residual.size(); ++r) {
+      const std::size_t i = orig[r];
+      const Flow& fl = flows[i];
+      bool placed = false;
+      for (std::int32_t attempt = 0;
+           attempt < options.rounding.max_rounding_attempts && !placed;
+           ++attempt) {
+        ++out.rounding_attempts;
+        const Path& path = draw_path(relax.candidates[r], rng, weights);
+        if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+          commit(out, load, i, path, {{fl.span(), fl.density()}});
+          placed = true;
+        }
+      }
+      if (!placed) ++out.num_rejected;
+    }
+    lo = hi;
+  }
+  return out;
+}
+
+OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
+                           const PowerModel& model) {
+  validate_flows(g, flows);
+  OnlineResult out;
+  out.schedule.flows.resize(flows.size());
+  out.admitted.assign(flows.size(), false);
+  if (flows.empty()) return out;
+
+  const std::vector<std::size_t> order = arrival_order(flows);
+  const double capacity = model.capacity();
+
+  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+  std::vector<double> weights(static_cast<std::size_t>(g.num_edges()), 0.0);
+
+  double last_release = flows[order.front()].release - 1.0;
+  for (const std::size_t i : order) {
+    const Flow& fl = flows[i];
+    if (fl.release != last_release) {
+      ++out.num_events;
+      last_release = fl.release;
+    }
+    const double d = fl.density();
+
+    // The greedy baseline's routing rule against the committed load.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      weights[static_cast<std::size_t>(e)] = std::max(
+          marginal_energy(load[static_cast<std::size_t>(e)], fl.span(), d, model),
+          1e-12);
+    }
+    auto path = dijkstra_shortest_path(g, fl.src, fl.dst, weights);
+    DCN_ENSURES(path.has_value());
+
+    if (rate_fits(load, *path, fl.span(), d, capacity)) {
+      commit(out, load, i, std::move(*path), {{fl.span(), d}});
+      continue;
+    }
+
+    // EDF fallback: earliest remaining capacity on the same path.
+    std::vector<RateSegment> segments =
+        edf_fill(load, *path, fl.span(), fl.volume, capacity);
+    if (!segments.empty()) {
+      ++out.edf_fallbacks;
+      commit(out, load, i, std::move(*path), std::move(segments));
+    } else {
+      ++out.num_rejected;
+    }
+  }
+  return out;
+}
+
+}  // namespace dcn

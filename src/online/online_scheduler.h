@@ -1,0 +1,117 @@
+// Online rolling-horizon scheduling for DCFSR.
+//
+// The paper solves DCFSR with every flow known upfront, but its own
+// motivation — hard-deadline flows in production data centers — is
+// online: flows arrive over time and the schedule must be re-planned
+// without violating already-admitted deadlines (cf. RCD, DCoflow).
+// This module runs that regime as an event-driven loop over arrival
+// times:
+//
+//   * Arrivals with the same release time form one event batch.
+//   * At each event the residual problem is formed: every admitted,
+//     still-active flow contributes its remaining volume over
+//     [now, d_i]; flows transmit at their density, so the residual
+//     density equals the original density and committed rates never
+//     need revision (the Theorem 4 schedule, executed online).
+//   * Admission control: a batch (or, when joint admission fails, each
+//     arrival individually, in id order) is accepted iff a
+//     capacity-feasible schedule exists for the union of residual
+//     admitted demands and the new flow(s). Admitted flows are never
+//     preempted or rejected later; rejected flows are dropped at
+//     arrival (no partial service).
+//   * Paths are virtual circuits: committed at admission and held fixed
+//     through every later re-solve (a mid-flight path change is not
+//     representable — nor desirable — in the circuit model of
+//     Sec. III-A). Re-solves therefore re-optimize *routing of new
+//     arrivals* against a fractional re-optimization of everything in
+//     flight.
+//
+// Two policies:
+//
+//   online_dcfsr   On each event, re-solves the interval relaxation of
+//                  Algorithm 2 over the residual demands — warm-started
+//                  from the previous event's per-flow fractional flows
+//                  and reusing one RelaxationWorkspace across the whole
+//                  run, so a re-solve costs a fraction of a cold solve —
+//                  then draws the new arrivals' paths by randomized
+//                  rounding with admitted flows pinned to their
+//                  circuits. When every flow arrives at t = 0 this
+//                  degenerates to exactly offline Random-Schedule
+//                  (asserted by tests/online_differential_test.cc).
+//   online_greedy  No re-solve: each arrival is routed on the path of
+//                  minimum marginal energy against the committed load
+//                  (the greedy baseline's rule) and admitted at its
+//                  density rate when capacity allows; when the constant
+//                  density does not fit, an EDF-style fallback packs
+//                  the flow into the earliest remaining capacity on
+//                  that path, and the flow is rejected only when even
+//                  that cannot finish by the deadline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "dcfsr/random_schedule.h"
+#include "flow/flow.h"
+#include "graph/graph.h"
+#include "power/power_model.h"
+#include "schedule/schedule.h"
+
+namespace dcn {
+
+struct OnlineOptions {
+  /// Relaxation + rounding knobs of the per-event re-solve
+  /// (online_dcfsr only). The rounding attempt budget doubles as the
+  /// per-event admission budget.
+  RandomScheduleOptions rounding;
+};
+
+struct OnlineResult {
+  /// One entry per input flow: admitted flows carry their committed
+  /// path and rate segments, rejected flows are empty.
+  Schedule schedule;
+  std::vector<bool> admitted;
+
+  std::int32_t num_admitted = 0;
+  std::int32_t num_rejected = 0;
+  /// Distinct arrival times processed.
+  std::int32_t num_events = 0;
+
+  // online_dcfsr diagnostics.
+  std::int32_t resolves = 0;            // relaxation re-solves
+  std::int64_t fw_iterations = 0;       // total Frank-Wolfe iterations
+  std::int32_t rounding_attempts = 0;   // total rounding draws
+  std::int32_t batch_fallbacks = 0;     // events demoted to per-flow admission
+  /// LB of the first re-solve; equals the offline relaxation LB when
+  /// every flow arrives at the first event.
+  double first_lower_bound = 0.0;
+
+  // online_greedy diagnostics.
+  std::int32_t edf_fallbacks = 0;       // admissions via the EDF fill
+};
+
+/// Builds the flow subset selected by `admitted` with ids renumbered to
+/// positions, and the matching schedule rows — the replayable view of
+/// an online run (replay/packet-sim validate admitted flows only;
+/// rejected flows receive no service by design).
+[[nodiscard]] std::pair<std::vector<Flow>, Schedule> admitted_subset(
+    const std::vector<Flow>& flows, const Schedule& schedule,
+    const std::vector<bool>& admitted);
+
+/// Runs the online loop with per-event relaxation re-solves (see file
+/// comment). `rng` drives the randomized rounding; passing the offline
+/// dcfsr stream makes the all-arrivals-at-t=0 case bit-identical to
+/// offline Random-Schedule.
+[[nodiscard]] OnlineResult online_dcfsr(const Graph& g,
+                                        const std::vector<Flow>& flows,
+                                        const PowerModel& model, Rng& rng,
+                                        const OnlineOptions& options = {});
+
+/// Runs the greedy online loop: marginal-energy routing, density-rate
+/// admission with EDF fallback. Deterministic (no rng).
+[[nodiscard]] OnlineResult online_greedy(const Graph& g,
+                                         const std::vector<Flow>& flows,
+                                         const PowerModel& model);
+
+}  // namespace dcn

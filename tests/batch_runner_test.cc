@@ -102,6 +102,32 @@ TEST(BatchRunner, SparseRelaxationGridIsByteIdenticalAcrossJobs) {
   EXPECT_TRUE(serial.all_feasible());
 }
 
+TEST(BatchRunner, OnlineScenariosAreByteIdenticalAcrossJobs) {
+  // Determinism re-check for the online subsystem: arrival-driven
+  // scenarios (Poisson releases, heavy-tailed sizes) x online solvers
+  // (per-arrival warm-started re-solves, admission control at finite
+  // capacity) must stay a pure function of (scenario, seed, options) —
+  // no state may leak between cells or depend on worker interleaving.
+  BatchSpec spec;
+  spec.solvers = {"online_greedy", "online_dcfsr"};
+  spec.scenarios = {"fat_tree/poisson", "line/websearch", "leaf_spine/hadoop"};
+  spec.seeds = {1, 2};
+  spec.options.num_flows = 14;
+  spec.options.capacity = 3.0;  // finite: admission/fallback paths execute
+  spec.options.arrival_rate = 4.0;
+  spec.discard_schedules = true;
+  spec.jobs = 1;
+  const BatchResult serial =
+      run_batch(default_registry(), ScenarioSuite::default_suite(), spec);
+  spec.jobs = 8;
+  const BatchResult parallel =
+      run_batch(default_registry(), ScenarioSuite::default_suite(), spec);
+  EXPECT_EQ(serial.canonical(), parallel.canonical());
+  // Online outcomes are feasible-by-admission: every cell must replay
+  // its admitted subset cleanly even when it rejects flows.
+  EXPECT_TRUE(serial.all_feasible());
+}
+
 TEST(BatchRunner, ParallelOracleVariantIsByteIdenticalToDcfsr) {
   // dcfsr_mt differs from dcfsr only in how the Frank-Wolfe oracle is
   // scheduled (worker pool vs sequential); the outcome must be

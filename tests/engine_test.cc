@@ -16,14 +16,15 @@ namespace {
 
 TEST(SolverRegistry, DefaultRegistryCarriesEveryAlgorithm) {
   const SolverRegistry& registry = default_registry();
-  for (const char* name : {"mcf", "mcf_paper", "mcf_plain", "sp_mcf", "dcfsr",
-                           "dcfsr_mt", "ecmp_mcf", "greedy", "edf", "exact"}) {
+  for (const char* name :
+       {"mcf", "mcf_paper", "mcf_plain", "sp_mcf", "dcfsr", "dcfsr_mt",
+        "ecmp_mcf", "greedy", "edf", "exact", "online_dcfsr", "online_greedy"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     const std::unique_ptr<Solver> solver = registry.create(name);
     EXPECT_EQ(solver->name(), name);
     EXPECT_FALSE(solver->description().empty());
   }
-  EXPECT_EQ(registry.size(), 10u);
+  EXPECT_EQ(registry.size(), 12u);
 }
 
 TEST(SolverRegistry, UnknownSolverThrowsWithCatalogue) {
@@ -145,7 +146,8 @@ class SolverOutcomeTest : public ::testing::Test {
 
 TEST_F(SolverOutcomeTest, EveryDeterministicSolverIsReplayValidated) {
   const Instance instance = suite_.build("fat_tree/paper", 5, small_);
-  for (const char* name : {"mcf", "mcf_paper", "mcf_plain", "greedy", "edf"}) {
+  for (const char* name :
+       {"mcf", "mcf_paper", "mcf_plain", "greedy", "edf", "online_greedy"}) {
     const SolverOutcome out = default_registry().create(name)->solve(instance);
     EXPECT_TRUE(out.feasible) << name << ": " << out.first_issue;
     EXPECT_GT(out.energy, 0.0) << name;
@@ -156,7 +158,7 @@ TEST_F(SolverOutcomeTest, EveryDeterministicSolverIsReplayValidated) {
 
 TEST_F(SolverOutcomeTest, RandomizedSolversAreReplayValidatedAndDeterministic) {
   const Instance instance = suite_.build("fat_tree/paper", 5, small_);
-  for (const char* name : {"dcfsr", "ecmp_mcf"}) {
+  for (const char* name : {"dcfsr", "ecmp_mcf", "online_dcfsr"}) {
     const SolverOutcome a = default_registry().create(name)->solve(instance);
     const SolverOutcome b = default_registry().create(name)->solve(instance);
     EXPECT_TRUE(a.feasible) << name << ": " << a.first_issue;

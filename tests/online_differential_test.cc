@@ -1,0 +1,137 @@
+// Differential anchor of the online subsystem: when every flow arrives
+// at t = 0 the rolling-horizon loop degenerates to a single event whose
+// admission re-solve *is* offline Algorithm 2 — same relaxation, same
+// rng stream, same rounding accept/reject step — so online_dcfsr must
+// reproduce offline dcfsr exactly, on single-path (line) and multipath
+// (fat-tree) fabrics alike.
+//
+// This also covers the acceptance path end-to-end: the admitted
+// schedule of an online run on a Poisson fat-tree k=4 scenario is
+// pushed through the packet-level simulator and every admitted flow
+// must meet its deadline within the store-and-forward envelope.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/instance.h"
+#include "engine/registry.h"
+#include "engine/scenario.h"
+#include "engine/solver.h"
+#include "online/online_scheduler.h"
+#include "sim/packet_sim.h"
+#include "sim/replay.h"
+
+namespace dcn::engine {
+namespace {
+
+SolverOutcome run(const Instance& instance, const char* solver) {
+  return default_registry().create(solver)->solve(instance);
+}
+
+/// All-at-t=0 scenarios: incast and shuffle release every flow at the
+/// window start, so the whole instance arrives as one event batch.
+class OnlineDifferentialTest : public ::testing::Test {
+ protected:
+  const ScenarioSuite& suite_ = ScenarioSuite::default_suite();
+};
+
+TEST_F(OnlineDifferentialTest, MatchesOfflineDcfsrOnLine) {
+  ScenarioOptions options;
+  options.senders = 3;
+  const Instance instance = suite_.build("line/incast", 7, options);
+  const SolverOutcome offline = run(instance, "dcfsr");
+  const SolverOutcome online = run(instance, "online_dcfsr");
+  ASSERT_TRUE(offline.feasible) << offline.first_issue;
+  ASSERT_TRUE(online.feasible) << online.first_issue;
+  // One event, nothing rejected, and the identical schedule: energies
+  // agree to float identity, not merely to tolerance.
+  EXPECT_NEAR(online.energy, offline.energy, 1e-9 * offline.energy);
+  EXPECT_EQ(online.schedule.flows.size(), offline.schedule.flows.size());
+  for (std::size_t i = 0; i < online.schedule.flows.size(); ++i) {
+    EXPECT_EQ(online.schedule.flows[i].path, offline.schedule.flows[i].path);
+    EXPECT_EQ(online.schedule.flows[i].segments,
+              offline.schedule.flows[i].segments);
+  }
+}
+
+TEST_F(OnlineDifferentialTest, MatchesOfflineDcfsrOnFatTree) {
+  for (const char* spec : {"fat_tree/incast", "fat_tree/shuffle"}) {
+    const Instance instance = suite_.build(spec, 11);
+    const SolverOutcome offline = run(instance, "dcfsr");
+    const SolverOutcome online = run(instance, "online_dcfsr");
+    ASSERT_TRUE(offline.feasible) << spec << ": " << offline.first_issue;
+    ASSERT_TRUE(online.feasible) << spec << ": " << online.first_issue;
+    EXPECT_NEAR(online.energy, offline.energy, 1e-9 * offline.energy) << spec;
+    // The online run saw exactly one event and admitted everything.
+    for (const auto& [key, value] : online.stats) {
+      if (key == "events") {
+        EXPECT_EQ(value, 1.0) << spec;
+      } else if (key == "rejected") {
+        EXPECT_EQ(value, 0.0) << spec;
+      } else if (key == "admitted") {
+        EXPECT_EQ(value, static_cast<double>(instance.flows().size())) << spec;
+      } else if (key == "first_lb") {
+        // The single re-solve's LB is the offline relaxation LB.
+        EXPECT_NEAR(value, offline.lower_bound, 1e-9 * offline.lower_bound)
+            << spec;
+      }
+    }
+  }
+}
+
+TEST_F(OnlineDifferentialTest, StaggeredArrivalsStillServeEveryAdmittedFlow) {
+  // Genuinely online input (Poisson releases) on the paper's k=4
+  // fat-tree: at least one flow admitted, and the admitted subset
+  // replays cleanly — this is the dcn_run acceptance scenario in
+  // library form.
+  ScenarioOptions options;
+  options.num_flows = 16;
+  options.capacity = 4.0;
+  const Instance instance = suite_.build("fat_tree/poisson", 1, options);
+  const SolverOutcome online = run(instance, "online_dcfsr");
+  ASSERT_TRUE(online.feasible) << online.first_issue;
+
+  double admitted = 0.0;
+  for (const auto& [key, value] : online.stats) {
+    if (key == "admitted") admitted = value;
+  }
+  EXPECT_GE(admitted, 1.0);
+}
+
+TEST_F(OnlineDifferentialTest, AdmittedFlowsMeetDeadlinesInPacketReplay) {
+  // End-to-end: online admission -> fluid schedule -> packet-level
+  // store-and-forward simulation. Every admitted flow's last packet
+  // must arrive within the pipeline-fill envelope of its deadline.
+  ScenarioOptions options;
+  options.num_flows = 12;
+  options.capacity = 4.0;
+  const Instance instance = suite_.build("fat_tree/poisson", 2, options);
+
+  for (const char* solver : {"online_dcfsr", "online_greedy"}) {
+    const SolverOutcome out = run(instance, solver);
+    ASSERT_TRUE(out.feasible) << solver << ": " << out.first_issue;
+
+    std::vector<bool> admitted(instance.flows().size());
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < instance.flows().size(); ++i) {
+      admitted[i] = !out.schedule.flows[i].segments.empty();
+      count += admitted[i] ? 1u : 0u;
+    }
+    ASSERT_GE(count, 1u) << solver;
+
+    const auto [sub_flows, sub_schedule] =
+        admitted_subset(instance.flows(), out.schedule, admitted);
+    const ReplayReport replay = replay_schedule(
+        instance.graph(), sub_flows, sub_schedule, instance.model());
+    ASSERT_TRUE(replay.ok) << solver << ": "
+                           << (replay.issues.empty() ? "" : replay.issues[0]);
+
+    const PacketSimReport packets =
+        packet_simulate(instance.graph(), sub_flows, sub_schedule);
+    EXPECT_TRUE(packets.all_deadlines_met) << solver;
+    EXPECT_EQ(packets.packets_starved, 0) << solver;
+  }
+}
+
+}  // namespace
+}  // namespace dcn::engine

@@ -35,6 +35,7 @@
 #include "graph/sparse_flow.h"
 #include "mcf/interval_decomposition.h"
 #include "mcf/relaxation.h"
+#include "online/online_scheduler.h"
 #include "opt/convex_mcf.h"
 #include "opt/line_search.h"
 #include "power/power_model.h"

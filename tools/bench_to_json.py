@@ -62,9 +62,27 @@ def convert(raw: dict, exclude: str | None = None) -> dict:
     }
 
 
-def compare(old: dict, new: dict) -> int:
+def compare(old: dict, new: dict, fail_over: list[str]) -> int:
+    """Prints per-case speedups; returns 1 when a --fail-over gate trips.
+
+    Each gate is "REGEX:PCT": any case in `new` matching REGEX that also
+    exists in `old` fails the comparison when its real time regressed by
+    more than PCT percent.
+    """
+    gates = []
+    for spec in fail_over:
+        pattern, sep, pct = spec.rpartition(":")
+        try:
+            threshold = float(pct)
+        except ValueError:
+            threshold = None
+        if not sep or not pattern or threshold is None:
+            raise SystemExit(f"--fail-over expects REGEX:PCT, got {spec!r}")
+        gates.append([re.compile(pattern), threshold, 0])
+
     old_points = {p["name"]: p for p in old["points"]}
     width = max((len(n) for n in old_points), default=0) + 2
+    failed = 0
     for point in new["points"]:
         name = point["name"]
         if name not in old_points:
@@ -73,11 +91,27 @@ def compare(old: dict, new: dict) -> int:
         before = old_points[name]["real_time_ms"]
         after = point["real_time_ms"]
         speedup = before / after if after > 0 else float("inf")
+        verdict = ""
+        for gate in gates:
+            pattern, pct, _ = gate
+            if not pattern.search(name):
+                continue
+            gate[2] += 1
+            if after > before * (1.0 + pct / 100.0):
+                verdict = f"   REGRESSED >{pct:g}%"
+                failed = 1
         print(
             f"{name:{width}s} {before:12.2f} ms -> {after:12.2f} ms"
-            f"   {speedup:6.2f}x"
+            f"   {speedup:6.2f}x{verdict}"
         )
-    return 0
+    # A gate that matched nothing is a silently-vanished gate (renamed
+    # case, over-narrow benchmark filter): fail loudly instead.
+    for pattern, _, matches in gates:
+        if matches == 0:
+            print(f"--fail-over gate '{pattern.pattern}' matched no compared case",
+                  file=sys.stderr)
+            failed = 1
+    return failed
 
 
 def main() -> int:
@@ -94,6 +128,15 @@ def main() -> int:
         help="drop cases matching REGEX from the snapshot (e.g. parallel-oracle "
         "cases when capturing on a single-core host)",
     )
+    parser.add_argument(
+        "--fail-over",
+        metavar="REGEX:PCT",
+        action="append",
+        default=[],
+        help="with --compare: exit 1 when a case matching REGEX regressed by "
+        "more than PCT percent (repeatable; CI gates the headline solver "
+        "case with this)",
+    )
     args = parser.parse_args()
 
     if args.compare:
@@ -107,7 +150,7 @@ def main() -> int:
             if snap.get("schema") != SCHEMA:
                 parser.error("--compare expects BENCH_*.json snapshots "
                              f"(schema {SCHEMA})")
-        return compare(old, new)
+        return compare(old, new, args.fail_over)
 
     if len(args.files) != 1:
         parser.error("conversion takes exactly one google-benchmark JSON file")

@@ -18,11 +18,15 @@
 //   --seed n           single seed                        [1]
 //   --seeds a,b,..     seed list (overrides --seed)
 //   --jobs n           worker threads                     [1]
-//   --flows n          flow count (paper/slack/permutation)
+//   --flows n          flow count (paper/slack/permutation/online)
 //   --alpha x          power exponent                     [2]
 //   --sigma x          idle power                         [0]
 //   --senders n        incast fan-in                      [8]
 //   --volume x         per-flow volume (pattern workloads)
+//   --rate x           Poisson arrival rate (poisson/websearch/hadoop) [2]
+//   --slack x          deadline looseness (slack/online workloads) [2]
+//   --capacity x       link capacity; finite values make the online
+//                      solvers' admission control bite    [inf]
 //   --verbose          per-cell canonical lines
 //   --canonical        dump the full canonical result (for diffing)
 //   --list             list solvers and scenarios, then exit
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
   spec.options.senders = static_cast<std::int32_t>(
       args.get_int("senders", spec.options.senders));
   spec.options.volume = args.get_double("volume", spec.options.volume);
+  spec.options.arrival_rate = args.get_double("rate", spec.options.arrival_rate);
+  spec.options.slack = args.get_double("slack", spec.options.slack);
+  spec.options.capacity = args.get_double("capacity", spec.options.capacity);
   spec.discard_schedules = true;
 
   const bool canonical = args.has_flag("canonical");
