@@ -204,6 +204,68 @@ BENCHMARK(BM_SolveRelaxationParallelOracle)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// The online scheduler's hot path: a warm-started incremental re-solve
+// after one mouse arrival, from the carried rows of a tighter prior
+// solve (the regime of tests/online_warm_start_test.cc at fleet
+// scale). The Classic/Pairwise pair is the step_rule A/B: classic pays
+// the last-mile shedding stall on every re-solve, pairwise moves only
+// the mass the arrival displaced. Args are {fat-tree k, num_flows}.
+void warm_resolve_bench(benchmark::State& state, FrankWolfeStepRule rule) {
+  const auto k = static_cast<int>(state.range(0));
+  const auto n = static_cast<int>(state.range(1));
+  const Topology topo = fat_tree(k);
+  Rng rng(37);
+  PaperWorkloadParams params;
+  params.num_flows = n;
+  auto flows = paper_workload(topo, params, rng);
+  const PowerModel model = PowerModel::pure_speed_scaling(2.0);
+
+  RelaxationOptions tight;
+  tight.frank_wolfe.max_iterations = 30;
+  tight.frank_wolfe.gap_tolerance = 1e-3;
+  RelaxationWorkspace workspace;
+  const FractionalRelaxation prior =
+      solve_relaxation(topo.graph(), flows, model, tight, &workspace);
+
+  Flow arrival = flows.back();
+  arrival.id = static_cast<FlowId>(flows.size());
+  arrival.volume *= 0.05;
+  flows.push_back(arrival);
+  std::vector<SparseEdgeFlow> warm_rows = prior.final_flow;
+  warm_rows.emplace_back();  // the arrival starts cold
+
+  RelaxationOptions budget;
+  budget.frank_wolfe.max_iterations = 15;
+  budget.frank_wolfe.gap_tolerance = 2e-3;
+  budget.frank_wolfe.step_rule = rule;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    const FractionalRelaxation warm = solve_relaxation(
+        topo.graph(), flows, model, budget, &workspace, &warm_rows);
+    iterations += warm.total_fw_iterations;
+    benchmark::DoNotOptimize(warm.lower_bound_energy);
+  }
+  state.counters["fw_iterations"] =
+      benchmark::Counter(static_cast<double>(iterations));
+  state.SetComplexityN(n);
+}
+
+void BM_SolveRelaxationWarmClassic(benchmark::State& state) {
+  warm_resolve_bench(state, FrankWolfeStepRule::kClassic);
+}
+BENCHMARK(BM_SolveRelaxationWarmClassic)
+    ->Args({8, 400})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolveRelaxationWarmPairwise(benchmark::State& state) {
+  warm_resolve_bench(state, FrankWolfeStepRule::kPairwise);
+}
+BENCHMARK(BM_SolveRelaxationWarmPairwise)
+    ->Args({8, 400})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RandomScheduleFull(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   const Topology topo = fat_tree(8);

@@ -5,9 +5,15 @@
 // offered flows, replayed energy over the admitted subset, relaxation
 // re-solves and total Frank-Wolfe iterations (online_dcfsr — the
 // warm-start effectiveness signal: iterations per re-solve stays near
-// the per-interval floor when warm starts hit), EDF-fallback admissions
-// (online_greedy), and wall-clock. Every cell is replay-validated by
-// the engine before it is counted.
+// the per-interval floor when warm starts hit), departures-fast-path
+// gap checks, EDF-fallback admissions (online_greedy), and wall-clock.
+// Every cell is replay-validated by the engine before it is counted.
+//
+// online_dcfsr_id is the built-in A/B baseline: the legacy online
+// configuration (id-order per-flow admission instead of RCD-style
+// deadline-then-density, classic warm re-solve steps instead of
+// pairwise, no departures fast path), so the admit% and fw_iters
+// columns read directly as the win of this configuration.
 //
 // Flags: --rates a,b,..  arrival rates to sweep     [0.5,1,2,4,8]
 //        --runs n        seeds per (rate, solver)   [3]
@@ -27,7 +33,8 @@ int main(int argc, char** argv) {
   using namespace dcn::engine;
   const bench::Args args(argc, argv);
 
-  const std::vector<std::string> solvers = {"online_greedy", "online_dcfsr"};
+  const std::vector<std::string> solvers = {"online_greedy", "online_dcfsr",
+                                            "online_dcfsr_id"};
   std::vector<double> rates;
   for (const std::string& r : args.get_list("rates", {"0.5", "1", "2", "4", "8"})) {
     rates.push_back(std::stod(r));
@@ -52,8 +59,9 @@ int main(int argc, char** argv) {
               scenario.c_str(), spec.options.num_flows, runs,
               spec.options.capacity);
   bench::rule();
-  std::printf("%6s  %-14s %9s %12s %9s %9s %9s %9s\n", "rate", "solver",
-              "admit%", "energy", "resolves", "fw_iters", "edf_fb", "ms");
+  std::printf("%6s  %-16s %9s %12s %9s %9s %9s %9s %9s\n", "rate", "solver",
+              "admit%", "energy", "resolves", "fw_iters", "gapchk", "edf_fb",
+              "ms");
 
   for (const double rate : rates) {
     spec.options.arrival_rate = rate;
@@ -68,7 +76,7 @@ int main(int argc, char** argv) {
     // Aggregate per solver over the seeds.
     struct Row {
       double admitted = 0, offered = 0, energy = 0, resolves = 0, fw = 0,
-             edf = 0, ms = 0;
+             gap_checks = 0, edf = 0, ms = 0;
       int cells = 0;
       bool ok = true;
     };
@@ -87,19 +95,21 @@ int main(int argc, char** argv) {
         if (key == "admitted") row.admitted += value;
         if (key == "resolves") row.resolves += value;
         if (key == "fw_iterations") row.fw += value;
+        if (key == "departure_gap_checks") row.gap_checks += value;
         if (key == "edf_fallbacks") row.edf += value;
       }
     }
     for (const std::string& solver : solvers) {
       const Row& row = rows[solver];
       if (!row.ok) {
-        std::printf("%6g  %-14s %9s\n", rate, solver.c_str(), "FAILED");
+        std::printf("%6g  %-16s %9s\n", rate, solver.c_str(), "FAILED");
         continue;
       }
-      std::printf("%6g  %-14s %8.1f%% %12.1f %9.0f %9.0f %9.0f %9.0f\n", rate,
-                  solver.c_str(),
+      std::printf("%6g  %-16s %8.1f%% %12.1f %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                  rate, solver.c_str(),
                   row.offered > 0 ? 100.0 * row.admitted / row.offered : 0.0,
-                  row.energy, row.resolves, row.fw, row.edf, row.ms);
+                  row.energy, row.resolves, row.fw, row.gap_checks, row.edf,
+                  row.ms);
     }
   }
   return 0;

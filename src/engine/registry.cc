@@ -90,6 +90,18 @@ const SolverRegistry& default_registry() {
       options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
       return std::make_unique<OnlineDcfsrSolver>(options);
     });
+    // Legacy id-order admission fallback (classic warm steps too):
+    // the A/B baseline bench_online compares the RCD-style order and
+    // pairwise warm re-solves against.
+    r.add("online_dcfsr_id", [] {
+      OnlineOptions options;
+      options.rounding.relaxation.frank_wolfe.max_iterations = 15;
+      options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      options.warm_step_rule = FrankWolfeStepRule::kClassic;
+      options.fallback_order = FallbackAdmissionOrder::kFlowId;
+      options.departures_fast_path = false;
+      return std::make_unique<OnlineDcfsrSolver>(options, "online_dcfsr_id");
+    });
     r.add("online_greedy", [] { return std::make_unique<OnlineGreedySolver>(); });
     return r;
   }();

@@ -201,8 +201,8 @@ SolverOutcome ExactSolver::solve(const Instance& instance) const {
 // ---------------------------------------------------------------------------
 // OnlineDcfsrSolver
 
-OnlineDcfsrSolver::OnlineDcfsrSolver(OnlineOptions options)
-    : options_(options) {}
+OnlineDcfsrSolver::OnlineDcfsrSolver(OnlineOptions options, std::string name)
+    : options_(options), name_(std::move(name)) {}
 
 SolverOutcome OnlineDcfsrSolver::solve(const Instance& instance) const {
   // Keyed to the offline algorithm's stream: the all-arrivals-at-t=0
@@ -215,6 +215,8 @@ SolverOutcome OnlineDcfsrSolver::solve(const Instance& instance) const {
       {"fw_iterations", static_cast<double>(r.fw_iterations)},
       {"rounding_attempts", static_cast<double>(r.rounding_attempts)},
       {"batch_fallbacks", static_cast<double>(r.batch_fallbacks)},
+      {"departure_gap_checks", static_cast<double>(r.departure_gap_checks)},
+      {"gap_check_iterations", static_cast<double>(r.gap_check_iterations)},
       {"first_lb", r.first_lower_bound}};
   SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
   out.stats.insert(out.stats.end(), extra.begin(), extra.end());

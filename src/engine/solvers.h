@@ -135,9 +135,13 @@ class ExactSolver final : public Solver {
 /// test's anchor).
 class OnlineDcfsrSolver final : public Solver {
  public:
-  explicit OnlineDcfsrSolver(OnlineOptions options = {});
+  /// `name` distinguishes registered option variants (the registry's
+  /// "online_dcfsr_id" keeps the legacy id-order admission fallback
+  /// for A/B runs); the rng stays keyed to "dcfsr" regardless.
+  explicit OnlineDcfsrSolver(OnlineOptions options = {},
+                             std::string name = "online_dcfsr");
 
-  [[nodiscard]] std::string name() const override { return "online_dcfsr"; }
+  [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::string description() const override {
     return "online arrivals: admission control + warm-started relaxation "
            "re-solve per arrival";
@@ -146,6 +150,7 @@ class OnlineDcfsrSolver final : public Solver {
 
  private:
   OnlineOptions options_;
+  std::string name_;
 };
 
 /// Online greedy admission: marginal-energy routing at density rates

@@ -95,8 +95,10 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
       problem.commodities.push_back({fl.src, fl.dst, fl.density()});
     }
 
-    // Warm start: reuse each flow's previous sparse flow; new flows
-    // start on the cheapest path under the empty-network marginal cost,
+    // Warm start: reuse each flow's previous sparse flow (under the
+    // pairwise step rule the solver decomposes these rows into the
+    // path atoms that seed its active sets); new flows start on the
+    // cheapest path under the empty-network marginal cost,
     // batched so new flows sharing a source share one Dijkstra sweep.
     // The rows are always passed to the solver — for an all-new
     // interval they equal the solver's own cold-start point, so handing

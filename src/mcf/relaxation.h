@@ -42,6 +42,12 @@ struct FlowCandidates {
 };
 
 struct RelaxationOptions {
+  /// Frank-Wolfe knobs, including the step rule: the default classic
+  /// rule keeps offline dcfsr byte-identical across releases, while
+  /// kPairwise is the warm-re-solve repair — each interval's warm rows
+  /// (the previous interval's solution, or the caller's carried rows)
+  /// seed the per-commodity active sets the pairwise steps move mass
+  /// between. See FrankWolfeStepRule.
   FrankWolfeOptions frank_wolfe;
   /// Tolerance passed to the path decomposition.
   double decomposition_tolerance = 1e-9;

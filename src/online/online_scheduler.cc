@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
@@ -155,11 +156,61 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   // per-flow admission fallback.
   std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
 
+  double prev_event = -std::numeric_limits<double>::infinity();
   for (std::size_t lo = 0; lo < order.size();) {
     const double now = flows[order[lo]].release;
     std::size_t hi = lo;
     while (hi < order.size() && flows[order[hi]].release == now) ++hi;
     ++out.num_events;
+
+    // Departures-only fast path. Admitted flows that completed
+    // strictly inside (prev_event, now] changed the carried problem by
+    // removal only: the surviving warm rows stay feasible and close to
+    // optimal, so a full relaxation at the completion point would be
+    // wasted. Instead the latest completion time gets a single gap
+    // check — a one-iteration warm re-solve that certifies the rows
+    // when they are still within tolerance and otherwise sheds one
+    // step of mass onto the capacity the departures freed — so this
+    // event's full re-solve starts from rows adapted to the
+    // post-departure network.
+    if (options.departures_fast_path && std::isfinite(prev_event)) {
+      double depart = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (!out.admitted[i]) continue;
+        const double d = flows[i].deadline;
+        if (d > prev_event && d <= now && d > depart) depart = d;
+      }
+      if (std::isfinite(depart)) {
+        std::vector<Flow> survivors;
+        std::vector<std::size_t> surviving;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          if (!out.admitted[i] || flows[i].deadline <= depart) continue;
+          Flow res = flows[i];
+          res.id = static_cast<FlowId>(survivors.size());
+          res.release = depart;
+          res.volume = flows[i].density() * (flows[i].deadline - depart);
+          survivors.push_back(res);
+          surviving.push_back(i);
+        }
+        if (!survivors.empty()) {
+          std::vector<SparseEdgeFlow> gap_rows(survivors.size());
+          for (std::size_t r = 0; r < survivors.size(); ++r) {
+            gap_rows[r] = warm[surviving[r]];
+          }
+          RelaxationOptions gap_options = options.rounding.relaxation;
+          gap_options.frank_wolfe.max_iterations = 1;
+          gap_options.frank_wolfe.step_rule = options.warm_step_rule;
+          FractionalRelaxation check = solve_relaxation(
+              g, survivors, model, gap_options, &workspace, &gap_rows);
+          ++out.departure_gap_checks;
+          out.gap_check_iterations += check.total_fw_iterations;
+          for (std::size_t r = 0; r < survivors.size(); ++r) {
+            warm[surviving[r]] = std::move(check.final_flow[r]);
+          }
+        }
+      }
+    }
+    prev_event = now;
 
     // Residual problem: admitted flows still in flight (at their
     // original densities — the density schedule leaves the residual
@@ -186,14 +237,24 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       forced.push_back(nullptr);
     }
 
-    // Warm-started incremental re-solve over the shifted horizon.
+    // Warm-started incremental re-solve over the shifted horizon. With
+    // warm mass carried (any admitted flow still in flight) the solve
+    // steps with the warm rule — pairwise Frank-Wolfe sheds the rows'
+    // mass that the arrivals made suboptimal in a handful of steps —
+    // while an all-new event (the first one in particular) keeps the
+    // configured rule, so the all-at-t=0 case stays bit-identical to
+    // offline dcfsr.
     std::vector<SparseEdgeFlow> warm_rows(residual.size());
     for (std::size_t r = 0; r < residual.size(); ++r) {
       warm_rows[r] = warm[orig[r]];
     }
-    FractionalRelaxation relax =
-        solve_relaxation(g, residual, model, options.rounding.relaxation,
-                         &workspace, &warm_rows);
+    RelaxationOptions relax_options = options.rounding.relaxation;
+    if (first_new > 0) {
+      relax_options.frank_wolfe.step_rule = options.warm_step_rule;
+    }
+    FractionalRelaxation relax = solve_relaxation(g, residual, model,
+                                                  relax_options, &workspace,
+                                                  &warm_rows);
     ++out.resolves;
     out.fw_iterations += relax.total_fw_iterations;
     if (out.resolves == 1) out.first_lower_bound = relax.lower_bound_energy;
@@ -218,12 +279,33 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     }
 
     // Joint admission failed within the attempt budget: fall back to
-    // admitting the batch one flow at a time (id order), each against
-    // the committed load only — so one unroutable elephant cannot veto
-    // an entire batch of mice.
+    // admitting the batch one flow at a time, each against the
+    // committed load only — so one unroutable elephant cannot veto an
+    // entire batch of mice. The default order is RCD-style
+    // close-to-deadline first (ties: denser first, then id): urgent,
+    // hard-to-place flows draw their paths while the committed load is
+    // lightest, instead of whichever flows happened to get low ids.
     ++out.batch_fallbacks;
-    std::vector<double> weights;
+    std::vector<std::size_t> fallback_order;
     for (std::size_t r = first_new; r < residual.size(); ++r) {
+      fallback_order.push_back(r);
+    }
+    if (options.fallback_order == FallbackAdmissionOrder::kDeadlineDensity) {
+      std::sort(fallback_order.begin(), fallback_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Flow& fa = flows[orig[a]];
+                  const Flow& fb = flows[orig[b]];
+                  if (fa.deadline != fb.deadline) {
+                    return fa.deadline < fb.deadline;
+                  }
+                  if (fa.density() != fb.density()) {
+                    return fa.density() > fb.density();
+                  }
+                  return fa.id < fb.id;
+                });
+    }
+    std::vector<double> weights;
+    for (const std::size_t r : fallback_order) {
       const std::size_t i = orig[r];
       const Flow& fl = flows[i];
       bool placed = false;

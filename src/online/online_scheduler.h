@@ -14,11 +14,12 @@
 //     density equals the original density and committed rates never
 //     need revision (the Theorem 4 schedule, executed online).
 //   * Admission control: a batch (or, when joint admission fails, each
-//     arrival individually, in id order) is accepted iff a
-//     capacity-feasible schedule exists for the union of residual
-//     admitted demands and the new flow(s). Admitted flows are never
-//     preempted or rejected later; rejected flows are dropped at
-//     arrival (no partial service).
+//     arrival individually, closest deadline first — RCD-style, see
+//     FallbackAdmissionOrder) is accepted iff a capacity-feasible
+//     schedule exists for the union of residual admitted demands and
+//     the new flow(s). Admitted flows are never preempted or rejected
+//     later; rejected flows are dropped at arrival (no partial
+//     service).
 //   * Paths are virtual circuits: committed at admission and held fixed
 //     through every later re-solve (a mid-flight path change is not
 //     representable — nor desirable — in the circuit model of
@@ -30,14 +31,19 @@
 //
 //   online_dcfsr   On each event, re-solves the interval relaxation of
 //                  Algorithm 2 over the residual demands — warm-started
-//                  from the previous event's per-flow fractional flows
-//                  and reusing one RelaxationWorkspace across the whole
+//                  from the previous event's per-flow fractional flows,
+//                  stepping with pairwise Frank-Wolfe whenever warm
+//                  mass is carried (OnlineOptions::warm_step_rule), and
+//                  reusing one RelaxationWorkspace across the whole
 //                  run, so a re-solve costs a fraction of a cold solve —
 //                  then draws the new arrivals' paths by randomized
 //                  rounding with admitted flows pinned to their
-//                  circuits. When every flow arrives at t = 0 this
-//                  degenerates to exactly offline Random-Schedule
-//                  (asserted by tests/online_differential_test.cc).
+//                  circuits. Completions between arrivals take the
+//                  departures-only fast path (a single gap check) in
+//                  place of a full relaxation. When every flow arrives
+//                  at t = 0 this degenerates to exactly offline
+//                  Random-Schedule (asserted by
+//                  tests/online_differential_test.cc).
 //   online_greedy  No re-solve: each arrival is routed on the path of
 //                  minimum marginal energy against the committed load
 //                  (the greedy baseline's rule) and admitted at its
@@ -60,11 +66,40 @@
 
 namespace dcn {
 
+/// Order in which the per-flow admission fallback tries an arrival
+/// batch after joint batch admission fails.
+enum class FallbackAdmissionOrder : std::int32_t {
+  /// Closest deadline first, then higher density, then id — the
+  /// RCD-style urgency order (Noormohammadpour et al.): urgent, hard-
+  /// to-place flows draw their paths while the committed load is
+  /// lightest, instead of burning the batch's admission budget on
+  /// whichever flows happened to get low ids.
+  kDeadlineDensity = 0,
+  /// Ascending flow id (the historical order; kept for A/B runs).
+  kFlowId = 1,
+};
+
 struct OnlineOptions {
   /// Relaxation + rounding knobs of the per-event re-solve
   /// (online_dcfsr only). The rounding attempt budget doubles as the
   /// per-event admission budget.
   RandomScheduleOptions rounding;
+  /// Step rule for re-solves that carry warm mass (at least one
+  /// admitted flow still in flight). Pairwise Frank-Wolfe sheds the
+  /// mass an arrival made suboptimal in a handful of steps; events
+  /// with nothing carried (the first event in particular) always use
+  /// the configured rounding.relaxation rule, which keeps the
+  /// all-at-t=0 degenerate case bit-identical to offline dcfsr.
+  FrankWolfeStepRule warm_step_rule = FrankWolfeStepRule::kPairwise;
+  /// Per-flow admission order after a failed joint batch admission.
+  FallbackAdmissionOrder fallback_order = FallbackAdmissionOrder::kDeadlineDensity;
+  /// Departures-only fast path: when admitted flows completed strictly
+  /// between two arrival events, the carried problem changed by
+  /// removal only and the remaining warm rows stay feasible — instead
+  /// of a full relaxation the completion point gets a single gap check
+  /// (a one-iteration warm re-solve) that certifies the rows or
+  /// improves them one step against the freed capacity.
+  bool departures_fast_path = true;
 };
 
 struct OnlineResult {
@@ -79,10 +114,17 @@ struct OnlineResult {
   std::int32_t num_events = 0;
 
   // online_dcfsr diagnostics.
-  std::int32_t resolves = 0;            // relaxation re-solves
+  std::int32_t resolves = 0;            // full relaxation re-solves
   std::int64_t fw_iterations = 0;       // total Frank-Wolfe iterations
   std::int32_t rounding_attempts = 0;   // total rounding draws
   std::int32_t batch_fallbacks = 0;     // events demoted to per-flow admission
+  /// Departures-only fast path: completion windows handled by a single
+  /// gap check instead of a full relaxation, and the (one-per-interval)
+  /// Frank-Wolfe iterations those checks spent — kept out of
+  /// fw_iterations so the warm-start economy of the full re-solves
+  /// stays directly comparable across runs.
+  std::int32_t departure_gap_checks = 0;
+  std::int64_t gap_check_iterations = 0;
   /// LB of the first re-solve; equals the offline relaxation LB when
   /// every flow arrives at the first event.
   double first_lower_bound = 0.0;

@@ -12,6 +12,21 @@ namespace dcn {
 
 namespace {
 
+/// Adds `delta` mass to the active-set atom carrying exactly `edges`,
+/// appending a new atom when the path is not active yet. Both step
+/// rules funnel their target-path bookkeeping through here so the
+/// active-set semantics cannot diverge between them.
+void merge_into_atoms(std::vector<ConvexMcfWorkspace::PathAtom>& atoms,
+                      const std::vector<EdgeId>& edges, double delta) {
+  for (ConvexMcfWorkspace::PathAtom& atom : atoms) {
+    if (atom.edges == edges) {
+      atom.weight += delta;
+      return;
+    }
+  }
+  atoms.push_back({edges, delta});
+}
+
 /// Sorts (src, commodity) pairs so commodities sharing a source form a
 /// contiguous run; the index tie-break keeps the order deterministic.
 void group_by_source(const std::vector<Commodity>& commodities,
@@ -65,6 +80,12 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
     ws.y_mark_.assign(num_edges, 0);
     ws.x_generation_ = 0;
     ws.y_generation_ = 0;
+  }
+  const bool pairwise = options.step_rule == FrankWolfeStepRule::kPairwise;
+  if (pairwise && ws.dir_mark_.size() != num_edges) {
+    ws.direction_.assign(num_edges, 0.0);
+    ws.dir_mark_.assign(num_edges, 0);
+    ws.dir_generation_ = 0;
   }
   ws.clean_ = false;
 
@@ -152,7 +173,9 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   // cost — which is exactly the clean workspace weights vector.
   std::vector<SparseEdgeFlow>& rows = sol.commodity_flow;
   rows.assign(num_commodities, {});
+  bool warm_rows = false;
   if (warm_start != nullptr && warm_start->size() == num_commodities) {
+    warm_rows = true;
     for (std::size_t c = 0; c < num_commodities; ++c) {
       for (const auto& [e, v] : (*warm_start)[c]) {
         DCN_EXPECTS(g.valid_edge(e));
@@ -167,6 +190,41 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
       }
     }
   }
+
+  // Pairwise mode: seed each commodity's active set. A warm row is a
+  // convex combination of paths (the solver's own output shape), so the
+  // Raghavan-Tompson extraction recovers its atoms; the row is then
+  // rebuilt from the atoms so the atom representation and the edge flow
+  // agree to the last bit (the extraction discards residual float
+  // dust). Cold rows are a single cheapest-path atom already. An empty
+  // row leaves an empty active set, and that commodity simply rides
+  // the classic fallback steps.
+  std::vector<std::vector<ConvexMcfWorkspace::PathAtom>>& atoms = ws.atoms_;
+  if (pairwise) {
+    atoms.assign(num_commodities, {});
+    for (std::size_t c = 0; c < num_commodities; ++c) {
+      if (rows[c].empty()) continue;
+      const Commodity& com = problem.commodities[c];
+      if (warm_rows) {
+        const std::vector<WeightedPath> paths =
+            decompose_flow_sparse(g, com.src, com.dst, rows[c], com.demand,
+                                  1e-9, &ws.atom_seed_);
+        atoms[c].reserve(paths.size());
+        rows[c].clear();
+        for (const WeightedPath& wp : paths) {
+          const double mass = wp.weight * com.demand;
+          atoms[c].push_back({wp.path.edges, mass});
+          for (const EdgeId e : wp.path.edges) {
+            sparse_flow_add(rows[c], e, mass);
+          }
+        }
+        std::sort(rows[c].begin(), rows[c].end());
+      } else {
+        atoms[c].push_back({ws.target_paths_[c].edges, com.demand});
+      }
+    }
+  }
+
   for (std::size_t c = 0; c < num_commodities; ++c) {
     for (const auto& [e, v] : rows[c]) {
       sol.total_flow[static_cast<std::size_t>(e)] += v;
@@ -256,55 +314,181 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
       break;
     }
 
-    // Step size by golden section on the convex restriction, evaluated
-    // only where x and y differ.
-    const double gamma = golden_section_minimize(
-        [&](double t) {
-          double c = line_constant;
-          for (const auto& [xe, ye] : ws.line_search_diff_) {
-            const double v = (1.0 - t) * xe + t * ye;
-            if (v > 1e-15) c += problem.cost(v);
+    // Pairwise sweep: one block-coordinate pass over the commodities.
+    // Each commodity picks the worst active atom under the current
+    // marginal costs as its away vertex and shifts mass from it onto
+    // the cheapest path, with its own exact line search over the two
+    // paths' edge difference (t = 1 drains the away atom — the drop
+    // step). Marginal costs are refreshed on the touched edges after
+    // every sub-step, so later commodities in the sweep see the moved
+    // mass, and each sub-step minimizes the true objective along its
+    // direction — the sweep decreases the objective monotonically,
+    // which is what lets misplaced warm mass leave in a handful of
+    // steps while well-placed commodities sit the sweep out (exactly
+    // what the classic joint step cannot do).
+    bool stepped = false;
+    if (pairwise) {
+      auto path_cost = [&ws](const std::vector<EdgeId>& edges) {
+        double total = 0.0;
+        for (const EdgeId e : edges) {
+          total += ws.weights_[static_cast<std::size_t>(e)];
+        }
+        return total;
+      };
+      const auto old_support = static_cast<std::ptrdiff_t>(ws.x_support_.size());
+      for (std::size_t c = 0; c < num_commodities; ++c) {
+        if (atoms[c].empty()) continue;
+        double worst = -1.0;
+        std::size_t away = 0;
+        for (std::size_t a = 0; a < atoms[c].size(); ++a) {
+          const double cost_a = path_cost(atoms[c][a].edges);
+          if (cost_a > worst) {
+            worst = cost_a;
+            away = a;
           }
-          return c;
-        },
-        0.0, 1.0, 1e-6);
-    if (gamma <= 1e-12) {  // no further progress possible
-      clear_targets();
-      break;
+        }
+        if (worst <= path_cost(ws.target_paths_[c].edges)) continue;
+
+        // The commodity's pairwise direction: its full away mass moves
+        // to the cheapest path; edges shared by both cancel.
+        ++ws.dir_generation_;
+        ws.dir_support_.clear();
+        auto touch_dir = [&ws](EdgeId e, double delta) {
+          const auto i = static_cast<std::size_t>(e);
+          if (ws.dir_mark_[i] != ws.dir_generation_) {
+            ws.dir_mark_[i] = ws.dir_generation_;
+            ws.direction_[i] = 0.0;
+            ws.dir_support_.push_back(e);
+          }
+          ws.direction_[i] += delta;
+        };
+        const double mass = atoms[c][away].weight;
+        for (const EdgeId e : ws.target_paths_[c].edges) touch_dir(e, mass);
+        for (const EdgeId e : atoms[c][away].edges) touch_dir(e, -mass);
+        std::sort(ws.dir_support_.begin(), ws.dir_support_.end());
+        ws.dir_diff_.clear();
+        for (const EdgeId e : ws.dir_support_) {
+          const auto i = static_cast<std::size_t>(e);
+          if (ws.direction_[i] != 0.0) {
+            ws.dir_diff_.emplace_back(x[i], ws.direction_[i]);
+          }
+        }
+        if (ws.dir_diff_.empty()) continue;
+        const double t = golden_section_minimize_direction(problem.cost,
+                                                           ws.dir_diff_, 1.0);
+        if (t <= 1e-12) continue;
+
+        const double delta = t * mass;
+        for (const EdgeId e : ws.target_paths_[c].edges) {
+          sparse_flow_add(rows[c], e, delta);
+        }
+        for (const EdgeId e : atoms[c][away].edges) {
+          sparse_flow_add(rows[c], e, -delta);
+        }
+        // Compact near-zero entries occasionally to bound the support.
+        if (rows[c].size() > 256) {
+          std::erase_if(rows[c],
+                        [](const auto& kv) { return kv.second < 1e-12; });
+        }
+        // Merge the mass into the cheapest path's atom, then shrink —
+        // or on a drop step, remove — the away atom.
+        merge_into_atoms(atoms[c], ws.target_paths_[c].edges, delta);
+        if (t == 1.0) {
+          atoms[c].erase(atoms[c].begin() + static_cast<std::ptrdiff_t>(away));
+        } else {
+          atoms[c][away].weight -= delta;
+        }
+        // Apply to the dense point and refresh the touched marginal
+        // costs so the rest of the sweep prices the moved mass.
+        for (const EdgeId e : ws.dir_support_) {
+          const auto i = static_cast<std::size_t>(e);
+          if (ws.direction_[i] == 0.0) continue;
+          x[i] = std::max(0.0, x[i] + t * ws.direction_[i]);
+          ws.weights_[i] =
+              std::max(problem.cost_derivative(x[i]), problem.min_edge_weight);
+          touch_x(e);
+        }
+        stepped = true;
+      }
+      // Edges the sweep newly touched were appended per sub-step; one
+      // sort of the tail plus an in-place merge restores the sorted
+      // support for the next iteration's cost scan.
+      if (static_cast<std::ptrdiff_t>(ws.x_support_.size()) > old_support) {
+        std::sort(ws.x_support_.begin() + old_support, ws.x_support_.end());
+        std::inplace_merge(ws.x_support_.begin(),
+                           ws.x_support_.begin() + old_support,
+                           ws.x_support_.end());
+      }
     }
 
-    // Sparse mix: y_c <- (1-gamma) y_c + gamma * demand_c * path_c.
-    for (std::size_t c = 0; c < num_commodities; ++c) {
-      for (auto& [e, v] : rows[c]) v *= (1.0 - gamma);
-      for (EdgeId e : ws.target_paths_[c].edges) {
-        sparse_flow_add(rows[c], e, gamma * problem.commodities[c].demand);
+    // Classic step: one joint convex combination toward the
+    // all-cheapest-paths corner. The only step under kClassic; under
+    // kPairwise the fallback when no commodity offers a pairwise
+    // direction (empty active sets on cold rows) or the pairwise line
+    // search stalled.
+    if (!stepped) {
+      // Step size by golden section on the convex restriction,
+      // evaluated only where x and y differ.
+      const double gamma = golden_section_minimize(
+          [&](double t) {
+            double c = line_constant;
+            for (const auto& [xe, ye] : ws.line_search_diff_) {
+              const double v = (1.0 - t) * xe + t * ye;
+              if (v > 1e-15) c += problem.cost(v);
+            }
+            return c;
+          },
+          0.0, 1.0, 1e-6);
+      if (gamma <= 1e-12) {  // no further progress possible
+        clear_targets();
+        break;
       }
-      // Compact near-zero entries occasionally to bound the support.
-      if (rows[c].size() > 256) {
-        std::erase_if(rows[c], [](const auto& kv) { return kv.second < 1e-12; });
+
+      // Sparse mix: y_c <- (1-gamma) y_c + gamma * demand_c * path_c.
+      for (std::size_t c = 0; c < num_commodities; ++c) {
+        for (auto& [e, v] : rows[c]) v *= (1.0 - gamma);
+        for (EdgeId e : ws.target_paths_[c].edges) {
+          sparse_flow_add(rows[c], e, gamma * problem.commodities[c].demand);
+        }
+        // Compact near-zero entries occasionally to bound the support.
+        if (rows[c].size() > 256) {
+          std::erase_if(rows[c], [](const auto& kv) { return kv.second < 1e-12; });
+        }
       }
-    }
-    // Dense mix over the union support only: untouched edges stay an
-    // exact 0 = (1-gamma)*0 + gamma*0.
-    for (const EdgeId e : ws.x_support_) {
-      const auto i = static_cast<std::size_t>(e);
-      const double ye = ws.y_mark_[i] == ws.y_generation_ ? y[i] : 0.0;
-      x[i] = (1.0 - gamma) * x[i] + gamma * ye;
-    }
-    // New support edges arrive in ascending order (y_support_ is
-    // sorted), so one in-place merge keeps x_support_ sorted.
-    const auto old_support = static_cast<std::ptrdiff_t>(ws.x_support_.size());
-    for (const EdgeId e : ws.y_support_) {
-      const auto i = static_cast<std::size_t>(e);
-      if (ws.x_mark_[i] != ws.x_generation_) {
-        x[i] = gamma * y[i];
-        touch_x(e);
+      // Dense mix over the union support only: untouched edges stay an
+      // exact 0 = (1-gamma)*0 + gamma*0.
+      for (const EdgeId e : ws.x_support_) {
+        const auto i = static_cast<std::size_t>(e);
+        const double ye = ws.y_mark_[i] == ws.y_generation_ ? y[i] : 0.0;
+        x[i] = (1.0 - gamma) * x[i] + gamma * ye;
       }
-    }
-    if (static_cast<std::ptrdiff_t>(ws.x_support_.size()) > old_support) {
-      std::inplace_merge(ws.x_support_.begin(),
-                         ws.x_support_.begin() + old_support,
-                         ws.x_support_.end());
+      // New support edges arrive in ascending order (y_support_ is
+      // sorted), so one in-place merge keeps x_support_ sorted.
+      const auto old_support = static_cast<std::ptrdiff_t>(ws.x_support_.size());
+      for (const EdgeId e : ws.y_support_) {
+        const auto i = static_cast<std::size_t>(e);
+        if (ws.x_mark_[i] != ws.x_generation_) {
+          x[i] = gamma * y[i];
+          touch_x(e);
+        }
+      }
+      if (static_cast<std::ptrdiff_t>(ws.x_support_.size()) > old_support) {
+        std::inplace_merge(ws.x_support_.begin(),
+                           ws.x_support_.begin() + old_support,
+                           ws.x_support_.end());
+      }
+      // A classic step is itself an active-set operation — scale every
+      // atom by (1 - gamma), then add gamma * demand on the cheapest
+      // path — so the atom representation survives the fallback and a
+      // commodity that started with no atoms (empty warm row) acquires
+      // its first one here.
+      if (pairwise) {
+        for (std::size_t c = 0; c < num_commodities; ++c) {
+          for (auto& atom : atoms[c]) atom.weight *= (1.0 - gamma);
+          merge_into_atoms(atoms[c], ws.target_paths_[c].edges,
+                           gamma * problem.commodities[c].demand);
+        }
+      }
     }
     clear_targets();
   }

@@ -23,6 +23,13 @@
 // carries all O(V)/O(E) scratch between solves, so a sequence of
 // related instances (consecutive intervals of Algorithm 2) allocates
 // per-solve memory proportional to the solution support only.
+//
+// Two step rules (FrankWolfeOptions::step_rule): the classic joint
+// convex-combination step, and a pairwise (away-step) rule over the
+// per-commodity path polytopes that maintains explicit active sets of
+// path atoms and moves mass from the worst active atom onto the
+// cheapest path — the repair for the warm-start last-mile stall, where
+// the classic step can only shed warm mass geometrically.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "graph/flow_decomposition.h"
 #include "graph/graph.h"
 #include "graph/shortest_path.h"
 #include "graph/sparse_flow.h"
@@ -59,6 +67,29 @@ struct ConvexMcfProblem {
   double min_edge_weight = 1e-9;
 };
 
+/// Which Frank-Wolfe step the solver takes each iteration.
+enum class FrankWolfeStepRule : std::int32_t {
+  /// Classic flow deviation: every step is one joint convex
+  /// combination of the current point with the all-cheapest-paths
+  /// corner. Cheap per iteration and the right default for cold
+  /// solves, but pathologically slow at *shedding* mass from paths a
+  /// warm start carried in that the new instance made suboptimal —
+  /// every step also shrinks the mass of perfectly placed commodities,
+  /// so the bad mass decays only geometrically (the warm-start
+  /// last-mile stall documented by tests/online_warm_start_test.cc).
+  kClassic = 0,
+  /// Pairwise (away-step) Frank-Wolfe on the per-commodity path
+  /// polytopes: the solver maintains each commodity's active set of
+  /// path atoms, picks the worst active atom against the current
+  /// marginal costs as the away vertex, and shifts mass from it
+  /// directly onto the cheapest path, draining it entirely on a drop
+  /// step. Mass a warm start misplaced is shed in a handful of steps
+  /// while well-placed commodities stay untouched. Falls back to a
+  /// classic step for commodities with no active set (cold rows) or
+  /// when the pairwise direction stalls.
+  kPairwise = 1,
+};
+
 struct FrankWolfeOptions {
   std::int32_t max_iterations = 120;
   double gap_tolerance = 1e-4;  // stop when gap / cost falls below this
@@ -68,6 +99,10 @@ struct FrankWolfeOptions {
   /// callers that already parallelize at a coarser grain, like
   /// BatchRunner, should keep it); 0 = hardware concurrency.
   std::int32_t oracle_threads = 1;
+  /// Step rule. kClassic keeps the historical trajectory bit for bit;
+  /// kPairwise is the warm-start repair the online scheduler opts into
+  /// (see the enum for the trade-off).
+  FrankWolfeStepRule step_rule = FrankWolfeStepRule::kClassic;
 };
 
 /// Fractional solution.
@@ -109,6 +144,15 @@ class ConvexMcfWorkspace {
  public:
   ConvexMcfWorkspace() = default;
 
+  /// One active-set atom of the pairwise step rule: a candidate path
+  /// and the mass it carries (atom weights of a commodity sum to its
+  /// demand). Public only so the solver's internals can name it; the
+  /// workspace state remains opaque.
+  struct PathAtom {
+    std::vector<EdgeId> edges;
+    double weight = 0.0;
+  };
+
  private:
   friend ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem&,
                                             const FrankWolfeOptions&,
@@ -144,6 +188,20 @@ class ConvexMcfWorkspace {
   std::uint64_t x_generation_ = 0;
   std::uint64_t y_generation_ = 0;
   std::vector<std::pair<double, double>> line_search_diff_;  // (x_e, y_e)
+
+  // Pairwise-mode state (untouched under the classic rule).
+  /// Per-commodity active sets, rebuilt each solve — seeded by
+  /// decomposing the warm rows into paths, or from the cold-start
+  /// cheapest paths.
+  std::vector<std::vector<PathAtom>> atoms_;
+  /// Decomposition scratch for the warm-row seeding.
+  FlowDecompositionWorkspace atom_seed_;
+  /// Dense pairwise direction, generation-stamped like the targets.
+  std::vector<double> direction_;
+  std::vector<std::uint64_t> dir_mark_;
+  std::uint64_t dir_generation_ = 0;
+  std::vector<EdgeId> dir_support_;
+  std::vector<std::pair<double, double>> dir_diff_;  // (x_e, d_e)
 };
 
 }  // namespace dcn

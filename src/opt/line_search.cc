@@ -1,5 +1,6 @@
 #include "opt/line_search.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.h"
@@ -32,6 +33,30 @@ double golden_section_minimize(const std::function<double(double)>& fn, double l
     }
   }
   return 0.5 * (a + b);
+}
+
+double golden_section_minimize_direction(
+    const std::function<double(double)>& cost,
+    const std::vector<std::pair<double, double>>& diff, double t_max,
+    double tol) {
+  DCN_EXPECTS(t_max > 0.0);
+  const auto phi = [&](double t) {
+    double total = 0.0;
+    for (const auto& [x, d] : diff) {
+      const double v = std::max(0.0, x + t * d);
+      if (v > 1e-15) total += cost(v);
+    }
+    return total;
+  };
+  double t = golden_section_minimize(phi, 0.0, t_max, tol);
+  // Snap onto an endpoint the bracket converged against: the interior
+  // midpoint golden section returns can never be exactly 0 or t_max,
+  // but the pairwise caller needs exact boundary steps (a drop step
+  // must drain its away atom completely, and an exact 0 signals the
+  // fallback). Convexity makes the single comparison sufficient.
+  if (t_max - t <= 2.0 * tol && phi(t_max) <= phi(t)) return t_max;
+  if (t <= 2.0 * tol && phi(0.0) <= phi(t)) return 0.0;
+  return t;
 }
 
 }  // namespace dcn

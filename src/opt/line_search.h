@@ -2,6 +2,8 @@
 #pragma once
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 namespace dcn {
 
@@ -12,5 +14,26 @@ namespace dcn {
 /// convex, hence unimodal).
 [[nodiscard]] double golden_section_minimize(const std::function<double(double)>& fn,
                                              double lo, double hi, double tol = 1e-7);
+
+/// Golden-section search specialized to the Frank-Wolfe restricted
+/// objective along a direction: minimizes
+///
+///     phi(t) = sum_i cost(x_i + t * d_i)        over t in [0, t_max]
+///
+/// where `diff` holds one (x_i, d_i) pair per edge whose flow the step
+/// changes (off-support edges only add a constant, which cannot move
+/// the minimizer). Used by the pairwise Frank-Wolfe step, whose
+/// direction support is the symmetric difference of the away and
+/// target paths. Values are clamped at 0 before evaluation — a full
+/// drain (d_i = -x_i at t = t_max) can dip below zero by float dust —
+/// and entries at or below 1e-15 are treated as exactly idle, matching
+/// the solver's support threshold. A bracket converging onto either
+/// endpoint snaps to it exactly when the endpoint is no worse, so
+/// callers can recognize boundary steps: t = t_max is a drop step
+/// (away atom fully drained), t = 0 is a stall.
+[[nodiscard]] double golden_section_minimize_direction(
+    const std::function<double(double)>& cost,
+    const std::vector<std::pair<double, double>>& diff, double t_max,
+    double tol = 1e-6);
 
 }  // namespace dcn

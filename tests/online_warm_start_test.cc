@@ -76,7 +76,10 @@ TEST(RelaxationWarmStart, IncrementalResolveAfterOneArrivalIsStrictlyCheaper) {
   // Frank-Wolfe is slow at *shedding* mass from paths an arrival makes
   // suboptimal, so at much tighter tolerances a warm start can lose to
   // a cold one; at the calibrated gap it converges in a fraction of the
-  // cold iterations.
+  // cold iterations. (The pairwise step rule removes the shedding
+  // stall altogether — tests/pairwise_fw_test.cc pins warm pairwise
+  // strictly below warm classic on this same regime; this test keeps
+  // the classic rule's economy honest.)
   RelaxationOptions options;
   options.frank_wolfe.max_iterations = 120;
   options.frank_wolfe.gap_tolerance = 2e-3;
