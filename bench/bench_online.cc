@@ -1,46 +1,97 @@
-// Online arrival-rate sweep: sustained Poisson load against the online
-// solvers (src/online) on a finite-capacity fabric.
+// Online arrival sweep: sustained Poisson load against the online
+// solvers (src/online) on a finite-capacity fabric, with a hindsight
+// oracle column for empirical competitive ratios.
 //
-// For each arrival rate the table reports, per solver: admitted /
-// offered flows, replayed energy over the admitted subset, relaxation
-// re-solves and total Frank-Wolfe iterations (online_dcfsr — the
-// warm-start effectiveness signal: iterations per re-solve stays near
-// the per-interval floor when warm starts hit), departures-fast-path
-// gap checks, EDF-fallback admissions (online_greedy), and wall-clock.
-// Every cell is replay-validated by the engine before it is counted.
+// The grid is rates x offered-flow counts; each cell reports, per
+// solver: admitted / offered flows, replayed energy over the admitted
+// subset, relaxation re-solves and total Frank-Wolfe iterations
+// (online_dcfsr — the warm-start effectiveness signal: iterations per
+// re-solve stays near the per-interval floor when warm starts hit),
+// departures-fast-path gap checks, the peak number of flows in flight
+// (what the indexed event loop keeps warm state for), EDF-fallback
+// admissions (online_greedy), competitive ratios against the
+// oracle_dcfsr row, and wall-clock. Every cell is replay-validated by
+// the engine before it is counted.
+//
+// oracle_dcfsr is the hindsight baseline (cf. DCoflow): offline dcfsr
+// over the whole trace with admission control — all flows known
+// upfront, joint rounding first, RCD-ordered per-flow fallback after.
+// cr_adm = solver admitted / oracle admitted and cr_en = solver energy
+// / oracle energy are the empirical competitive ratios (each side on
+// its own admitted subset, the two algorithms' actual objectives).
 //
 // online_dcfsr_id is the built-in A/B baseline: the legacy online
 // configuration (id-order per-flow admission instead of RCD-style
 // deadline-then-density, classic warm re-solve steps instead of
-// pairwise, no departures fast path), so the admit% and fw_iters
-// columns read directly as the win of this configuration.
+// pairwise + atom carry-over, no departures fast path), so the admit%
+// and fw_iters columns read directly as the win of this configuration.
 //
-// Flags: --rates a,b,..  arrival rates to sweep     [0.5,1,2,4,8]
-//        --runs n        seeds per (rate, solver)   [3]
-//        --flows n       offered flows per run      [60]
-//        --capacity x    link capacity              [3]
-//        --scenario s    online scenario            [fat_tree/poisson]
-//        --jobs n        worker threads             [1]
+// Flags: --rates a,b,..  arrival rates to sweep       [0.5,1,2,4,8]
+//        --flows a,b,..  offered flows per run        [60]
+//        --runs n        seeds per (cell, solver)     [3]
+//        --capacity x    link capacity                [3]
+//        --scenario s    online scenario              [fat_tree/poisson]
+//        --jobs n        worker threads               [1]
+//        --no-oracle     skip the oracle_dcfsr column
+//        --json FILE     also write the table as google-benchmark JSON
+//                        (bench_to_json.py converts it into the
+//                        BENCH_online.json snapshot schema)
+//
+// The scaling configuration tracked in BENCH_online.json:
+//   bench_online --scenario fat_tree8/poisson --rates 8
+//                --flows 1000,2000,4000 --runs 1 --jobs 4 --json raw.json
+#include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "bench_util.h"
 #include "engine/batch_runner.h"
+
+namespace {
+
+/// One aggregated (cell, solver) row.
+struct Row {
+  double admitted = 0, offered = 0, energy = 0, resolves = 0, fw = 0,
+         gap_checks = 0, peak = 0, edf = 0, ms = 0;
+  int cells = 0;
+  bool ok = true;
+};
+
+/// "fat_tree8/poisson" -> "fat_tree8_poisson" (benchmark name segment).
+std::string flatten(std::string s) {
+  for (char& c : s) {
+    if (c == '/') c = '_';
+  }
+  return s;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcn;
   using namespace dcn::engine;
   const bench::Args args(argc, argv);
 
-  const std::vector<std::string> solvers = {"online_greedy", "online_dcfsr",
-                                            "online_dcfsr_id"};
+  std::vector<std::string> solvers = {"online_greedy", "online_dcfsr",
+                                      "online_dcfsr_id"};
+  const bool with_oracle = !args.has_flag("no-oracle");
+  if (with_oracle) solvers.push_back("oracle_dcfsr");
   std::vector<double> rates;
   for (const std::string& r : args.get_list("rates", {"0.5", "1", "2", "4", "8"})) {
     rates.push_back(std::stod(r));
   }
+  const std::vector<std::int64_t> flow_counts = args.get_int_list("flows", {60});
   const int runs = static_cast<int>(args.get_int("runs", 3));
   const std::string scenario = args.get_list("scenario", {"fat_tree/poisson"})[0];
+  const std::string json_path = args.get("json", "");
 
   BatchSpec spec;
   spec.solvers = solvers;
@@ -49,68 +100,121 @@ int main(int argc, char** argv) {
   for (int run = 0; run < runs; ++run) {
     spec.seeds.push_back(101 + static_cast<std::uint64_t>(run));
   }
-  spec.options.num_flows = static_cast<std::int32_t>(args.get_int("flows", 60));
   spec.options.capacity = args.get_double("capacity", 3.0);
   spec.jobs = static_cast<std::int32_t>(args.get_int("jobs", 1));
   spec.discard_schedules = true;
 
-  std::printf("Online arrival-rate sweep: %s, %d flows/run, %d runs, "
-              "capacity=%g\n",
-              scenario.c_str(), spec.options.num_flows, runs,
-              spec.options.capacity);
+  std::printf("Online arrival sweep: %s, %d runs, capacity=%g\n",
+              scenario.c_str(), runs, spec.options.capacity);
   bench::rule();
-  std::printf("%6s  %-16s %9s %12s %9s %9s %9s %9s %9s\n", "rate", "solver",
-              "admit%", "energy", "resolves", "fw_iters", "gapchk", "edf_fb",
-              "ms");
+  std::printf("%6s %6s  %-16s %8s %12s %8s %9s %7s %6s %6s %7s %7s %9s\n",
+              "rate", "flows", "solver", "admit%", "energy", "resolves",
+              "fw_iters", "gapchk", "peak", "edf_fb", "cr_adm", "cr_en", "ms");
+
+  // Rows for the optional JSON dump: (name, mean ms per cell).
+  std::vector<std::pair<std::string, double>> json_rows;
 
   for (const double rate : rates) {
-    spec.options.arrival_rate = rate;
-    BatchResult result;
-    try {
-      result = run_batch(default_registry(), ScenarioSuite::default_suite(), spec);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "bench_online: %s\n", e.what());
+    for (const std::int64_t flows : flow_counts) {
+      spec.options.arrival_rate = rate;
+      spec.options.num_flows = static_cast<std::int32_t>(flows);
+      BatchResult result;
+      try {
+        result = run_batch(default_registry(), ScenarioSuite::default_suite(),
+                           spec);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_online: %s\n", e.what());
+        return 2;
+      }
+
+      // Aggregate per solver over the seeds.
+      std::map<std::string, Row> rows;
+      for (const auto& cell : result.cells) {
+        Row& row = rows[cell.solver];
+        ++row.cells;
+        row.ms += cell.elapsed_ms;
+        if (!cell.ran || !cell.outcome.feasible) {
+          row.ok = false;
+          continue;
+        }
+        row.offered += static_cast<double>(spec.options.num_flows);
+        row.energy += cell.outcome.energy;
+        for (const auto& [key, value] : cell.outcome.stats) {
+          if (key == "admitted") row.admitted += value;
+          if (key == "resolves") row.resolves += value;
+          if (key == "fw_iterations") row.fw += value;
+          if (key == "departure_gap_checks") row.gap_checks += value;
+          if (key == "peak_in_flight") row.peak += value;
+          if (key == "edf_fallbacks") row.edf += value;
+        }
+      }
+      const Row* oracle =
+          with_oracle && rows.contains("oracle_dcfsr") &&
+                  rows["oracle_dcfsr"].ok
+              ? &rows["oracle_dcfsr"]
+              : nullptr;
+      for (const std::string& solver : solvers) {
+        const Row& row = rows[solver];
+        if (!row.ok) {
+          std::printf("%6g %6lld  %-16s %8s\n", rate,
+                      static_cast<long long>(flows), solver.c_str(), "FAILED");
+          continue;
+        }
+        char cr_adm[16] = "-";
+        char cr_en[16] = "-";
+        if (oracle != nullptr && oracle->admitted > 0 && oracle->energy > 0) {
+          std::snprintf(cr_adm, sizeof(cr_adm), "%.3f",
+                        row.admitted / oracle->admitted);
+          std::snprintf(cr_en, sizeof(cr_en), "%.3f",
+                        row.energy / oracle->energy);
+        }
+        std::printf("%6g %6lld  %-16s %7.1f%% %12.1f %8.0f %9.0f %7.0f %6.0f "
+                    "%6.0f %7s %7s %9.0f\n",
+                    rate, static_cast<long long>(flows), solver.c_str(),
+                    row.offered > 0 ? 100.0 * row.admitted / row.offered : 0.0,
+                    row.energy, row.resolves, row.fw, row.gap_checks,
+                    row.peak / std::max(1, row.cells), row.edf, cr_adm, cr_en,
+                    row.ms);
+        char name[160];
+        std::snprintf(name, sizeof(name), "BM_Online/%s/rate%g/%lld/%s",
+                      flatten(scenario).c_str(), rate,
+                      static_cast<long long>(flows), solver.c_str());
+        json_rows.emplace_back(name, row.ms / std::max(1, row.cells));
+      }
+    }
+  }
+
+  // Google-benchmark-shaped JSON so tools/bench_to_json.py can fold the
+  // table into the tracked BENCH_online.json snapshot.
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_online: cannot write %s\n", json_path.c_str());
       return 2;
     }
-
-    // Aggregate per solver over the seeds.
-    struct Row {
-      double admitted = 0, offered = 0, energy = 0, resolves = 0, fw = 0,
-             gap_checks = 0, edf = 0, ms = 0;
-      int cells = 0;
-      bool ok = true;
-    };
-    std::map<std::string, Row> rows;
-    for (const auto& cell : result.cells) {
-      Row& row = rows[cell.solver];
-      ++row.cells;
-      row.ms += cell.elapsed_ms;
-      if (!cell.ran || !cell.outcome.feasible) {
-        row.ok = false;
-        continue;
-      }
-      row.offered += static_cast<double>(spec.options.num_flows);
-      row.energy += cell.outcome.energy;
-      for (const auto& [key, value] : cell.outcome.stats) {
-        if (key == "admitted") row.admitted += value;
-        if (key == "resolves") row.resolves += value;
-        if (key == "fw_iterations") row.fw += value;
-        if (key == "departure_gap_checks") row.gap_checks += value;
-        if (key == "edf_fallbacks") row.edf += value;
-      }
+    // Provenance context, mirroring google-benchmark's: snapshots from
+    // mismatched hosts must be tellable apart when comparing.
+    char date[64] = "";
+    const std::time_t now = std::time(nullptr);
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", std::localtime(&now));
+    char host[256] = "";
+#ifndef _WIN32
+    if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+#endif
+    std::fprintf(f,
+                 "{\n  \"context\": {\"date\": \"%s\", \"host_name\": \"%s\", "
+                 "\"num_cpus\": %u},\n  \"benchmarks\": [\n",
+                 date, host, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                   "\"real_time\": %.6f, \"cpu_time\": %.6f, "
+                   "\"time_unit\": \"ms\", \"iterations\": 1}%s\n",
+                   json_rows[i].first.c_str(), json_rows[i].second,
+                   json_rows[i].second, i + 1 < json_rows.size() ? "," : "");
     }
-    for (const std::string& solver : solvers) {
-      const Row& row = rows[solver];
-      if (!row.ok) {
-        std::printf("%6g  %-16s %9s\n", rate, solver.c_str(), "FAILED");
-        continue;
-      }
-      std::printf("%6g  %-16s %8.1f%% %12.1f %9.0f %9.0f %9.0f %9.0f %9.0f\n",
-                  rate, solver.c_str(),
-                  row.offered > 0 ? 100.0 * row.admitted / row.offered : 0.0,
-                  row.energy, row.resolves, row.fw, row.gap_checks, row.edf,
-                  row.ms);
-    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
   }
   return 0;
 }

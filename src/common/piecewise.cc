@@ -37,6 +37,20 @@ double StepFunction::max_value() const {
   return best;
 }
 
+double StepFunction::max_within(const Interval& window) const {
+  double v = 0.0, best = 0.0;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (const auto& [time, delta] : deltas_) {
+    // The segment [prev, time) carries value v; breakpoints ascend, so
+    // once a segment starts at or past the window nothing later overlaps.
+    if (prev >= window.hi) break;
+    if (time > window.lo && std::fabs(v) >= kZeroEps) best = std::max(best, v);
+    v += delta;
+    prev = time;
+  }
+  return best;
+}
+
 double StepFunction::integral() const {
   double v = 0.0, total = 0.0;
   double prev = 0.0;

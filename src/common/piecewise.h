@@ -31,6 +31,14 @@ class StepFunction {
   /// Maximum value attained anywhere (0 for the zero function).
   [[nodiscard]] double max_value() const;
 
+  /// Maximum value attained inside `window` (0 when the function is
+  /// zero throughout it). Equivalent to scanning segments() for
+  /// overlapping entries, but allocation-free and early-exiting at the
+  /// first breakpoint at or past window.hi — the capacity-check hot
+  /// path of the online schedulers calls this once per path edge per
+  /// admission probe.
+  [[nodiscard]] double max_within(const Interval& window) const;
+
   /// Integral of the function over the whole line.
   [[nodiscard]] double integral() const;
 

@@ -103,6 +103,16 @@ const SolverRegistry& default_registry() {
       return std::make_unique<OnlineDcfsrSolver>(options, "online_dcfsr_id");
     });
     r.add("online_greedy", [] { return std::make_unique<OnlineGreedySolver>(); });
+    // Hindsight admission oracle: the same calibrated budget as dcfsr,
+    // so the joint-feasible case (e.g. infinite capacity) is offline
+    // dcfsr bit for bit; bench_online divides the online solvers'
+    // admitted counts and energies by this row's.
+    r.add("oracle_dcfsr", [] {
+      OnlineOptions options;
+      options.rounding.relaxation.frank_wolfe.max_iterations = 15;
+      options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+      return std::make_unique<OracleDcfsrSolver>(options);
+    });
     return r;
   }();
   return registry;

@@ -217,6 +217,31 @@ SolverOutcome OnlineDcfsrSolver::solve(const Instance& instance) const {
       {"batch_fallbacks", static_cast<double>(r.batch_fallbacks)},
       {"departure_gap_checks", static_cast<double>(r.departure_gap_checks)},
       {"gap_check_iterations", static_cast<double>(r.gap_check_iterations)},
+      {"peak_in_flight", static_cast<double>(r.peak_in_flight)},
+      {"first_lb", r.first_lower_bound}};
+  SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
+  out.stats.insert(out.stats.end(), extra.begin(), extra.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// OracleDcfsrSolver
+
+OracleDcfsrSolver::OracleDcfsrSolver(OnlineOptions options)
+    : options_(options) {}
+
+SolverOutcome OracleDcfsrSolver::solve(const Instance& instance) const {
+  // The offline algorithm's stream: when the joint rounding is
+  // capacity-feasible the oracle is offline dcfsr bit for bit.
+  Rng rng = solver_rng(instance, "dcfsr");
+  OnlineResult r = oracle_dcfsr(instance.graph(), instance.flows(),
+                                instance.model(), rng, options_);
+  const std::vector<std::pair<std::string, double>> extra = {
+      {"resolves", static_cast<double>(r.resolves)},
+      {"fw_iterations", static_cast<double>(r.fw_iterations)},
+      {"rounding_attempts", static_cast<double>(r.rounding_attempts)},
+      {"batch_fallbacks", static_cast<double>(r.batch_fallbacks)},
+      {"peak_in_flight", static_cast<double>(r.peak_in_flight)},
       {"first_lb", r.first_lower_bound}};
   SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
   out.stats.insert(out.stats.end(), extra.begin(), extra.end());

@@ -22,6 +22,9 @@
 //              interval relaxation (src/online)
 //   online_greedy  per-arrival marginal-energy routing + density-rate
 //              admission with EDF fallback (src/online)
+//   oracle_dcfsr   hindsight admission baseline: offline dcfsr over the
+//              whole trace with admission control — the denominator of
+//              bench_online's empirical competitive ratios (src/online)
 //
 // The online solvers see the instance as an arrival stream (flows
 // revealed at their release times) and may *reject* flows; for them
@@ -151,6 +154,26 @@ class OnlineDcfsrSolver final : public Solver {
  private:
   OnlineOptions options_;
   std::string name_;
+};
+
+/// Hindsight admission oracle: offline dcfsr over the whole trace with
+/// admission control (joint rounding, then RCD-ordered per-flow
+/// fallback). Shares the "dcfsr" rng stream, so the joint-feasible case
+/// is offline Random-Schedule bit for bit; its admitted count and
+/// energy are the denominators of bench_online's competitive ratios.
+class OracleDcfsrSolver final : public Solver {
+ public:
+  explicit OracleDcfsrSolver(OnlineOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "oracle_dcfsr"; }
+  [[nodiscard]] std::string description() const override {
+    return "hindsight admission oracle: offline dcfsr over the whole trace "
+           "with admission control (competitive-ratio baseline)";
+  }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  OnlineOptions options_;
 };
 
 /// Online greedy admission: marginal-energy routing at density rates

@@ -36,7 +36,8 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
                                       const PowerModel& model,
                                       const RelaxationOptions& options,
                                       RelaxationWorkspace* workspace,
-                                      const std::vector<SparseEdgeFlow>* warm_by_flow) {
+                                      const std::vector<SparseEdgeFlow>* warm_by_flow,
+                                      const std::vector<AtomSet>* warm_atoms_by_flow) {
   validate_flows(g, flows);
   FractionalRelaxation out;
   out.decomposition = decompose_intervals(flows);
@@ -53,6 +54,18 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
     DCN_EXPECTS(warm_by_flow->size() == flows.size());
     prev_flow_by_flow = *warm_by_flow;
   }
+  // Atom carry-over (pairwise step rule): per flow, the path-atom
+  // decomposition matching prev_flow_by_flow, threaded across intervals
+  // (and, via the caller, across whole re-solves) so each interval
+  // solve seeds its active sets without re-decomposing the warm rows.
+  const bool pairwise =
+      options.frank_wolfe.step_rule == FrankWolfeStepRule::kPairwise;
+  std::vector<AtomSet> prev_atoms_by_flow(flows.size());
+  if (pairwise && warm_atoms_by_flow != nullptr) {
+    DCN_EXPECTS(warm_atoms_by_flow->size() == flows.size());
+    prev_atoms_by_flow = *warm_atoms_by_flow;
+  }
+  std::vector<AtomSet> interval_atoms;
 
   // All O(V)/O(E) scratch lives in workspaces reused across intervals —
   // and, when the caller passes one, across whole solves.
@@ -164,25 +177,55 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
       lo = hi;
     }
 
-    const ConvexMcfSolution sol =
-        solve_convex_mcf(problem, options.frank_wolfe, &warm, &mcf_workspace);
+    // Carried atoms for this interval's commodities (pairwise only):
+    // flows active in the previous interval hand their active sets
+    // straight to the solver.
+    const std::vector<AtomSet>* atoms_in = nullptr;
+    if (pairwise) {
+      interval_atoms.assign(active.size(), {});
+      for (std::size_t c = 0; c < active.size(); ++c) {
+        const auto fid = static_cast<std::size_t>(active[c]);
+        interval_atoms[c] = std::move(prev_atoms_by_flow[fid]);
+      }
+      atoms_in = &interval_atoms;
+    }
+
+    ConvexMcfSolution sol = solve_convex_mcf(
+        problem, options.frank_wolfe, &warm, &mcf_workspace, atoms_in);
 
     out.lower_bound_energy += sol.cost * dec.intervals[k].measure();
     gap_sum += sol.relative_gap;
     out.total_fw_iterations += sol.iterations;
     ++solved_intervals;
 
-    // Raghavan-Tompson extraction per active flow, then aggregate wbar.
+    // Aggregate wbar per active flow. A pairwise solve already carries
+    // the path decomposition — its final active sets — so the atoms are
+    // read off directly (normalized over the set, matching the
+    // decomposition's sum-to-1 contract); a classic solve runs the
+    // Raghavan-Tompson extraction as before, keeping the offline
+    // trajectory byte-identical.
     for (std::size_t c = 0; c < active.size(); ++c) {
       const auto fid = static_cast<std::size_t>(active[c]);
       const Flow& fl = flows[fid];
-      const std::vector<WeightedPath> paths = decompose_flow_sparse(
-          g, fl.src, fl.dst, sol.commodity_flow[c], fl.density(),
-          options.decomposition_tolerance, &decomposition_workspace);
       const double interval_share =
           dec.intervals[k].measure() / (fl.deadline - fl.release);
-      for (const WeightedPath& wp : paths) {
-        accum[fid][wp.path.edges] += wp.weight * interval_share;
+      if (pairwise && !sol.commodity_atoms[c].empty()) {
+        double total_weight = 0.0;
+        for (const PathAtom& atom : sol.commodity_atoms[c]) {
+          total_weight += atom.weight;
+        }
+        DCN_ENSURES(total_weight > 0.0);
+        for (const PathAtom& atom : sol.commodity_atoms[c]) {
+          accum[fid][atom.edges] += atom.weight / total_weight * interval_share;
+        }
+        prev_atoms_by_flow[fid] = std::move(sol.commodity_atoms[c]);
+      } else {
+        const std::vector<WeightedPath> paths = decompose_flow_sparse(
+            g, fl.src, fl.dst, sol.commodity_flow[c], fl.density(),
+            options.decomposition_tolerance, &decomposition_workspace);
+        for (const WeightedPath& wp : paths) {
+          accum[fid][wp.path.edges] += wp.weight * interval_share;
+        }
       }
       prev_flow_by_flow[fid] = sol.commodity_flow[c];
     }
@@ -191,6 +234,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   out.mean_relative_gap =
       solved_intervals > 0 ? gap_sum / static_cast<double>(solved_intervals) : 0.0;
   out.final_flow = std::move(prev_flow_by_flow);
+  out.final_atoms = std::move(prev_atoms_by_flow);
 
   // Materialize candidates with normalized wbar. The hashed accumulator
   // is unordered, so sort candidates lexicographically by edge sequence

@@ -68,6 +68,13 @@ struct FractionalRelaxation {
   /// active in — the warm-start seed for a subsequent related solve
   /// (the online scheduler threads these across re-solves).
   std::vector<SparseEdgeFlow> final_flow;
+  /// Per flow: the path-atom decomposition of final_flow from the same
+  /// last interval — populated only when the solve stepped with the
+  /// pairwise rule (empty sets under kClassic). Feeding these back via
+  /// `warm_atoms_by_flow` lets the next re-solve seed its active sets
+  /// directly instead of re-running Raghavan-Tompson on the warm rows,
+  /// and preserves atom identity across the online scheduler's events.
+  std::vector<AtomSet> final_atoms;
 };
 
 /// Reusable scratch for solve_relaxation: the Frank-Wolfe workspace,
@@ -93,9 +100,17 @@ struct RelaxationWorkspace {
 /// as the flow's density is unchanged — densities are invariant under
 /// residual re-solves, see src/online). Empty rows fall back to the
 /// cold start.
+///
+/// `warm_atoms_by_flow`, when non-null (one atom set per flow; pairwise
+/// step rule only), carries each flow's active-set decomposition from a
+/// previous related solve (`final_atoms`): a non-empty set seeds the
+/// flow's first interval solve directly — no Raghavan-Tompson pass over
+/// its warm row — and must decompose exactly the flow's density. Empty
+/// sets fall back to decomposing the warm row.
 [[nodiscard]] FractionalRelaxation solve_relaxation(
     const Graph& g, const std::vector<Flow>& flows, const PowerModel& model,
     const RelaxationOptions& options = {}, RelaxationWorkspace* workspace = nullptr,
-    const std::vector<SparseEdgeFlow>* warm_by_flow = nullptr);
+    const std::vector<SparseEdgeFlow>* warm_by_flow = nullptr,
+    const std::vector<AtomSet>* warm_atoms_by_flow = nullptr);
 
 }  // namespace dcn

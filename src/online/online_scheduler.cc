@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <numeric>
+#include <set>
 #include <utility>
 
 #include "baselines/baselines.h"
@@ -20,6 +22,60 @@ namespace {
 /// rounding accept/reject step of Algorithm 2).
 constexpr double kCapacitySlack = 1e-9;
 
+/// Per-source reachability (the routing layer's bfs_distances), cached
+/// per distinct source for the run. Online inputs are not pre-screened
+/// for connectivity: every admission path must treat an unroutable
+/// flow as a rejection, never feed it to the relaxation (whose routing
+/// oracle asserts reachability). Connectivity is static for a run, so
+/// each check after a source's first is O(1); the graph is directed,
+/// so this is a true reachability sweep, not an undirected component
+/// labeling.
+class ReachabilityCache {
+ public:
+  explicit ReachabilityCache(const Graph& g) : g_(g) {}
+
+  bool routable(NodeId src, NodeId dst) {
+    auto [it, inserted] = cache_.try_emplace(src);
+    if (inserted) it->second = bfs_distances(g_, src);
+    return it->second[static_cast<std::size_t>(dst)] >= 0;
+  }
+
+ private:
+  const Graph& g_;
+  std::map<NodeId, std::vector<std::int32_t>> cache_;
+};
+
+/// RCD urgency order (Noormohammadpour et al.): closest deadline
+/// first, then higher density, then id. Both per-flow admission
+/// fallbacks — the online event loop's and the hindsight oracle's —
+/// sort by exactly this comparator, which is what lets the oracle
+/// claim "the online machinery with full knowledge".
+bool rcd_before(const Flow& a, const Flow& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.density() != b.density()) return a.density() > b.density();
+  return a.id < b.id;
+}
+
+/// Peak number of admitted flows simultaneously in flight: the maximum
+/// overlap of the admitted spans (half-open, so a flow ending exactly
+/// when another starts does not overlap it).
+std::int32_t peak_overlap(const std::vector<Flow>& flows,
+                          const std::vector<bool>& admitted) {
+  std::vector<std::pair<double, std::int32_t>> events;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!admitted[i]) continue;
+    events.emplace_back(flows[i].release, +1);
+    events.emplace_back(flows[i].deadline, -1);
+  }
+  std::sort(events.begin(), events.end());
+  std::int32_t current = 0, peak = 0;
+  for (const auto& [time, delta] : events) {
+    current += delta;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
 /// Arrival order: indices sorted by (release, id).
 std::vector<std::size_t> arrival_order(const std::vector<Flow>& flows) {
   std::vector<std::size_t> order(flows.size());
@@ -33,24 +89,17 @@ std::vector<std::size_t> arrival_order(const std::vector<Flow>& flows) {
   return order;
 }
 
-/// Maximum committed load anywhere inside `span` (0 when the link is
-/// idle throughout).
-double max_load_within(const StepFunction& load, const Interval& span) {
-  double peak = 0.0;
-  for (const auto& [iv, value] : load.segments()) {
-    if (iv.overlaps(span)) peak = std::max(peak, value);
-  }
-  return peak;
-}
-
 /// True when adding constant rate `rate` over `span` keeps every edge of
-/// `path` within capacity against the committed `load`.
+/// `path` within capacity against the committed `load`. The peak lookup
+/// is StepFunction::max_within — allocation-free and early-exiting past
+/// the span, which matters at thousands of committed flows where the
+/// naive segments() scan dominated admission cost.
 bool rate_fits(const std::vector<StepFunction>& load, const Path& path,
                const Interval& span, double rate, double capacity) {
   const double limit = capacity * (1.0 + kCapacitySlack);
   if (rate > limit) return false;
   for (const EdgeId e : path.edges) {
-    if (max_load_within(load[static_cast<std::size_t>(e)], span) + rate > limit) {
+    if (load[static_cast<std::size_t>(e)].max_within(span) + rate > limit) {
       return false;
     }
   }
@@ -72,6 +121,8 @@ void commit(OnlineResult& out, std::vector<StepFunction>& load, std::size_t i,
   out.admitted[i] = true;
   ++out.num_admitted;
 }
+
+}  // namespace
 
 /// EDF-style fallback fill: packs `volume` into the earliest remaining
 /// capacity of `path` within `span`. Returns the segments on success,
@@ -116,8 +167,6 @@ std::vector<RateSegment> edf_fill(const std::vector<StepFunction>& load,
   return segments;
 }
 
-}  // namespace
-
 std::pair<std::vector<Flow>, Schedule> admitted_subset(
     const std::vector<Flow>& flows, const Schedule& schedule,
     const std::vector<bool>& admitted) {
@@ -147,83 +196,99 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   const std::vector<std::size_t> order = arrival_order(flows);
   const double capacity = model.capacity();
 
-  // Warm-start rows by original flow id, threaded across re-solves, and
-  // one workspace for every re-solve of the run: the PR 2 fast path.
+  // Warm-start rows and pairwise path atoms by original flow id,
+  // threaded across re-solves, and one workspace for every re-solve of
+  // the run: the PR 2 fast path plus the PR 5 atom carry-over. Both are
+  // released the moment a flow departs or is rejected, so the carried
+  // state stays proportional to the flows actually in flight.
   std::vector<SparseEdgeFlow> warm(flows.size());
+  std::vector<AtomSet> warm_atoms(flows.size());
   RelaxationWorkspace workspace;
 
   // Committed per-edge load (admitted density segments) for the
   // per-flow admission fallback.
   std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+  ReachabilityCache reachable(g);
 
-  double prev_event = -std::numeric_limits<double>::infinity();
+  // The active-flow index: admitted, still-in-flight flows keyed by
+  // (deadline, flow index). Completions leave from the front in
+  // O(log n) each; the residual problem reads the set in deadline order
+  // in O(active) — no per-event scan over the whole trace.
+  std::set<std::pair<double, std::size_t>> active;
+
   for (std::size_t lo = 0; lo < order.size();) {
     const double now = flows[order[lo]].release;
     std::size_t hi = lo;
     while (hi < order.size() && flows[order[hi]].release == now) ++hi;
     ++out.num_events;
 
-    // Departures-only fast path. Admitted flows that completed
-    // strictly inside (prev_event, now] changed the carried problem by
-    // removal only: the surviving warm rows stay feasible and close to
-    // optimal, so a full relaxation at the completion point would be
-    // wasted. Instead the latest completion time gets a single gap
-    // check — a one-iteration warm re-solve that certifies the rows
-    // when they are still within tolerance and otherwise sheds one
-    // step of mass onto the capacity the departures freed — so this
-    // event's full re-solve starts from rows adapted to the
+    // Completions since the previous event: pop the index prefix with
+    // deadline <= now and release the departed flows' warm state. The
+    // index held exactly the flows in flight after the previous event,
+    // so the popped deadlines are exactly the completions strictly
+    // inside (previous event, now]; the latest one seeds the
+    // departures-only fast path below.
+    double depart = -std::numeric_limits<double>::infinity();
+    while (!active.empty() && active.begin()->first <= now) {
+      const std::size_t done = active.begin()->second;
+      depart = active.begin()->first;
+      active.erase(active.begin());
+      warm[done] = {};
+      warm_atoms[done] = {};
+    }
+
+    // Departures-only fast path. The completions changed the carried
+    // problem by removal only: the surviving warm rows stay feasible
+    // and close to optimal, so a full relaxation at the completion
+    // point would be wasted. Instead the latest completion time gets a
+    // single gap check — a one-iteration warm re-solve that certifies
+    // the rows when they are still within tolerance and otherwise
+    // sheds one step of mass onto the capacity the departures freed —
+    // so this event's full re-solve starts from rows adapted to the
     // post-departure network.
-    if (options.departures_fast_path && std::isfinite(prev_event)) {
-      double depart = -std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < flows.size(); ++i) {
-        if (!out.admitted[i]) continue;
-        const double d = flows[i].deadline;
-        if (d > prev_event && d <= now && d > depart) depart = d;
+    if (options.departures_fast_path && std::isfinite(depart) &&
+        !active.empty()) {
+      std::vector<Flow> survivors;
+      std::vector<std::size_t> surviving;
+      std::vector<SparseEdgeFlow> gap_rows;
+      std::vector<AtomSet> gap_atoms;
+      survivors.reserve(active.size());
+      for (const auto& [deadline, i] : active) {
+        Flow res = flows[i];
+        res.id = static_cast<FlowId>(survivors.size());
+        res.release = depart;
+        res.volume = flows[i].density() * (deadline - depart);
+        survivors.push_back(res);
+        surviving.push_back(i);
+        gap_rows.push_back(warm[i]);
+        gap_atoms.push_back(std::move(warm_atoms[i]));
       }
-      if (std::isfinite(depart)) {
-        std::vector<Flow> survivors;
-        std::vector<std::size_t> surviving;
-        for (std::size_t i = 0; i < flows.size(); ++i) {
-          if (!out.admitted[i] || flows[i].deadline <= depart) continue;
-          Flow res = flows[i];
-          res.id = static_cast<FlowId>(survivors.size());
-          res.release = depart;
-          res.volume = flows[i].density() * (flows[i].deadline - depart);
-          survivors.push_back(res);
-          surviving.push_back(i);
-        }
-        if (!survivors.empty()) {
-          std::vector<SparseEdgeFlow> gap_rows(survivors.size());
-          for (std::size_t r = 0; r < survivors.size(); ++r) {
-            gap_rows[r] = warm[surviving[r]];
-          }
-          RelaxationOptions gap_options = options.rounding.relaxation;
-          gap_options.frank_wolfe.max_iterations = 1;
-          gap_options.frank_wolfe.step_rule = options.warm_step_rule;
-          FractionalRelaxation check = solve_relaxation(
-              g, survivors, model, gap_options, &workspace, &gap_rows);
-          ++out.departure_gap_checks;
-          out.gap_check_iterations += check.total_fw_iterations;
-          for (std::size_t r = 0; r < survivors.size(); ++r) {
-            warm[surviving[r]] = std::move(check.final_flow[r]);
-          }
-        }
+      RelaxationOptions gap_options = options.rounding.relaxation;
+      gap_options.frank_wolfe.max_iterations = 1;
+      gap_options.frank_wolfe.step_rule = options.warm_step_rule;
+      FractionalRelaxation check = solve_relaxation(
+          g, survivors, model, gap_options, &workspace, &gap_rows, &gap_atoms);
+      ++out.departure_gap_checks;
+      out.gap_check_iterations += check.total_fw_iterations;
+      for (std::size_t r = 0; r < survivors.size(); ++r) {
+        warm[surviving[r]] = std::move(check.final_flow[r]);
+        warm_atoms[surviving[r]] = std::move(check.final_atoms[r]);
       }
     }
-    prev_event = now;
 
     // Residual problem: admitted flows still in flight (at their
     // original densities — the density schedule leaves the residual
-    // density invariant), then the arriving batch.
+    // density invariant), straight off the index in deadline order,
+    // then the arriving batch.
     std::vector<Flow> residual;
     std::vector<std::size_t> orig;
     std::vector<const Path*> forced;
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      if (!out.admitted[i] || flows[i].deadline <= now) continue;
+    residual.reserve(active.size() + (hi - lo));
+    for (const auto& [deadline, i] : active) {
       Flow res = flows[i];
       res.id = static_cast<FlowId>(residual.size());
       res.release = now;
-      res.volume = flows[i].density() * (flows[i].deadline - now);
+      res.volume = flows[i].density() * (deadline - now);
       residual.push_back(res);
       orig.push_back(i);
       forced.push_back(&out.schedule.flows[i].path);
@@ -231,10 +296,20 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     const std::size_t first_new = residual.size();
     for (std::size_t k = lo; k < hi; ++k) {
       Flow res = flows[order[k]];
+      if (!reachable.routable(res.src, res.dst)) {
+        // No route at all: reject here rather than crash the routing
+        // oracle inside the relaxation.
+        ++out.num_rejected;
+        continue;
+      }
       res.id = static_cast<FlowId>(residual.size());
       residual.push_back(res);
       orig.push_back(order[k]);
       forced.push_back(nullptr);
+    }
+    if (residual.empty()) {  // nothing in flight, no routable arrival
+      lo = hi;
+      continue;
     }
 
     // Warm-started incremental re-solve over the shifted horizon. With
@@ -245,22 +320,35 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     // configured rule, so the all-at-t=0 case stays bit-identical to
     // offline dcfsr.
     std::vector<SparseEdgeFlow> warm_rows(residual.size());
+    std::vector<AtomSet> warm_atom_rows(residual.size());
     for (std::size_t r = 0; r < residual.size(); ++r) {
       warm_rows[r] = warm[orig[r]];
+      warm_atom_rows[r] = std::move(warm_atoms[orig[r]]);
     }
     RelaxationOptions relax_options = options.rounding.relaxation;
     if (first_new > 0) {
       relax_options.frank_wolfe.step_rule = options.warm_step_rule;
     }
-    FractionalRelaxation relax = solve_relaxation(g, residual, model,
-                                                  relax_options, &workspace,
-                                                  &warm_rows);
+    FractionalRelaxation relax =
+        solve_relaxation(g, residual, model, relax_options, &workspace,
+                         &warm_rows, &warm_atom_rows);
     ++out.resolves;
     out.fw_iterations += relax.total_fw_iterations;
     if (out.resolves == 1) out.first_lower_bound = relax.lower_bound_energy;
     for (std::size_t r = 0; r < residual.size(); ++r) {
       warm[orig[r]] = std::move(relax.final_flow[r]);
+      warm_atoms[orig[r]] = std::move(relax.final_atoms[r]);
     }
+
+    // After this event's admissions the index must hold every admitted
+    // in-flight flow, and rejected arrivals must not keep warm state.
+    auto admit_into_index = [&](std::size_t i) {
+      active.emplace(flows[i].deadline, i);
+    };
+    auto release_rejected = [&](std::size_t i) {
+      warm[i] = {};
+      warm_atoms[i] = {};
+    };
 
     // Joint batch admission: randomized rounding with admitted flows
     // pinned to their circuits (exactly offline Algorithm 2 when no
@@ -273,7 +361,10 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
         const Flow& fl = flows[orig[r]];
         commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
                {{fl.span(), fl.density()}});
+        admit_into_index(orig[r]);
       }
+      out.peak_in_flight = std::max(out.peak_in_flight,
+                                    static_cast<std::int32_t>(active.size()));
       lo = hi;
       continue;
     }
@@ -293,15 +384,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     if (options.fallback_order == FallbackAdmissionOrder::kDeadlineDensity) {
       std::sort(fallback_order.begin(), fallback_order.end(),
                 [&](std::size_t a, std::size_t b) {
-                  const Flow& fa = flows[orig[a]];
-                  const Flow& fb = flows[orig[b]];
-                  if (fa.deadline != fb.deadline) {
-                    return fa.deadline < fb.deadline;
-                  }
-                  if (fa.density() != fb.density()) {
-                    return fa.density() > fb.density();
-                  }
-                  return fa.id < fb.id;
+                  return rcd_before(flows[orig[a]], flows[orig[b]]);
                 });
     }
     std::vector<double> weights;
@@ -316,13 +399,112 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
         const Path& path = draw_path(relax.candidates[r], rng, weights);
         if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
           commit(out, load, i, path, {{fl.span(), fl.density()}});
+          admit_into_index(i);
           placed = true;
         }
       }
-      if (!placed) ++out.num_rejected;
+      if (!placed) {
+        ++out.num_rejected;
+        release_rejected(i);
+      }
     }
+    out.peak_in_flight = std::max(out.peak_in_flight,
+                                  static_cast<std::int32_t>(active.size()));
     lo = hi;
   }
+  return out;
+}
+
+OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
+                          const PowerModel& model, Rng& rng,
+                          const OnlineOptions& options) {
+  validate_flows(g, flows);
+  OnlineResult out;
+  out.schedule.flows.resize(flows.size());
+  out.admitted.assign(flows.size(), false);
+  if (flows.empty()) return out;
+  out.num_events = 1;
+  const double capacity = model.capacity();
+  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+
+  // Connectivity screen: unroutable flows are rejections, never fed to
+  // the relaxation. The common all-routable case keeps the original
+  // vector, so the joint-feasible trajectory below stays bit-identical
+  // to offline dcfsr.
+  ReachabilityCache reachable(g);
+  std::vector<std::size_t> orig;
+  orig.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (reachable.routable(flows[i].src, flows[i].dst)) {
+      orig.push_back(i);
+    } else {
+      ++out.num_rejected;
+    }
+  }
+  if (orig.empty()) return out;
+  std::vector<Flow> sub;
+  const std::vector<Flow>* trace = &flows;
+  if (orig.size() != flows.size()) {
+    sub.reserve(orig.size());
+    for (const std::size_t i : orig) {
+      Flow fl = flows[i];
+      fl.id = static_cast<FlowId>(sub.size());
+      sub.push_back(fl);
+    }
+    trace = &sub;
+  }
+
+  // One relaxation over the whole trace at its true spans — exactly the
+  // offline Algorithm 2 relaxation (classic rule, cold start), so the
+  // joint-feasible case reproduces offline dcfsr bit for bit on the
+  // shared rng stream.
+  const FractionalRelaxation relax =
+      solve_relaxation(g, *trace, model, options.rounding.relaxation);
+  out.resolves = 1;
+  out.fw_iterations = relax.total_fw_iterations;
+  out.first_lower_bound = relax.lower_bound_energy;
+
+  RandomScheduleResult draw =
+      round_relaxation(g, *trace, model, relax, rng, options.rounding);
+  out.rounding_attempts += draw.rounding_attempts;
+  if (draw.capacity_feasible) {
+    for (std::size_t r = 0; r < trace->size(); ++r) {
+      const Flow& fl = flows[orig[r]];
+      commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+             {{fl.span(), fl.density()}});
+    }
+    out.peak_in_flight = peak_overlap(flows, out.admitted);
+    return out;
+  }
+
+  // Contended hindsight: admit one flow at a time in the RCD urgency
+  // order over the *whole* trace (the online loop only ever sees one
+  // event batch at a time — the oracle's edge is exactly this global
+  // ordering plus the trace-wide relaxation candidates).
+  ++out.batch_fallbacks;
+  std::vector<std::size_t> fallback_order(trace->size());
+  std::iota(fallback_order.begin(), fallback_order.end(), std::size_t{0});
+  std::sort(fallback_order.begin(), fallback_order.end(),
+            [trace](std::size_t a, std::size_t b) {
+              return rcd_before((*trace)[a], (*trace)[b]);
+            });
+  std::vector<double> weights;
+  for (const std::size_t r : fallback_order) {
+    const Flow& fl = flows[orig[r]];
+    bool placed = false;
+    for (std::int32_t attempt = 0;
+         attempt < options.rounding.max_rounding_attempts && !placed;
+         ++attempt) {
+      ++out.rounding_attempts;
+      const Path& path = draw_path(relax.candidates[r], rng, weights);
+      if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+        commit(out, load, orig[r], path, {{fl.span(), fl.density()}});
+        placed = true;
+      }
+    }
+    if (!placed) ++out.num_rejected;
+  }
+  out.peak_in_flight = peak_overlap(flows, out.admitted);
   return out;
 }
 
@@ -356,7 +538,13 @@ OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
           1e-12);
     }
     auto path = dijkstra_shortest_path(g, fl.src, fl.dst, weights);
-    DCN_ENSURES(path.has_value());
+    if (!path.has_value()) {
+      // No route at all (disconnected endpoints): a rejection like any
+      // other unplaceable flow — online inputs are not pre-screened for
+      // connectivity, so this must not abort the run.
+      ++out.num_rejected;
+      continue;
+    }
 
     if (rate_fits(load, *path, fl.span(), d, capacity)) {
       commit(out, load, i, std::move(*path), {{fl.span(), d}});

@@ -26,6 +26,13 @@
 //     Sec. III-A). Re-solves therefore re-optimize *routing of new
 //     arrivals* against a fractional re-optimization of everything in
 //     flight.
+//   * The event loop is indexed: admitted in-flight flows live in a
+//     deadline-ordered active set, so each event touches O(active +
+//     log n) state — completions pop off the front, the residual
+//     problem reads the set directly, and the warm rows + path atoms
+//     of departed (or rejected) flows are released immediately, so a
+//     run over thousands of arrivals keeps memory and per-event cost
+//     proportional to the flows actually in flight.
 //
 // Two policies:
 //
@@ -51,12 +58,26 @@
 //                  density does not fit, an EDF-style fallback packs
 //                  the flow into the earliest remaining capacity on
 //                  that path, and the flow is rejected only when even
-//                  that cannot finish by the deadline.
+//                  that cannot finish by the deadline (or when no path
+//                  exists at all — disconnected endpoints are a
+//                  rejection, not an abort).
+//   oracle_dcfsr   The hindsight baseline for empirical competitive
+//                  ratios (cf. DCoflow): every flow is presented in one
+//                  batch with full knowledge of the trace, admitted by
+//                  exactly the online machinery — joint rounding first,
+//                  RCD-ordered per-flow fallback after — against the
+//                  true spans. When the joint rounding is feasible
+//                  (always, at infinite capacity) this IS offline
+//                  Random-Schedule bit for bit; under contention it
+//                  admits the subset an offline scheduler could have
+//                  served, the denominator of bench_online's cr_admit
+//                  and cr_energy columns.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/piecewise.h"
 #include "common/random.h"
 #include "dcfsr/random_schedule.h"
 #include "flow/flow.h"
@@ -129,6 +150,11 @@ struct OnlineResult {
   /// every flow arrives at the first event.
   double first_lower_bound = 0.0;
 
+  /// Largest number of admitted flows simultaneously in flight at any
+  /// event — the working-set size the indexed event loop keeps warm
+  /// state for (memory scales with this, not with the offered total).
+  std::int32_t peak_in_flight = 0;
+
   // online_greedy diagnostics.
   std::int32_t edf_fallbacks = 0;       // admissions via the EDF fill
 };
@@ -155,5 +181,25 @@ struct OnlineResult {
 [[nodiscard]] OnlineResult online_greedy(const Graph& g,
                                          const std::vector<Flow>& flows,
                                          const PowerModel& model);
+
+/// Hindsight admission oracle (see file comment): offline dcfsr over
+/// the whole trace with admission control — joint randomized rounding,
+/// then RCD-ordered per-flow fallback. Passing the offline dcfsr rng
+/// stream makes the joint-feasible case bit-identical to offline
+/// Random-Schedule. The denominator of empirical competitive ratios.
+[[nodiscard]] OnlineResult oracle_dcfsr(const Graph& g,
+                                        const std::vector<Flow>& flows,
+                                        const PowerModel& model, Rng& rng,
+                                        const OnlineOptions& options = {});
+
+/// EDF-style fallback fill (exposed for testing): packs `volume` into
+/// the earliest remaining capacity of `path` within `span` against the
+/// committed per-edge `load`, one segment per elementary piece of
+/// constant committed load. Returns the segments, or an empty vector
+/// when even the full remaining capacity cannot finish the volume by
+/// span.hi (to the relative tolerance of the admission slack).
+[[nodiscard]] std::vector<RateSegment> edf_fill(
+    const std::vector<StepFunction>& load, const Path& path,
+    const Interval& span, double volume, double capacity);
 
 }  // namespace dcn

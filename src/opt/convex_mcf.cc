@@ -16,9 +16,9 @@ namespace {
 /// appending a new atom when the path is not active yet. Both step
 /// rules funnel their target-path bookkeeping through here so the
 /// active-set semantics cannot diverge between them.
-void merge_into_atoms(std::vector<ConvexMcfWorkspace::PathAtom>& atoms,
-                      const std::vector<EdgeId>& edges, double delta) {
-  for (ConvexMcfWorkspace::PathAtom& atom : atoms) {
+void merge_into_atoms(AtomSet& atoms, const std::vector<EdgeId>& edges,
+                      double delta) {
+  for (PathAtom& atom : atoms) {
     if (atom.edges == edges) {
       atom.weight += delta;
       return;
@@ -44,7 +44,8 @@ void group_by_source(const std::vector<Commodity>& commodities,
 ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
                                    const FrankWolfeOptions& options,
                                    const std::vector<SparseEdgeFlow>* warm_start,
-                                   ConvexMcfWorkspace* workspace) {
+                                   ConvexMcfWorkspace* workspace,
+                                   const std::vector<AtomSet>* warm_atoms) {
   DCN_EXPECTS(problem.graph != nullptr);
   DCN_EXPECTS(static_cast<bool>(problem.cost));
   DCN_EXPECTS(static_cast<bool>(problem.cost_derivative));
@@ -171,12 +172,25 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   // Initial point: warm start when shapes match, otherwise route every
   // commodity on its cheapest path under the empty-network marginal
   // cost — which is exactly the clean workspace weights vector.
+  // Commodities with a carried active set (pairwise only) skip the row
+  // copy: their rows are rebuilt from the atoms below, so the atom
+  // representation and the edge flow agree to the last bit.
+  const bool atoms_carried = pairwise && warm_atoms != nullptr &&
+                             warm_atoms->size() == num_commodities;
+  auto has_carried_atoms = [&](std::size_t c) {
+    if (!atoms_carried) return false;
+    for (const PathAtom& atom : (*warm_atoms)[c]) {
+      if (atom.weight > 1e-12) return true;
+    }
+    return false;
+  };
   std::vector<SparseEdgeFlow>& rows = sol.commodity_flow;
   rows.assign(num_commodities, {});
   bool warm_rows = false;
   if (warm_start != nullptr && warm_start->size() == num_commodities) {
     warm_rows = true;
     for (std::size_t c = 0; c < num_commodities; ++c) {
+      if (has_carried_atoms(c)) continue;
       for (const auto& [e, v] : (*warm_start)[c]) {
         DCN_EXPECTS(g.valid_edge(e));
         if (v > 1e-15) rows[c].emplace_back(e, v);
@@ -191,18 +205,36 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
     }
   }
 
-  // Pairwise mode: seed each commodity's active set. A warm row is a
-  // convex combination of paths (the solver's own output shape), so the
-  // Raghavan-Tompson extraction recovers its atoms; the row is then
-  // rebuilt from the atoms so the atom representation and the edge flow
-  // agree to the last bit (the extraction discards residual float
-  // dust). Cold rows are a single cheapest-path atom already. An empty
-  // row leaves an empty active set, and that commodity simply rides
-  // the classic fallback steps.
-  std::vector<std::vector<ConvexMcfWorkspace::PathAtom>>& atoms = ws.atoms_;
+  // Pairwise mode: seed each commodity's active set. A carried set
+  // (warm_atoms) is adopted directly — dust atoms dropped, the row
+  // rebuilt as the atoms' edge-sum — skipping the decomposition below.
+  // Otherwise a warm row is a convex combination of paths (the solver's
+  // own output shape), so the Raghavan-Tompson extraction recovers its
+  // atoms; the row is then rebuilt from the atoms so the atom
+  // representation and the edge flow agree to the last bit (the
+  // extraction discards residual float dust). Cold rows are a single
+  // cheapest-path atom already. An empty row leaves an empty active
+  // set, and that commodity simply rides the classic fallback steps.
+  std::vector<AtomSet>& atoms = ws.atoms_;
   if (pairwise) {
     atoms.assign(num_commodities, {});
     for (std::size_t c = 0; c < num_commodities; ++c) {
+      if (has_carried_atoms(c)) {
+        // The carried atoms define the commodity's initial point: drop
+        // whatever the row holds (the cold-start path when warm_start
+        // was absent) so the rebuild below cannot stack on top of it.
+        rows[c].clear();
+        for (const PathAtom& atom : (*warm_atoms)[c]) {
+          if (atom.weight <= 1e-12) continue;
+          atoms[c].push_back(atom);
+          for (const EdgeId e : atom.edges) {
+            DCN_EXPECTS(g.valid_edge(e));
+            sparse_flow_add(rows[c], e, atom.weight);
+          }
+        }
+        std::sort(rows[c].begin(), rows[c].end());
+        continue;
+      }
       if (rows[c].empty()) continue;
       const Commodity& com = problem.commodities[c];
       if (warm_rows) {
@@ -503,6 +535,12 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   // Canonicalize the per-commodity rows for the caller: drop float
   // dust, sort by edge id.
   for (SparseEdgeFlow& row : rows) sparse_flow_canonicalize(row, 1e-15);
+
+  // Hand the active sets to the caller (pairwise only): the atom
+  // decomposition of the final point, ready to seed the next related
+  // solve without a Raghavan-Tompson pass. The workspace copy is
+  // rebuilt per solve, so moving it out is free.
+  if (pairwise) sol.commodity_atoms = std::move(ws.atoms_);
 
   // Restore the workspace invariant for the next solve.
   for (const EdgeId e : ws.x_support_) {

@@ -67,6 +67,22 @@ struct ConvexMcfProblem {
   double min_edge_weight = 1e-9;
 };
 
+/// One path atom of the pairwise step rule's active sets: a candidate
+/// s-t path and the mass it carries. A commodity's atoms sum to its
+/// demand and their edge-sum reproduces its sparse flow row — the
+/// decomposed representation the pairwise rule moves mass between, and
+/// a first-class solver output: callers thread a solve's final atoms
+/// into the next related solve (`warm_atoms`), which skips the
+/// Raghavan-Tompson re-decomposition of the warm rows and preserves
+/// atom identity across re-solves.
+struct PathAtom {
+  std::vector<EdgeId> edges;
+  double weight = 0.0;
+};
+
+/// A commodity's active set of path atoms.
+using AtomSet = std::vector<PathAtom>;
+
 /// Which Frank-Wolfe step the solver takes each iteration.
 enum class FrankWolfeStepRule : std::int32_t {
   /// Classic flow deviation: every step is one joint convex
@@ -119,6 +135,11 @@ struct ConvexMcfSolution {
   /// drive the raw gap slightly negative at convergence.
   double relative_gap = 0.0;
   std::int32_t iterations = 0;
+  /// Per-commodity active sets at termination — populated only under
+  /// the pairwise step rule (empty vector under kClassic). atoms[c] is
+  /// a path decomposition of commodity_flow[c]; feed it back through
+  /// `warm_atoms` to seed a later related solve without re-decomposing.
+  std::vector<AtomSet> commodity_atoms;
 };
 
 class ConvexMcfWorkspace;
@@ -129,10 +150,21 @@ class ConvexMcfWorkspace;
 /// so warm starts cut iteration counts substantially). `workspace`,
 /// when non-null, is reused across calls and eliminates all O(V)/O(E)
 /// scratch allocation after the first solve on a given graph.
+///
+/// `warm_atoms`, when non-null and of matching length (pairwise rule
+/// only), carries each commodity's active set from a previous related
+/// solve: a non-empty set seeds the commodity's atoms directly — its
+/// initial point is rebuilt from the atoms, the matching `warm_start`
+/// row is ignored, and the per-solve Raghavan-Tompson decomposition of
+/// that row is skipped. Atom weights must sum to the commodity's demand
+/// (a previous solve's commodity_atoms qualify as long as the demand is
+/// unchanged). Empty sets fall back to decomposing the warm row (or the
+/// cold start).
 [[nodiscard]] ConvexMcfSolution solve_convex_mcf(
     const ConvexMcfProblem& problem, const FrankWolfeOptions& options = {},
     const std::vector<SparseEdgeFlow>* warm_start = nullptr,
-    ConvexMcfWorkspace* workspace = nullptr);
+    ConvexMcfWorkspace* workspace = nullptr,
+    const std::vector<AtomSet>* warm_atoms = nullptr);
 
 /// Reusable scratch for solve_convex_mcf: Dijkstra state, the dense
 /// marginal-weight and target vectors (kept in a canonical "clean"
@@ -144,20 +176,12 @@ class ConvexMcfWorkspace {
  public:
   ConvexMcfWorkspace() = default;
 
-  /// One active-set atom of the pairwise step rule: a candidate path
-  /// and the mass it carries (atom weights of a commodity sum to its
-  /// demand). Public only so the solver's internals can name it; the
-  /// workspace state remains opaque.
-  struct PathAtom {
-    std::vector<EdgeId> edges;
-    double weight = 0.0;
-  };
-
  private:
   friend ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem&,
                                             const FrankWolfeOptions&,
                                             const std::vector<SparseEdgeFlow>*,
-                                            ConvexMcfWorkspace*);
+                                            ConvexMcfWorkspace*,
+                                            const std::vector<AtomSet>*);
 
   DijkstraWorkspace dijkstra_;
   /// Flat adjacency snapshot, rebuilt per solve (the graph is fixed for
@@ -190,10 +214,11 @@ class ConvexMcfWorkspace {
   std::vector<std::pair<double, double>> line_search_diff_;  // (x_e, y_e)
 
   // Pairwise-mode state (untouched under the classic rule).
-  /// Per-commodity active sets, rebuilt each solve — seeded by
-  /// decomposing the warm rows into paths, or from the cold-start
-  /// cheapest paths.
-  std::vector<std::vector<PathAtom>> atoms_;
+  /// Per-commodity active sets, rebuilt each solve — seeded from
+  /// caller-carried atoms, by decomposing the warm rows into paths, or
+  /// from the cold-start cheapest paths; moved into the solution's
+  /// commodity_atoms at termination.
+  std::vector<AtomSet> atoms_;
   /// Decomposition scratch for the warm-row seeding.
   FlowDecompositionWorkspace atom_seed_;
   /// Dense pairwise direction, generation-stamped like the targets.

@@ -1,0 +1,139 @@
+// Boundary cases of the online EDF fallback fill (edf_fill,
+// src/online/online_scheduler.cc): the piece-by-piece packer that
+// admits a flow whose constant density does not fit by loading it into
+// the earliest remaining capacity of its path.
+//
+// Pinned here: exact-fit volume on the last elementary piece,
+// zero-availability pieces skipped entirely, committed segments
+// touching the span endpoints, and the `remaining > tolerance`
+// rejection path when even the full remaining capacity cannot finish
+// the volume.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/piecewise.h"
+#include "online/online_scheduler.h"
+
+namespace dcn {
+namespace {
+
+constexpr double kCap = 4.0;
+
+/// Two-edge path over a three-node line; load[0] / load[1] are the
+/// committed timelines of its edges.
+struct Fixture {
+  Path path{0, 2, {0, 1}};
+  std::vector<StepFunction> load{2};
+};
+
+double total_volume(const std::vector<RateSegment>& segments) {
+  double v = 0.0;
+  for (const RateSegment& seg : segments) v += seg.volume();
+  return v;
+}
+
+TEST(EdfFill, IdleSpanFillsFromTheFrontAtFullCapacity) {
+  Fixture f;
+  const std::vector<RateSegment> segs =
+      edf_fill(f.load, f.path, {0.0, 10.0}, 12.0, kCap);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].rate, kCap);
+  EXPECT_DOUBLE_EQ(segs[0].interval.lo, 0.0);
+  EXPECT_DOUBLE_EQ(segs[0].interval.hi, 3.0);  // 12 volume at rate 4
+  EXPECT_DOUBLE_EQ(total_volume(segs), 12.0);
+}
+
+TEST(EdfFill, ExactFitVolumeOnTheLastPieceEndsFlushWithTheDeadline) {
+  Fixture f;
+  // [0, 6) committed at 3 on edge 0 -> avail 1; [6, 10) idle -> avail 4.
+  f.load[0].add({0.0, 6.0}, 3.0);
+  // 6*1 + 4*4 = 22: exactly the whole span's remaining capacity.
+  const std::vector<RateSegment> segs =
+      edf_fill(f.load, f.path, {0.0, 10.0}, 22.0, kCap);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_DOUBLE_EQ(segs[0].rate, 1.0);
+  EXPECT_EQ(segs[0].interval, (Interval{0.0, 6.0}));
+  EXPECT_DOUBLE_EQ(segs[1].rate, 4.0);
+  // The exact-fit branch (takeable >= remaining) must close the last
+  // piece exactly at the span end, not overrun it.
+  EXPECT_DOUBLE_EQ(segs[1].interval.lo, 6.0);
+  EXPECT_DOUBLE_EQ(segs[1].interval.hi, 10.0);
+  EXPECT_DOUBLE_EQ(total_volume(segs), 22.0);
+}
+
+TEST(EdfFill, ZeroAvailabilityPiecesAreSkippedNotEmitted) {
+  Fixture f;
+  // The middle piece is saturated on edge 1: no segment may be emitted
+  // for it, and the fill must resume after it.
+  f.load[1].add({2.0, 5.0}, kCap);
+  const std::vector<RateSegment> segs =
+      edf_fill(f.load, f.path, {0.0, 10.0}, 16.0, kCap);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].interval, (Interval{0.0, 2.0}));
+  EXPECT_DOUBLE_EQ(segs[0].rate, kCap);
+  EXPECT_DOUBLE_EQ(segs[1].interval.lo, 5.0);  // resumed after the block
+  EXPECT_DOUBLE_EQ(segs[1].interval.hi, 7.0);
+  EXPECT_DOUBLE_EQ(total_volume(segs), 16.0);
+}
+
+TEST(EdfFill, BottleneckIsTheMaxLoadAcrossThePathsEdges) {
+  Fixture f;
+  // Different committed loads on the two edges over the same stretch:
+  // availability is capacity minus the *worst* edge.
+  f.load[0].add({0.0, 4.0}, 1.0);
+  f.load[1].add({0.0, 4.0}, 3.0);
+  const std::vector<RateSegment> segs =
+      edf_fill(f.load, f.path, {0.0, 4.0}, 4.0, kCap);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_DOUBLE_EQ(segs[0].rate, 1.0);  // 4 - max(1, 3)
+  EXPECT_EQ(segs[0].interval, (Interval{0.0, 4.0}));
+}
+
+TEST(EdfFill, CommittedSegmentsTouchingTheSpanEndpointsClipCorrectly) {
+  Fixture f;
+  // Saturated prefix starting exactly at span.lo and a saturated
+  // suffix ending exactly at span.hi: only the middle window remains,
+  // and the breakpoints at 0 and 10 must not create degenerate pieces.
+  f.load[0].add({0.0, 3.0}, kCap);
+  f.load[0].add({7.0, 10.0}, kCap);
+  const std::vector<RateSegment> segs =
+      edf_fill(f.load, f.path, {0.0, 10.0}, 16.0, kCap);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].interval, (Interval{3.0, 7.0}));
+  EXPECT_DOUBLE_EQ(segs[0].rate, kCap);
+  EXPECT_DOUBLE_EQ(total_volume(segs), 16.0);
+}
+
+TEST(EdfFill, BreakpointsOutsideTheSpanDoNotCutPieces) {
+  Fixture f;
+  // Committed load straddling the span on both sides: its breakpoints
+  // lie outside [2, 8) and must be ignored by the cut builder, leaving
+  // one uniform piece at the straddling segment's availability.
+  f.load[0].add({0.0, 10.0}, 1.5);
+  const std::vector<RateSegment> segs =
+      edf_fill(f.load, f.path, {2.0, 8.0}, 15.0, kCap);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].interval, (Interval{2.0, 8.0}));
+  EXPECT_DOUBLE_EQ(segs[0].rate, 2.5);
+  EXPECT_DOUBLE_EQ(total_volume(segs), 15.0);
+}
+
+TEST(EdfFill, RejectsWhenRemainingVolumeExceedsTolerance) {
+  Fixture f;
+  f.load[0].add({0.0, 10.0}, 3.0);  // avail 1 throughout
+  // 10 time units at availability 1 carry 10 < 10.1: rejection must
+  // return an empty vector, not a partial fill.
+  EXPECT_TRUE(edf_fill(f.load, f.path, {0.0, 10.0}, 10.1, kCap).empty());
+  // At exactly the carriable volume (within float tolerance) it fits.
+  EXPECT_FALSE(edf_fill(f.load, f.path, {0.0, 10.0}, 10.0, kCap).empty());
+}
+
+TEST(EdfFill, FullySaturatedSpanRejectsOutright) {
+  Fixture f;
+  f.load[1].add({0.0, 10.0}, kCap);
+  EXPECT_TRUE(edf_fill(f.load, f.path, {0.0, 10.0}, 1.0, kCap).empty());
+}
+
+}  // namespace
+}  // namespace dcn

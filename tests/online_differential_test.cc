@@ -79,6 +79,72 @@ TEST_F(OnlineDifferentialTest, MatchesOfflineDcfsrOnFatTree) {
   }
 }
 
+TEST_F(OnlineDifferentialTest, OracleMatchesOfflineDcfsrWhenJointRoundingFits) {
+  // The hindsight oracle runs offline Algorithm 2 on the whole trace
+  // with the "dcfsr" rng stream; whenever its joint rounding is
+  // capacity-feasible it must BE offline dcfsr — identical schedule,
+  // identical energy. All-at-t=0 (incast) and genuinely staggered
+  // (poisson at infinite capacity, where rounding is always feasible)
+  // both land in that case.
+  for (const char* spec : {"line/incast", "fat_tree/incast"}) {
+    const Instance instance = suite_.build(spec, 7);
+    const SolverOutcome offline = run(instance, "dcfsr");
+    const SolverOutcome oracle = run(instance, "oracle_dcfsr");
+    ASSERT_TRUE(offline.feasible) << spec << ": " << offline.first_issue;
+    ASSERT_TRUE(oracle.feasible) << spec << ": " << oracle.first_issue;
+    EXPECT_EQ(oracle.energy, offline.energy) << spec;
+    ASSERT_EQ(oracle.schedule.flows.size(), offline.schedule.flows.size());
+    for (std::size_t i = 0; i < oracle.schedule.flows.size(); ++i) {
+      EXPECT_EQ(oracle.schedule.flows[i].path, offline.schedule.flows[i].path)
+          << spec;
+      EXPECT_EQ(oracle.schedule.flows[i].segments,
+                offline.schedule.flows[i].segments)
+          << spec;
+    }
+  }
+  ScenarioOptions options;
+  options.num_flows = 16;
+  const Instance staggered = suite_.build("fat_tree/poisson", 3, options);
+  const SolverOutcome offline = run(staggered, "dcfsr");
+  const SolverOutcome oracle = run(staggered, "oracle_dcfsr");
+  ASSERT_TRUE(offline.feasible) << offline.first_issue;
+  ASSERT_TRUE(oracle.feasible) << oracle.first_issue;
+  EXPECT_EQ(oracle.energy, offline.energy);
+  for (const auto& [key, value] : oracle.stats) {
+    if (key == "rejected") {
+      EXPECT_EQ(value, 0.0);
+    }
+    if (key == "admitted") {
+      EXPECT_EQ(value, static_cast<double>(staggered.flows().size()));
+    }
+  }
+}
+
+TEST_F(OnlineDifferentialTest, OracleAdmitsAtLeastAsManyAsItRejects) {
+  // Under real contention the oracle falls back to RCD-ordered per-flow
+  // admission; the result must stay replay-feasible and never serve a
+  // rejected flow (the invariants the property suite pins for the
+  // online policies, asserted here for the hindsight baseline).
+  ScenarioOptions options;
+  options.num_flows = 24;
+  options.capacity = 2.0;
+  options.arrival_rate = 4.0;
+  const Instance instance = suite_.build("fat_tree/poisson", 5, options);
+  const SolverOutcome oracle = run(instance, "oracle_dcfsr");
+  ASSERT_TRUE(oracle.feasible) << oracle.first_issue;
+  double admitted = -1.0, rejected = -1.0;
+  for (const auto& [key, value] : oracle.stats) {
+    if (key == "admitted") admitted = value;
+    if (key == "rejected") rejected = value;
+  }
+  EXPECT_GE(admitted, 1.0);
+  EXPECT_EQ(admitted + rejected, static_cast<double>(instance.flows().size()));
+  for (std::size_t i = 0; i < oracle.schedule.flows.size(); ++i) {
+    if (oracle.schedule.flows[i].segments.empty()) continue;
+    EXPECT_FALSE(oracle.schedule.flows[i].path.empty()) << i;
+  }
+}
+
 TEST_F(OnlineDifferentialTest, StaggeredArrivalsStillServeEveryAdmittedFlow) {
   // Genuinely online input (Poisson releases) on the paper's k=4
   // fat-tree: at least one flow admitted, and the admitted subset

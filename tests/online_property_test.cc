@@ -113,6 +113,43 @@ TEST(OnlineProperty, InvariantsHoldAcrossFiftySeededScenarios) {
   }
 }
 
+TEST(OnlineAdmission, DisconnectedEndpointsAreRejectedNotFatal) {
+  // Two components; the cross-component flow has no path at all. Every
+  // admission path — greedy, the rolling horizon, and the hindsight
+  // oracle — must count it rejected and keep going, not abort on a
+  // routing contract (online inputs are not pre-screened for
+  // connectivity).
+  Graph g(4);
+  g.add_bidirectional_edge(0, 1);
+  g.add_bidirectional_edge(2, 3);
+  std::vector<Flow> flows;
+  flows.push_back({0, 0, 1, 4.0, 0.0, 2.0});  // routable
+  flows.push_back({1, 0, 2, 4.0, 0.0, 2.0});  // disconnected endpoints
+  flows.push_back({2, 2, 3, 4.0, 1.0, 3.0});  // routable, later event
+  const PowerModel model(0.0, 1.0, 2.0, 8.0);
+
+  OnlineOptions options;
+  options.rounding.relaxation.frank_wolfe.max_iterations = 15;
+  options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  for (const char* policy : {"online_greedy", "online_dcfsr", "oracle_dcfsr"}) {
+    Rng rng(11);
+    OnlineResult r;
+    if (std::string(policy) == "online_greedy") {
+      r = online_greedy(g, flows, model);
+    } else if (std::string(policy) == "online_dcfsr") {
+      r = online_dcfsr(g, flows, model, rng, options);
+    } else {
+      r = oracle_dcfsr(g, flows, model, rng, options);
+    }
+    EXPECT_EQ(r.num_admitted, 2) << policy;
+    EXPECT_EQ(r.num_rejected, 1) << policy;
+    EXPECT_FALSE(r.admitted[1]) << policy;
+    EXPECT_TRUE(r.schedule.flows[1].segments.empty()) << policy;
+    EXPECT_TRUE(r.admitted[0]) << policy;
+    EXPECT_TRUE(r.admitted[2]) << policy;
+  }
+}
+
 TEST(OnlineProperty, AdmissionIsMonotoneInCapacityOnTheSweptSeeds) {
   const double kInf = std::numeric_limits<double>::infinity();
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {

@@ -178,7 +178,7 @@ TEST(PairwiseFrankWolfe, ParallelOracleIsByteIdentical) {
 
 TEST(PairwiseFrankWolfe, OnlineBatchGridIsJobsInvariant) {
   engine::BatchSpec spec;
-  spec.solvers = {"online_dcfsr", "online_dcfsr_id"};
+  spec.solvers = {"online_dcfsr", "online_dcfsr_id", "oracle_dcfsr"};
   spec.scenarios = {"fat_tree/poisson", "leaf_spine/hadoop"};
   spec.seeds = {1, 2};
   spec.options.num_flows = 10;
@@ -199,6 +199,48 @@ TEST(PairwiseFrankWolfe, OnlineBatchGridIsJobsInvariant) {
     EXPECT_EQ(serial.cells[i].outcome.stats, parallel.cells[i].outcome.stats)
         << i;
   }
+}
+
+TEST(OnlineActiveFlowIndex, PeakInFlightTracksWavesNotTotals) {
+  // Three disjoint waves of two flows each, every wave completing
+  // before the next arrives: the deadline-ordered active index must
+  // never hold more than one wave, so the warm state the run keeps is
+  // proportional to the flows in flight, not the offered total.
+  const Topology topo = fat_tree(4);
+  const std::vector<NodeId>& hosts = topo.hosts();
+  std::vector<Flow> flows;
+  for (int wave = 0; wave < 3; ++wave) {
+    const double t = 100.0 * wave;
+    flows.push_back(
+        {static_cast<FlowId>(flows.size()), hosts[0], hosts[5], 20.0, t,
+         t + 10.0});
+    flows.push_back(
+        {static_cast<FlowId>(flows.size()), hosts[1], hosts[6], 20.0, t,
+         t + 10.0});
+  }
+  const PowerModel model(1.0, 1.0, 2.0, 8.0);
+  OnlineOptions options;
+  options.rounding.relaxation.frank_wolfe.max_iterations = 15;
+  options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  Rng rng(17);
+  const OnlineResult r = online_dcfsr(topo.graph(), flows, model, rng, options);
+  EXPECT_EQ(r.num_admitted, 6);
+  EXPECT_EQ(r.num_events, 3);
+  EXPECT_EQ(r.peak_in_flight, 2);
+
+  // Degenerate all-at-t=0 check of the same counter: everything is in
+  // flight at once.
+  std::vector<Flow> together;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    Flow fl = flows[i];
+    fl.release = 0.0;
+    fl.deadline = 10.0;
+    together.push_back(fl);
+  }
+  Rng rng2(17);
+  const OnlineResult all =
+      online_dcfsr(topo.graph(), together, model, rng2, options);
+  EXPECT_EQ(all.peak_in_flight, all.num_admitted);
 }
 
 TEST(OnlineDeparturesFastPath, CompletionWindowGetsGapCheckNotFullResolve) {

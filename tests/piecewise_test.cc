@@ -1,6 +1,7 @@
 // Tests for StepFunction (piecewise-constant rate timelines).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/piecewise.h"
@@ -39,6 +40,41 @@ TEST(StepFunction, OverlappingSegmentsAccumulate) {
   EXPECT_DOUBLE_EQ(f.value_at(5.0), 2.0);
   EXPECT_DOUBLE_EQ(f.integral(), 1.0 * 4.0 + 2.0 * 4.0);
   EXPECT_DOUBLE_EQ(f.max_value(), 3.0);
+}
+
+TEST(StepFunction, MaxWithinMatchesSegmentsScan) {
+  StepFunction f;
+  f.add({0.0, 4.0}, 1.0);
+  f.add({2.0, 6.0}, 2.0);
+  f.add({5.0, 9.0}, 0.5);
+  // Reference: the segments() overlap scan max_within replaces.
+  auto reference = [&f](const Interval& window) {
+    double peak = 0.0;
+    for (const auto& [iv, value] : f.segments()) {
+      if (iv.overlaps(window)) peak = std::max(peak, value);
+    }
+    return peak;
+  };
+  for (double lo = -1.0; lo <= 10.0; lo += 0.5) {
+    for (double hi = lo; hi <= 10.5; hi += 0.5) {
+      EXPECT_DOUBLE_EQ(f.max_within({lo, hi}), reference({lo, hi}))
+          << "[" << lo << ", " << hi << ")";
+    }
+  }
+}
+
+TEST(StepFunction, MaxWithinWindowBoundaries) {
+  StepFunction f;
+  f.add({2.0, 4.0}, 3.0);
+  // Window entirely before / after the support.
+  EXPECT_DOUBLE_EQ(f.max_within({0.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(f.max_within({4.0, 8.0}), 0.0);
+  // Touching windows see the segment (shared-point overlap semantics).
+  EXPECT_DOUBLE_EQ(f.max_within({0.0, 2.5}), 3.0);
+  EXPECT_DOUBLE_EQ(f.max_within({3.5, 8.0}), 3.0);
+  EXPECT_DOUBLE_EQ(f.max_within({2.0, 4.0}), 3.0);
+  // Zero function.
+  EXPECT_DOUBLE_EQ(StepFunction().max_within({0.0, 10.0}), 0.0);
 }
 
 TEST(StepFunction, NegativeDeltaCancels) {

@@ -4,11 +4,16 @@
 The BENCH_*.json files are the repo's performance trajectory: one
 snapshot per recorded run, with one point per benchmark case, normalized
 to milliseconds so snapshots from different google-benchmark configs
-stay comparable.
+stay comparable. bench_online emits the same JSON shape via --json, so
+its sweeps fold into BENCH_online.json through this converter too.
 
 Usage:
     bench_micro --benchmark_format=json > raw.json
     python3 tools/bench_to_json.py raw.json > BENCH_engine.json
+
+    # Several raw files merge into one snapshot (points concatenate):
+    python3 tools/bench_to_json.py --suite bench_online a.json b.json \
+        > BENCH_online.json
 
     # Compare two snapshots (old new); prints per-case speedups:
     python3 tools/bench_to_json.py --compare BENCH_old.json BENCH_new.json
@@ -28,27 +33,28 @@ def _canonical_name(name: str) -> str:
     return re.sub(r"/(iterations|repeats|min_time|min_warmup_time):[^/]+", "", name)
 
 
-def convert(raw: dict, exclude: str | None = None) -> dict:
-    context = raw.get("context", {})
+def convert(raws: list[dict], suite: str, exclude: str | None = None) -> dict:
+    context = raws[0].get("context", {}) if raws else {}
     pattern = re.compile(exclude) if exclude else None
     points = []
-    for bench in raw.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
-        if pattern and pattern.search(bench["name"]):
-            continue
-        scale = _UNIT_TO_MS[bench.get("time_unit", "ns")]
-        points.append(
-            {
-                "name": _canonical_name(bench["name"]),
-                "real_time_ms": bench["real_time"] * scale,
-                "cpu_time_ms": bench["cpu_time"] * scale,
-                "iterations": bench.get("iterations", 1),
-            }
-        )
+    for raw in raws:
+        for bench in raw.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            if pattern and pattern.search(bench["name"]):
+                continue
+            scale = _UNIT_TO_MS[bench.get("time_unit", "ns")]
+            points.append(
+                {
+                    "name": _canonical_name(bench["name"]),
+                    "real_time_ms": bench["real_time"] * scale,
+                    "cpu_time_ms": bench["cpu_time"] * scale,
+                    "iterations": bench.get("iterations", 1),
+                }
+            )
     return {
         "schema": SCHEMA,
-        "suite": "bench_micro",
+        "suite": suite,
         "captured": {
             "date": context.get("date"),
             "host_name": context.get("host_name"),
@@ -129,6 +135,12 @@ def main() -> int:
         "cases when capturing on a single-core host)",
     )
     parser.add_argument(
+        "--suite",
+        default="bench_micro",
+        help="suite label recorded in the snapshot (bench_online sweeps use "
+        "--suite bench_online)",
+    )
+    parser.add_argument(
         "--fail-over",
         metavar="REGEX:PCT",
         action="append",
@@ -152,11 +164,11 @@ def main() -> int:
                              f"(schema {SCHEMA})")
         return compare(old, new, args.fail_over)
 
-    if len(args.files) != 1:
-        parser.error("conversion takes exactly one google-benchmark JSON file")
-    with open(args.files[0]) as f:
-        raw = json.load(f)
-    json.dump(convert(raw, args.exclude), sys.stdout, indent=2)
+    raws = []
+    for path in args.files:
+        with open(path) as f:
+            raws.append(json.load(f))
+    json.dump(convert(raws, args.suite, args.exclude), sys.stdout, indent=2)
     print()
     return 0
 
