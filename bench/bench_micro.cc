@@ -20,6 +20,23 @@
 namespace dcn {
 namespace {
 
+/// Surfaces the per-phase Frank-Wolfe work as benchmark counters so a
+/// perf diff can be attributed (oracle vs repricing vs line search)
+/// straight from the bench output.
+void report_fw_stats(benchmark::State& state, const FrankWolfeStats& stats) {
+  state.counters["fw_sweeps"] =
+      benchmark::Counter(static_cast<double>(stats.oracle_sweeps));
+  state.counters["fw_edges_repriced"] =
+      benchmark::Counter(static_cast<double>(stats.edges_repriced));
+  state.counters["fw_ls_evals"] =
+      benchmark::Counter(static_cast<double>(stats.line_search_evals));
+  state.counters["oracle_ms"] = benchmark::Counter(stats.oracle_seconds * 1e3);
+  state.counters["reprice_ms"] =
+      benchmark::Counter(stats.reprice_seconds * 1e3);
+  state.counters["ls_ms"] =
+      benchmark::Counter(stats.line_search_seconds * 1e3);
+}
+
 void BM_IntervalSetOps(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   Rng rng(7);
@@ -152,7 +169,9 @@ BENCHMARK(BM_FlowDecomposition);
 // at the sizes the north star cares about: fat-tree k=6/k=8 with
 // hundreds to a thousand concurrent deadline flows. This is the
 // hot path of Random-Schedule and the headline case for the sparse
-// Frank-Wolfe core. Args are {fat-tree k, num_flows}.
+// Frank-Wolfe core. Runs the production defaults — since v2 the
+// pairwise rule with the adaptive parallel oracle and the analytic
+// envelope repricing. Args are {fat-tree k, num_flows}.
 void BM_SolveRelaxation(benchmark::State& state) {
   const auto k = static_cast<int>(state.range(0));
   const auto n = static_cast<int>(state.range(1));
@@ -165,9 +184,14 @@ void BM_SolveRelaxation(benchmark::State& state) {
   RelaxationOptions options;
   options.frank_wolfe.max_iterations = 12;
   options.frank_wolfe.gap_tolerance = 1e-3;
+  FrankWolfeStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_relaxation(topo.graph(), flows, model, options));
+    const FractionalRelaxation r =
+        solve_relaxation(topo.graph(), flows, model, options);
+    stats += r.fw_stats;
+    benchmark::DoNotOptimize(r.lower_bound_energy);
   }
+  report_fw_stats(state, stats);
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_SolveRelaxation)
@@ -178,8 +202,10 @@ BENCHMARK(BM_SolveRelaxation)
     ->Iterations(1)  // one full multi-interval solve per measurement
     ->Unit(benchmark::kMillisecond);
 
-// Same workload with the parallel linearization oracle (one worker per
-// hardware thread; byte-identical results to the sequential solve).
+// Same workload with the oracle forced sequential — the A/B baseline
+// for the adaptive parallel default (oracle_threads = 0), which this
+// case matched before v2 made parallel the default. Byte-identical
+// results either way.
 void BM_SolveRelaxationParallelOracle(benchmark::State& state) {
   const auto k = static_cast<int>(state.range(0));
   const auto n = static_cast<int>(state.range(1));
@@ -192,10 +218,15 @@ void BM_SolveRelaxationParallelOracle(benchmark::State& state) {
   RelaxationOptions options;
   options.frank_wolfe.max_iterations = 12;
   options.frank_wolfe.gap_tolerance = 1e-3;
-  options.frank_wolfe.oracle_threads = 0;  // hardware concurrency
+  options.frank_wolfe.oracle_threads = -1;  // forced sequential
+  FrankWolfeStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_relaxation(topo.graph(), flows, model, options));
+    const FractionalRelaxation r =
+        solve_relaxation(topo.graph(), flows, model, options);
+    stats += r.fw_stats;
+    benchmark::DoNotOptimize(r.lower_bound_energy);
   }
+  report_fw_stats(state, stats);
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_SolveRelaxationParallelOracle)
@@ -239,14 +270,17 @@ void warm_resolve_bench(benchmark::State& state, FrankWolfeStepRule rule) {
   budget.frank_wolfe.gap_tolerance = 2e-3;
   budget.frank_wolfe.step_rule = rule;
   std::int64_t iterations = 0;
+  FrankWolfeStats stats;
   for (auto _ : state) {
     const FractionalRelaxation warm = solve_relaxation(
         topo.graph(), flows, model, budget, &workspace, &warm_rows);
     iterations += warm.total_fw_iterations;
+    stats += warm.fw_stats;
     benchmark::DoNotOptimize(warm.lower_bound_energy);
   }
   state.counters["fw_iterations"] =
       benchmark::Counter(static_cast<double>(iterations));
+  report_fw_stats(state, stats);
   state.SetComplexityN(n);
 }
 
@@ -266,6 +300,14 @@ BENCHMARK(BM_SolveRelaxationWarmPairwise)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_SolveRelaxationWarmAway(benchmark::State& state) {
+  warm_resolve_bench(state, FrankWolfeStepRule::kAwayStep);
+}
+BENCHMARK(BM_SolveRelaxationWarmAway)
+    ->Args({8, 400})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RandomScheduleFull(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   const Topology topo = fat_tree(8);
@@ -275,8 +317,9 @@ void BM_RandomScheduleFull(benchmark::State& state) {
   const auto flows = paper_workload(topo, params, wl);
   const PowerModel model = PowerModel::pure_speed_scaling(2.0);
   RandomScheduleOptions options;
-  options.relaxation.frank_wolfe.max_iterations = 15;
-  options.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  // The registry's v2 calibrated budget (see src/engine/registry.cc).
+  options.relaxation.frank_wolfe.max_iterations = 12;
+  options.relaxation.frank_wolfe.gap_tolerance = 1e-3;
   for (auto _ : state) {
     Rng rng(31);
     benchmark::DoNotOptimize(random_schedule(topo.graph(), flows, model, rng, options));

@@ -61,6 +61,8 @@ namespace {
 struct Row {
   double admitted = 0, offered = 0, energy = 0, resolves = 0, fw = 0,
          gap_checks = 0, peak = 0, edf = 0, ms = 0;
+  // Frank-Wolfe phase counters (deterministic; from the fw_* stats).
+  double sweeps = 0, repriced = 0, ls_evals = 0;
   int cells = 0;
   bool ok = true;
 };
@@ -107,9 +109,11 @@ int main(int argc, char** argv) {
   std::printf("Online arrival sweep: %s, %d runs, capacity=%g\n",
               scenario.c_str(), runs, spec.options.capacity);
   bench::rule();
-  std::printf("%6s %6s  %-16s %8s %12s %8s %9s %7s %6s %6s %7s %7s %9s\n",
+  std::printf("%6s %6s  %-16s %8s %12s %8s %9s %8s %10s %9s %7s %6s %6s %7s "
+              "%7s %9s\n",
               "rate", "flows", "solver", "admit%", "energy", "resolves",
-              "fw_iters", "gapchk", "peak", "edf_fb", "cr_adm", "cr_en", "ms");
+              "fw_iters", "sweeps", "repriced", "ls_evals", "gapchk", "peak",
+              "edf_fb", "cr_adm", "cr_en", "ms");
 
   // Rows for the optional JSON dump: (name, mean ms per cell).
   std::vector<std::pair<std::string, double>> json_rows;
@@ -143,6 +147,9 @@ int main(int argc, char** argv) {
           if (key == "admitted") row.admitted += value;
           if (key == "resolves") row.resolves += value;
           if (key == "fw_iterations") row.fw += value;
+          if (key == "fw_sweeps") row.sweeps += value;
+          if (key == "fw_edges_repriced") row.repriced += value;
+          if (key == "fw_ls_evals") row.ls_evals += value;
           if (key == "departure_gap_checks") row.gap_checks += value;
           if (key == "peak_in_flight") row.peak += value;
           if (key == "edf_fallbacks") row.edf += value;
@@ -168,11 +175,12 @@ int main(int argc, char** argv) {
           std::snprintf(cr_en, sizeof(cr_en), "%.3f",
                         row.energy / oracle->energy);
         }
-        std::printf("%6g %6lld  %-16s %7.1f%% %12.1f %8.0f %9.0f %7.0f %6.0f "
-                    "%6.0f %7s %7s %9.0f\n",
+        std::printf("%6g %6lld  %-16s %7.1f%% %12.1f %8.0f %9.0f %8.0f %10.0f "
+                    "%9.0f %7.0f %6.0f %6.0f %7s %7s %9.0f\n",
                     rate, static_cast<long long>(flows), solver.c_str(),
                     row.offered > 0 ? 100.0 * row.admitted / row.offered : 0.0,
-                    row.energy, row.resolves, row.fw, row.gap_checks,
+                    row.energy, row.resolves, row.fw, row.sweeps, row.repriced,
+                    row.ls_evals, row.gap_checks,
                     row.peak / std::max(1, row.cells), row.edf, cr_adm, cr_en,
                     row.ms);
         char name[160];

@@ -66,6 +66,7 @@ RandomScheduleResult round_relaxation(const Graph& g, const std::vector<Flow>& f
   result.lower_bound_energy = relaxation.lower_bound_energy;
   result.lambda = relaxation.decomposition.lambda();
   result.mean_relative_gap = relaxation.mean_relative_gap;
+  result.fw_stats = relaxation.fw_stats;
 
   const Interval horizon = flow_horizon(flows);
   double best_energy = std::numeric_limits<double>::infinity();

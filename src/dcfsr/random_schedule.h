@@ -54,6 +54,9 @@ struct RandomScheduleResult {
   bool capacity_feasible = true;
   /// Diagnostic: mean Frank-Wolfe gap of the interval solves.
   double mean_relative_gap = 0.0;
+  /// Per-phase Frank-Wolfe work of the relaxation stage (counters are
+  /// deterministic; the seconds are wall time — diagnostics only).
+  FrankWolfeStats fw_stats;
 };
 
 /// One wbar draw for a single flow. Every sampling site (offline

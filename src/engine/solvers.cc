@@ -84,10 +84,17 @@ SolverOutcome RandomScheduleSolver::solve(const Instance& instance) const {
       instance.graph(), instance.flows(), instance.model(), rng, options_);
   SolverOutcome out = finish_outcome(name(), instance, r.schedule);
   out.lower_bound = r.lower_bound_energy;
+  // The fw_* phase counters are deterministic (no wall time here: stats
+  // are byte-compared across --jobs and oracle thread counts).
   out.stats = {{"lambda", r.lambda},
                {"rounding_attempts", static_cast<double>(r.rounding_attempts)},
                {"capacity_feasible", r.capacity_feasible ? 1.0 : 0.0},
-               {"mean_relative_gap", r.mean_relative_gap}};
+               {"mean_relative_gap", r.mean_relative_gap},
+               {"fw_sweeps", static_cast<double>(r.fw_stats.oracle_sweeps)},
+               {"fw_edges_repriced",
+                static_cast<double>(r.fw_stats.edges_repriced)},
+               {"fw_ls_evals",
+                static_cast<double>(r.fw_stats.line_search_evals)}};
   if (!r.capacity_feasible && out.feasible) {
     // The last rounding draw violated link capacity; replay would have
     // flagged it, but keep the solver's own verdict authoritative too.
@@ -218,7 +225,10 @@ SolverOutcome OnlineDcfsrSolver::solve(const Instance& instance) const {
       {"departure_gap_checks", static_cast<double>(r.departure_gap_checks)},
       {"gap_check_iterations", static_cast<double>(r.gap_check_iterations)},
       {"peak_in_flight", static_cast<double>(r.peak_in_flight)},
-      {"first_lb", r.first_lower_bound}};
+      {"first_lb", r.first_lower_bound},
+      {"fw_sweeps", static_cast<double>(r.fw_stats.oracle_sweeps)},
+      {"fw_edges_repriced", static_cast<double>(r.fw_stats.edges_repriced)},
+      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)}};
   SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
   out.stats.insert(out.stats.end(), extra.begin(), extra.end());
   return out;
@@ -242,7 +252,10 @@ SolverOutcome OracleDcfsrSolver::solve(const Instance& instance) const {
       {"rounding_attempts", static_cast<double>(r.rounding_attempts)},
       {"batch_fallbacks", static_cast<double>(r.batch_fallbacks)},
       {"peak_in_flight", static_cast<double>(r.peak_in_flight)},
-      {"first_lb", r.first_lower_bound}};
+      {"first_lb", r.first_lower_bound},
+      {"fw_sweeps", static_cast<double>(r.fw_stats.oracle_sweeps)},
+      {"fw_edges_repriced", static_cast<double>(r.fw_stats.edges_repriced)},
+      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)}};
   SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
   out.stats.insert(out.stats.end(), extra.begin(), extra.end());
   return out;

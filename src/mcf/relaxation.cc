@@ -54,14 +54,14 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
     DCN_EXPECTS(warm_by_flow->size() == flows.size());
     prev_flow_by_flow = *warm_by_flow;
   }
-  // Atom carry-over (pairwise step rule): per flow, the path-atom
+  // Atom carry-over (atom step rules): per flow, the path-atom
   // decomposition matching prev_flow_by_flow, threaded across intervals
   // (and, via the caller, across whole re-solves) so each interval
   // solve seeds its active sets without re-decomposing the warm rows.
-  const bool pairwise =
-      options.frank_wolfe.step_rule == FrankWolfeStepRule::kPairwise;
+  const bool atomic =
+      options.frank_wolfe.step_rule != FrankWolfeStepRule::kClassic;
   std::vector<AtomSet> prev_atoms_by_flow(flows.size());
-  if (pairwise && warm_atoms_by_flow != nullptr) {
+  if (atomic && warm_atoms_by_flow != nullptr) {
     DCN_EXPECTS(warm_atoms_by_flow->size() == flows.size());
     prev_atoms_by_flow = *warm_atoms_by_flow;
   }
@@ -83,6 +83,17 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   const double w_zero = std::max(model.envelope_derivative(0.0), 1e-9);
   const std::vector<double> w0(num_edges, w_zero);
 
+  // Analytic description of the envelope handed to the solver's dense
+  // repricing fast path; reproduces the model.envelope* callbacks bit
+  // for bit (see EnvelopeCostSpec), so attaching it cannot change any
+  // trajectory — it only removes the per-edge std::function calls.
+  EnvelopeCostSpec spec;
+  spec.sigma = model.sigma();
+  spec.mu = model.mu();
+  spec.alpha = model.alpha();
+  spec.r_hat = model.r_hat();
+  spec.env_slope = model.envelope_derivative(0.0);
+
   // Scratch for grouping an interval's new flows by source.
   std::vector<std::pair<NodeId, std::size_t>> new_by_source;
   std::vector<NodeId> group_targets;
@@ -102,6 +113,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
     problem.cost_derivative = [&model](double x) {
       return model.envelope_derivative(x);
     };
+    problem.envelope = spec;
     problem.commodities.reserve(active.size());
     for (FlowId fid : active) {
       const Flow& fl = flows[static_cast<std::size_t>(fid)];
@@ -147,12 +159,13 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
         }
       }
       for (double& w : loaded_weights) {
-        w = std::max(model.envelope_derivative(w), 1e-9);
+        w = std::max(spec.derivative(w), 1e-9);
       }
       init_weights = &loaded_weights;
     }
 
     for (std::size_t lo = 0; lo < new_by_source.size();) {
+      ++out.fw_stats.oracle_sweeps;
       std::size_t hi = lo;
       const NodeId src = new_by_source[lo].first;
       group_targets.clear();
@@ -177,11 +190,11 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
       lo = hi;
     }
 
-    // Carried atoms for this interval's commodities (pairwise only):
+    // Carried atoms for this interval's commodities (atom rules only):
     // flows active in the previous interval hand their active sets
     // straight to the solver.
     const std::vector<AtomSet>* atoms_in = nullptr;
-    if (pairwise) {
+    if (atomic) {
       interval_atoms.assign(active.size(), {});
       for (std::size_t c = 0; c < active.size(); ++c) {
         const auto fid = static_cast<std::size_t>(active[c]);
@@ -196,9 +209,10 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
     out.lower_bound_energy += sol.cost * dec.intervals[k].measure();
     gap_sum += sol.relative_gap;
     out.total_fw_iterations += sol.iterations;
+    out.fw_stats += sol.stats;
     ++solved_intervals;
 
-    // Aggregate wbar per active flow. A pairwise solve already carries
+    // Aggregate wbar per active flow. An atom-rule solve already carries
     // the path decomposition — its final active sets — so the atoms are
     // read off directly (normalized over the set, matching the
     // decomposition's sum-to-1 contract); a classic solve runs the
@@ -209,7 +223,7 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
       const Flow& fl = flows[fid];
       const double interval_share =
           dec.intervals[k].measure() / (fl.deadline - fl.release);
-      if (pairwise && !sol.commodity_atoms[c].empty()) {
+      if (atomic && !sol.commodity_atoms[c].empty()) {
         double total_weight = 0.0;
         for (const PathAtom& atom : sol.commodity_atoms[c]) {
           total_weight += atom.weight;

@@ -42,12 +42,14 @@ struct FlowCandidates {
 };
 
 struct RelaxationOptions {
-  /// Frank-Wolfe knobs, including the step rule: the default classic
-  /// rule keeps offline dcfsr byte-identical across releases, while
-  /// kPairwise is the warm-re-solve repair — each interval's warm rows
-  /// (the previous interval's solution, or the caller's carried rows)
-  /// seed the per-commodity active sets the pairwise steps move mass
-  /// between. See FrankWolfeStepRule.
+  /// Frank-Wolfe knobs, including the step rule. Since v2 the default
+  /// is kPairwise everywhere: it repairs warm re-solves (each
+  /// interval's warm rows — the previous interval's solution, or the
+  /// caller's carried rows — seed the per-commodity active sets the
+  /// sweeps move mass between) *and* certifies cold solves past the
+  /// classic rule's last-mile stall. kClassic remains selectable for
+  /// the v1 trajectory; kAwayStep is the textbook away-step variant.
+  /// See FrankWolfeStepRule.
   FrankWolfeOptions frank_wolfe;
   /// Tolerance passed to the path decomposition.
   double decomposition_tolerance = 1e-9;
@@ -64,13 +66,19 @@ struct FractionalRelaxation {
   /// Sum of Frank-Wolfe iterations over all interval solves (the cost
   /// driver; warm starts show up here).
   std::int64_t total_fw_iterations = 0;
+  /// Per-phase Frank-Wolfe work summed over all interval solves, plus
+  /// the relaxation's own warm-start routing sweeps. The counters are
+  /// deterministic (safe to byte-compare across thread counts); the
+  /// seconds are wall time and must stay out of canonical output.
+  FrankWolfeStats fw_stats;
   /// Per flow: its sparse commodity flow from the last interval it was
   /// active in — the warm-start seed for a subsequent related solve
   /// (the online scheduler threads these across re-solves).
   std::vector<SparseEdgeFlow> final_flow;
   /// Per flow: the path-atom decomposition of final_flow from the same
-  /// last interval — populated only when the solve stepped with the
-  /// pairwise rule (empty sets under kClassic). Feeding these back via
+  /// last interval — populated only when the solve stepped with an
+  /// atom rule (pairwise or away-step; empty sets under kClassic).
+  /// Feeding these back via
   /// `warm_atoms_by_flow` lets the next re-solve seed its active sets
   /// directly instead of re-running Raghavan-Tompson on the warm rows,
   /// and preserves atom identity across the online scheduler's events.
@@ -101,8 +109,8 @@ struct RelaxationWorkspace {
 /// residual re-solves, see src/online). Empty rows fall back to the
 /// cold start.
 ///
-/// `warm_atoms_by_flow`, when non-null (one atom set per flow; pairwise
-/// step rule only), carries each flow's active-set decomposition from a
+/// `warm_atoms_by_flow`, when non-null (one atom set per flow; atom
+/// step rules only), carries each flow's active-set decomposition from a
 /// previous related solve (`final_atoms`): a non-empty set seeds the
 /// flow's first interval solve directly — no Raghavan-Tompson pass over
 /// its warm row — and must decompose exactly the flow's density. Empty

@@ -270,6 +270,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
           g, survivors, model, gap_options, &workspace, &gap_rows, &gap_atoms);
       ++out.departure_gap_checks;
       out.gap_check_iterations += check.total_fw_iterations;
+      out.fw_stats += check.fw_stats;
       for (std::size_t r = 0; r < survivors.size(); ++r) {
         warm[surviving[r]] = std::move(check.final_flow[r]);
         warm_atoms[surviving[r]] = std::move(check.final_atoms[r]);
@@ -334,6 +335,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
                          &warm_rows, &warm_atom_rows);
     ++out.resolves;
     out.fw_iterations += relax.total_fw_iterations;
+    out.fw_stats += relax.fw_stats;
     if (out.resolves == 1) out.first_lower_bound = relax.lower_bound_energy;
     for (std::size_t r = 0; r < residual.size(); ++r) {
       warm[orig[r]] = std::move(relax.final_flow[r]);
@@ -455,13 +457,14 @@ OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   }
 
   // One relaxation over the whole trace at its true spans — exactly the
-  // offline Algorithm 2 relaxation (classic rule, cold start), so the
-  // joint-feasible case reproduces offline dcfsr bit for bit on the
-  // shared rng stream.
+  // offline Algorithm 2 relaxation (cold start, whatever step rule the
+  // caller configured), so with matching options the joint-feasible
+  // case reproduces offline dcfsr bit for bit on the shared rng stream.
   const FractionalRelaxation relax =
       solve_relaxation(g, *trace, model, options.rounding.relaxation);
   out.resolves = 1;
   out.fw_iterations = relax.total_fw_iterations;
+  out.fw_stats = relax.fw_stats;
   out.first_lower_bound = relax.lower_bound_energy;
 
   RandomScheduleResult draw =

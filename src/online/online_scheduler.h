@@ -146,6 +146,12 @@ struct OnlineResult {
   /// stays directly comparable across runs.
   std::int32_t departure_gap_checks = 0;
   std::int64_t gap_check_iterations = 0;
+  /// Per-phase Frank-Wolfe work summed over every relaxation call this
+  /// run made (full re-solves and departure gap checks alike). The
+  /// counters are deterministic — byte-identical across --jobs and
+  /// oracle thread counts — and may surface as engine stats; the
+  /// seconds are wall time and must stay out of canonical output.
+  FrankWolfeStats fw_stats;
   /// LB of the first re-solve; equals the offline relaxation LB when
   /// every flow arrives at the first event.
   double first_lower_bound = 0.0;

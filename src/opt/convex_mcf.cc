@@ -1,6 +1,7 @@
 #include "opt/convex_mcf.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -12,8 +13,14 @@ namespace dcn {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 /// Adds `delta` mass to the active-set atom carrying exactly `edges`,
-/// appending a new atom when the path is not active yet. Both step
+/// appending a new atom when the path is not active yet. All step
 /// rules funnel their target-path bookkeeping through here so the
 /// active-set semantics cannot diverge between them.
 void merge_into_atoms(AtomSet& atoms, const std::vector<EdgeId>& edges,
@@ -27,16 +34,69 @@ void merge_into_atoms(AtomSet& atoms, const std::vector<EdgeId>& edges,
   atoms.push_back({edges, delta});
 }
 
-/// Sorts (src, commodity) pairs so commodities sharing a source form a
-/// contiguous run; the index tie-break keeps the order deterministic.
-void group_by_source(const std::vector<Commodity>& commodities,
-                     std::vector<std::pair<NodeId, std::size_t>>& by_source) {
-  by_source.clear();
-  by_source.reserve(commodities.size());
+/// The node a source's oracle sweep is rooted at. A leaf source's sole
+/// neighbor stands in: every path out of the leaf starts with one of
+/// its (parallel) edges into that neighbor, so the neighbor's
+/// shortest-path tree plus the cheapest entry edge IS the leaf's
+/// oracle — and, decisively, every leaf attached to the same switch
+/// shares that tree, so grouping by root collapses all same-switch
+/// sources into one sweep per iteration (in a fat-tree, hosts
+/// outnumber edge switches ~4:1). Non-leaf sources root their own
+/// sweep.
+NodeId sweep_root(const Graph& g, NodeId src) {
+  if (!g.is_leaf(src)) return src;
+  const std::span<const EdgeId> out = g.out_edges(src);
+  if (out.empty()) return src;
+  return g.edge(out.front()).dst;
+}
+
+/// Sorts (sweep root, commodity) pairs so commodities sharing a root
+/// form a contiguous run; the index tie-break keeps the order
+/// deterministic.
+void group_by_sweep_root(const Graph& g,
+                         const std::vector<Commodity>& commodities,
+                         std::vector<std::pair<NodeId, std::size_t>>& by_root) {
+  by_root.clear();
+  by_root.reserve(commodities.size());
   for (std::size_t c = 0; c < commodities.size(); ++c) {
-    by_source.emplace_back(commodities[c].src, c);
+    by_root.emplace_back(sweep_root(g, commodities[c].src), c);
   }
-  std::sort(by_source.begin(), by_source.end());
+  std::sort(by_root.begin(), by_root.end());
+}
+
+/// One vectorizable pass over the whole weights array:
+/// w[i] = max(env'(x[i]), min_w). The per-alpha loops keep the body
+/// branch-light — one select for the envelope kink, no calls — so the
+/// compiler can vectorize them; results are bit-identical to the
+/// scalar spec.derivative() path (same operation order, and
+/// std::pow(x, 2.0) is correctly rounded, hence bit-equal to x * x).
+/// Entries with x[i] == 0 come out as exactly max(env_slope, min_w) ==
+/// w_zero, which is what preserves the workspace's clean-weights
+/// invariant for off-support edges.
+void dense_reprice(std::vector<double>& weights, const std::vector<double>& x,
+                   const EnvelopeCostSpec& env, double min_w) {
+  const std::size_t n = x.size();
+  const double r_hat = env.r_hat;
+  const double slope = env.env_slope;
+  if (env.alpha == 2.0) {
+    const double ma = env.mu * env.alpha;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = x[i];
+      const double d = xi <= r_hat ? slope : ma * xi;
+      weights[i] = std::max(d, min_w);
+    }
+  } else if (env.alpha == 3.0) {
+    const double ma = env.mu * env.alpha;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = x[i];
+      const double d = xi <= r_hat ? slope : ma * (xi * xi);
+      weights[i] = std::max(d, min_w);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = std::max(env.derivative(x[i]), min_w);
+    }
+  }
 }
 
 }  // namespace
@@ -65,6 +125,16 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
 
   ConvexMcfWorkspace local_ws;
   ConvexMcfWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  FrankWolfeStats stats;
+
+  // The analytic envelope fast path; the std::function callbacks stay
+  // as the generic fallback (and the bitwise reference — the spec is
+  // documented to reproduce them bit for bit).
+  const EnvelopeCostSpec* env =
+      problem.envelope.has_value() ? &*problem.envelope : nullptr;
+  auto cost_value = [&](double v) {
+    return env != nullptr ? env->value(v) : problem.cost(v);
+  };
 
   // Restore the workspace invariants (weights all w_zero, target flow
   // all zero) when the graph, the cost model, or an interrupted prior
@@ -82,8 +152,11 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
     ws.x_generation_ = 0;
     ws.y_generation_ = 0;
   }
-  const bool pairwise = options.step_rule == FrankWolfeStepRule::kPairwise;
-  if (pairwise && ws.dir_mark_.size() != num_edges) {
+  const FrankWolfeStepRule rule = options.step_rule;
+  // Both atom-based rules (pairwise and away-step) share the active-set
+  // machinery; kClassic never touches it.
+  const bool atomic = rule != FrankWolfeStepRule::kClassic;
+  if (atomic && ws.dir_mark_.size() != num_edges) {
     ws.direction_.assign(num_edges, 0.0);
     ws.dir_mark_.assign(num_edges, 0);
     ws.dir_generation_ = 0;
@@ -101,32 +174,55 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   };
 
   ws.csr_.build(g);
-  group_by_source(problem.commodities, ws.by_source_);
+  group_by_sweep_root(g, problem.commodities, ws.by_source_);
   ws.group_bounds_.clear();
-  for (std::size_t lo = 0; lo < ws.by_source_.size();) {
-    std::size_t hi = lo;
-    while (hi < ws.by_source_.size() &&
-           ws.by_source_[hi].first == ws.by_source_[lo].first) {
-      ++hi;
+  if (options.batch_oracle) {
+    // One sweep group per distinct sweep root: a single multi-target
+    // Dijkstra serves every commodity whose source shares that root —
+    // same-source commodities, and leaf sources hanging off the same
+    // switch.
+    for (std::size_t lo = 0; lo < ws.by_source_.size();) {
+      std::size_t hi = lo;
+      while (hi < ws.by_source_.size() &&
+             ws.by_source_[hi].first == ws.by_source_[lo].first) {
+        ++hi;
+      }
+      ws.group_bounds_.emplace_back(lo, hi);
+      lo = hi;
     }
-    ws.group_bounds_.emplace_back(lo, hi);
-    lo = hi;
+  } else {
+    // A/B hook: one single-target sweep per commodity, rooted at the
+    // same stand-in as the batched grouping. Byte-identical paths —
+    // the multi-target early exit never disturbs the parents of
+    // settled nodes — at strictly more sweeps.
+    for (std::size_t i = 0; i < ws.by_source_.size(); ++i) {
+      ws.group_bounds_.emplace_back(i, i + 1);
+    }
   }
 
-  // Lazily materialize the oracle pool when parallelism is requested.
-  // 0 resolves to hardware concurrency here so a reused workspace never
-  // silently keeps a pool of the wrong width — and a single-core host
-  // resolves to 1 and skips the pool (and its dispatch overhead)
-  // entirely.
-  std::size_t requested_threads = static_cast<std::size_t>(
-      options.oracle_threads < 0 ? 1 : options.oracle_threads);
-  if (requested_threads == 0) {
-    requested_threads =
-        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // Resolve the oracle width: > 0 pins it, 0 (the default) adapts to
+  // min(hardware concurrency, #sweep groups) — more workers than
+  // groups can never help, and a single-core host resolves to 1 and
+  // skips the pool (and its dispatch overhead) entirely — and < 0
+  // forces sequential. Under the adaptive default a reused workspace
+  // keeps the widest pool it has needed (idle workers just park on the
+  // condition variable), so re-solves with varying group counts never
+  // re-spawn threads; an explicit width still pins the pool exactly.
+  std::size_t requested_threads = 1;
+  if (options.oracle_threads > 0) {
+    requested_threads = static_cast<std::size_t>(options.oracle_threads);
+  } else if (options.oracle_threads == 0) {
+    requested_threads = std::min<std::size_t>(
+        std::max<std::size_t>(1, std::thread::hardware_concurrency()),
+        std::max<std::size_t>(1, ws.group_bounds_.size()));
   }
-  if (requested_threads > 1 &&
-      (ws.pool_ == nullptr || ws.pool_->threads() != requested_threads)) {
-    ws.pool_ = std::make_unique<WorkerPool>(requested_threads);
+  if (requested_threads > 1) {
+    const bool rebuild =
+        ws.pool_ == nullptr ||
+        (options.oracle_threads > 0
+             ? ws.pool_->threads() != requested_threads
+             : ws.pool_->threads() < requested_threads);
+    if (rebuild) ws.pool_ = std::make_unique<WorkerPool>(requested_threads);
   }
   WorkerPool* pool = requested_threads > 1 ? ws.pool_.get() : nullptr;
   if (pool != nullptr) {
@@ -134,27 +230,46 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
     ws.worker_targets_.resize(pool->threads());
   }
 
-  // One early-exit Dijkstra per distinct source; paths land in
-  // ws.target_paths_ indexed by commodity. Each source group writes a
+  // One early-exit Dijkstra per sweep group; paths land in
+  // ws.target_paths_ indexed by commodity. Each group writes a
   // disjoint slice, so the parallel dispatch is byte-deterministic.
   auto solve_group = [&](const std::vector<double>& weights, std::size_t group,
                          DijkstraWorkspace& dijkstra,
                          std::vector<NodeId>& targets) {
     const auto [lo, hi] = ws.group_bounds_[group];
-    const NodeId src = ws.by_source_[lo].first;
+    const NodeId root = ws.by_source_[lo].first;
     targets.clear();
     for (std::size_t i = lo; i < hi; ++i) {
       targets.push_back(problem.commodities[ws.by_source_[i].second].dst);
     }
-    dijkstra_sweep(ws.csr_, src, weights, targets, dijkstra);
+    dijkstra_sweep(ws.csr_, root, weights, targets, dijkstra);
     for (std::size_t i = lo; i < hi; ++i) {
       const std::size_t c = ws.by_source_[i].second;
-      const bool reached = workspace_path_into(
-          g, dijkstra, src, problem.commodities[c].dst, ws.target_paths_[c]);
+      const Commodity& com = problem.commodities[c];
+      Path& path = ws.target_paths_[c];
+      const bool reached = workspace_path_into(g, dijkstra, root, com.dst, path);
       DCN_ENSURES(reached);
+      if (com.src == root) continue;
+      // Leaf source standing in behind its neighbor: enter through the
+      // cheapest of its parallel edges into the root, chosen by the
+      // same first-strict-improvement rule the sweep applies when
+      // relaxing out of a source.
+      const std::span<const EdgeId> out = g.out_edges(com.src);
+      EdgeId entry = out.front();
+      double entry_w = weights[static_cast<std::size_t>(entry)];
+      for (std::size_t k = 1; k < out.size(); ++k) {
+        const double w = weights[static_cast<std::size_t>(out[k])];
+        if (w < entry_w) {
+          entry_w = w;
+          entry = out[k];
+        }
+      }
+      path.src = com.src;
+      path.edges.insert(path.edges.begin(), entry);
     }
   };
   auto cheapest_paths = [&](const std::vector<double>& weights) {
+    const auto t0 = Clock::now();
     ws.target_paths_.resize(num_commodities);
     if (pool != nullptr && ws.group_bounds_.size() > 1) {
       pool->run(ws.group_bounds_.size(),
@@ -167,15 +282,17 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
         solve_group(weights, group, ws.dijkstra_, ws.group_targets_);
       }
     }
+    stats.oracle_sweeps += static_cast<std::int64_t>(ws.group_bounds_.size());
+    stats.oracle_seconds += seconds_since(t0);
   };
 
   // Initial point: warm start when shapes match, otherwise route every
   // commodity on its cheapest path under the empty-network marginal
   // cost — which is exactly the clean workspace weights vector.
-  // Commodities with a carried active set (pairwise only) skip the row
-  // copy: their rows are rebuilt from the atoms below, so the atom
+  // Commodities with a carried active set (atom rules only) skip the
+  // row copy: their rows are rebuilt from the atoms below, so the atom
   // representation and the edge flow agree to the last bit.
-  const bool atoms_carried = pairwise && warm_atoms != nullptr &&
+  const bool atoms_carried = atomic && warm_atoms != nullptr &&
                              warm_atoms->size() == num_commodities;
   auto has_carried_atoms = [&](std::size_t c) {
     if (!atoms_carried) return false;
@@ -205,7 +322,7 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
     }
   }
 
-  // Pairwise mode: seed each commodity's active set. A carried set
+  // Atom rules: seed each commodity's active set. A carried set
   // (warm_atoms) is adopted directly — dust atoms dropped, the row
   // rebuilt as the atoms' edge-sum — skipping the decomposition below.
   // Otherwise a warm row is a convex combination of paths (the solver's
@@ -216,7 +333,7 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   // cheapest-path atom already. An empty row leaves an empty active
   // set, and that commodity simply rides the classic fallback steps.
   std::vector<AtomSet>& atoms = ws.atoms_;
-  if (pairwise) {
+  if (atomic) {
     atoms.assign(num_commodities, {});
     for (std::size_t c = 0; c < num_commodities; ++c) {
       if (has_carried_atoms(c)) {
@@ -268,19 +385,60 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   auto& x = sol.total_flow;
   auto& y = ws.target_total_;
 
+  // The cost callback handed to the directional line searches: the
+  // analytic envelope when a spec is attached, the generic callback
+  // otherwise — plus the per-evaluation counter either way. A concrete
+  // lambda (not std::function): the templated golden-section search
+  // inlines it, and with a spec the whole evaluation is straight-line
+  // arithmetic — this is the single hottest call site of a cold solve.
+  const auto search_cost = [&](double v) {
+    ++stats.line_search_evals;
+    return env != nullptr ? env->value(v) : problem.cost(v);
+  };
+
   for (std::int32_t iter = 0; iter < options.max_iterations; ++iter) {
     sol.iterations = iter + 1;
 
-    // Marginal costs and current objective in one pass over the support
-    // of x (off-support weights already equal w_zero; iterating the
-    // sorted support reproduces a dense ascending-edge scan exactly,
-    // since zero-flow edges contribute exactly 0 to the objective).
+    // Reprice the marginal costs. With an analytic envelope spec the
+    // pass is direct arithmetic — dense over the whole weights array
+    // when the support covers enough of it (the per-alpha loops
+    // vectorize, and off-support entries recompute exactly w_zero, so
+    // the clean-weights invariant survives), sparse over the sorted
+    // support otherwise. Without a spec the generic callback runs over
+    // the support as before. All variants write bit-identical weights.
+    {
+      const auto t0 = Clock::now();
+      if (env != nullptr && ws.x_support_.size() * 4 >= num_edges) {
+        dense_reprice(ws.weights_, x, *env, problem.min_edge_weight);
+        stats.edges_repriced += static_cast<std::int64_t>(num_edges);
+      } else if (env != nullptr) {
+        const EnvelopeCostSpec spec = *env;
+        for (const EdgeId e : ws.x_support_) {
+          const auto i = static_cast<std::size_t>(e);
+          ws.weights_[i] =
+              std::max(spec.derivative(x[i]), problem.min_edge_weight);
+        }
+        stats.edges_repriced +=
+            static_cast<std::int64_t>(ws.x_support_.size());
+      } else {
+        for (const EdgeId e : ws.x_support_) {
+          const auto i = static_cast<std::size_t>(e);
+          ws.weights_[i] =
+              std::max(problem.cost_derivative(x[i]), problem.min_edge_weight);
+        }
+        stats.edges_repriced +=
+            static_cast<std::int64_t>(ws.x_support_.size());
+      }
+      stats.reprice_seconds += seconds_since(t0);
+    }
+
+    // Current objective in one pass over the sorted support (iterating
+    // it reproduces a dense ascending-edge scan exactly, since
+    // zero-flow edges contribute exactly 0 to the objective).
     double current_cost = 0.0;
     for (const EdgeId e : ws.x_support_) {
-      const auto i = static_cast<std::size_t>(e);
-      ws.weights_[i] =
-          std::max(problem.cost_derivative(x[i]), problem.min_edge_weight);
-      if (x[i] > 1e-15) current_cost += problem.cost(x[i]);
+      const double xe = x[static_cast<std::size_t>(e)];
+      if (xe > 1e-15) current_cost += cost_value(xe);
     }
 
     // Linearized subproblem: one cheapest path per commodity.
@@ -330,7 +488,7 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
         if (xe != ye) {
           ws.line_search_diff_.emplace_back(xe, ye);
         } else if (xe > 1e-15) {
-          line_constant += problem.cost(xe);
+          line_constant += cost_value(xe);
         }
       }
     }
@@ -346,20 +504,22 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
       break;
     }
 
-    // Pairwise sweep: one block-coordinate pass over the commodities.
-    // Each commodity picks the worst active atom under the current
-    // marginal costs as its away vertex and shifts mass from it onto
-    // the cheapest path, with its own exact line search over the two
-    // paths' edge difference (t = 1 drains the away atom — the drop
-    // step). Marginal costs are refreshed on the touched edges after
-    // every sub-step, so later commodities in the sweep see the moved
-    // mass, and each sub-step minimizes the true objective along its
-    // direction — the sweep decreases the objective monotonically,
-    // which is what lets misplaced warm mass leave in a handful of
-    // steps while well-placed commodities sit the sweep out (exactly
-    // what the classic joint step cannot do).
+    // Atom sweep: one block-coordinate pass over the commodities.
+    // Under kPairwise each commodity picks the worst active atom under
+    // the current marginal costs as its away vertex and shifts mass
+    // from it onto the cheapest path; under kAwayStep it additionally
+    // weighs that against the Frank-Wolfe direction (the whole point
+    // moving toward the cheapest-path vertex) by inner product and
+    // steps along whichever descends faster. Every sub-step runs its
+    // own exact line search over the direction's edge difference, and
+    // marginal costs are refreshed on the touched edges after every
+    // sub-step, so later commodities in the sweep see the moved mass
+    // and the sweep decreases the objective monotonically — which is
+    // what lets misplaced warm mass leave in a handful of steps while
+    // well-placed commodities sit the sweep out (exactly what the
+    // classic joint step cannot do).
     bool stepped = false;
-    if (pairwise) {
+    if (atomic) {
       auto path_cost = [&ws](const std::vector<EdgeId>& edges) {
         double total = 0.0;
         for (const EdgeId e : edges) {
@@ -367,9 +527,56 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
         }
         return total;
       };
+      auto touch_dir = [&ws](EdgeId e, double delta) {
+        const auto i = static_cast<std::size_t>(e);
+        if (ws.dir_mark_[i] != ws.dir_generation_) {
+          ws.dir_mark_[i] = ws.dir_generation_;
+          ws.direction_[i] = 0.0;
+          ws.dir_support_.push_back(e);
+        }
+        ws.direction_[i] += delta;
+      };
+      // Collects the direction's nonzero edge difference; empty when
+      // the two sides cancelled exactly.
+      auto collect_dir_diff = [&]() {
+        std::sort(ws.dir_support_.begin(), ws.dir_support_.end());
+        ws.dir_diff_.clear();
+        for (const EdgeId e : ws.dir_support_) {
+          const auto i = static_cast<std::size_t>(e);
+          if (ws.direction_[i] != 0.0) {
+            ws.dir_diff_.emplace_back(x[i], ws.direction_[i]);
+          }
+        }
+        return !ws.dir_diff_.empty();
+      };
+      // Applies t along the built direction to the dense point and
+      // refreshes the touched marginal costs so the rest of the sweep
+      // prices the moved mass.
+      auto apply_direction = [&](double t) {
+        for (const EdgeId e : ws.dir_support_) {
+          const auto i = static_cast<std::size_t>(e);
+          if (ws.direction_[i] == 0.0) continue;
+          x[i] = std::max(0.0, x[i] + t * ws.direction_[i]);
+          const double d = env != nullptr
+                               ? env->derivative(x[i])
+                               : problem.cost_derivative(x[i]);
+          ws.weights_[i] = std::max(d, problem.min_edge_weight);
+          ++stats.edges_repriced;
+          touch_x(e);
+        }
+      };
+      auto minimize_direction = [&](double t_max) {
+        const auto t0 = Clock::now();
+        const double t =
+            golden_section_minimize_direction(search_cost, ws.dir_diff_, t_max);
+        stats.line_search_seconds += seconds_since(t0);
+        return t;
+      };
+
       const auto old_support = static_cast<std::ptrdiff_t>(ws.x_support_.size());
       for (std::size_t c = 0; c < num_commodities; ++c) {
         if (atoms[c].empty()) continue;
+        const double demand = problem.commodities[c].demand;
         double worst = -1.0;
         std::size_t away = 0;
         for (std::size_t a = 0; a < atoms[c].size(); ++a) {
@@ -379,67 +586,121 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
             away = a;
           }
         }
-        if (worst <= path_cost(ws.target_paths_[c].edges)) continue;
+        const double cheapest = path_cost(ws.target_paths_[c].edges);
+        if (worst <= cheapest) continue;  // this block is already optimal
 
-        // The commodity's pairwise direction: its full away mass moves
-        // to the cheapest path; edges shared by both cancel.
+        if (rule == FrankWolfeStepRule::kPairwise) {
+          // The commodity's pairwise direction: its full away mass
+          // moves to the cheapest path; edges shared by both cancel.
+          ++ws.dir_generation_;
+          ws.dir_support_.clear();
+          const double mass = atoms[c][away].weight;
+          for (const EdgeId e : ws.target_paths_[c].edges) touch_dir(e, mass);
+          for (const EdgeId e : atoms[c][away].edges) touch_dir(e, -mass);
+          if (!collect_dir_diff()) continue;
+          const double t = minimize_direction(1.0);
+          if (t <= 1e-12) continue;
+
+          const double delta = t * mass;
+          for (const EdgeId e : ws.target_paths_[c].edges) {
+            sparse_flow_add(rows[c], e, delta);
+          }
+          for (const EdgeId e : atoms[c][away].edges) {
+            sparse_flow_add(rows[c], e, -delta);
+          }
+          // Compact near-zero entries occasionally to bound the support.
+          if (rows[c].size() > 256) {
+            std::erase_if(rows[c],
+                          [](const auto& kv) { return kv.second < 1e-12; });
+          }
+          // Merge the mass into the cheapest path's atom, then shrink —
+          // or on a drop step, remove — the away atom.
+          merge_into_atoms(atoms[c], ws.target_paths_[c].edges, delta);
+          if (t == 1.0) {
+            atoms[c].erase(atoms[c].begin() + static_cast<std::ptrdiff_t>(away));
+          } else {
+            atoms[c][away].weight -= delta;
+          }
+          apply_direction(t);
+          stepped = true;
+          continue;
+        }
+
+        // kAwayStep: inner products with the marginal costs decide the
+        // direction. With <w, x_c> =: dot,
+        //   d_fw   = demand * p* - x_c    <w, d_fw>   = demand * c* - dot
+        //   d_away = x_c - demand * p_a   <w, d_away> = dot - demand * c_a
+        // and both are <= 0 (c* is the cheapest path, c_a the costliest
+        // active atom); the steeper one wins. When the away atom
+        // carries (almost) the whole demand the away direction
+        // degenerates to ~0, so the FW direction takes over.
+        double dot = 0.0;
+        for (const auto& [e, v] : rows[c]) {
+          dot += ws.weights_[static_cast<std::size_t>(e)] * v;
+        }
+        const double mass = atoms[c][away].weight;
+        const double fw_descent = demand * cheapest - dot;
+        const double away_descent = dot - demand * worst;
+        const bool fw_step = fw_descent <= away_descent ||
+                             demand - mass <= 1e-12 * demand;
+
         ++ws.dir_generation_;
         ws.dir_support_.clear();
-        auto touch_dir = [&ws](EdgeId e, double delta) {
-          const auto i = static_cast<std::size_t>(e);
-          if (ws.dir_mark_[i] != ws.dir_generation_) {
-            ws.dir_mark_[i] = ws.dir_generation_;
-            ws.direction_[i] = 0.0;
-            ws.dir_support_.push_back(e);
+        double t_max;
+        if (fw_step) {
+          for (const EdgeId e : ws.target_paths_[c].edges) {
+            touch_dir(e, demand);
           }
-          ws.direction_[i] += delta;
-        };
-        const double mass = atoms[c][away].weight;
-        for (const EdgeId e : ws.target_paths_[c].edges) touch_dir(e, mass);
-        for (const EdgeId e : atoms[c][away].edges) touch_dir(e, -mass);
-        std::sort(ws.dir_support_.begin(), ws.dir_support_.end());
-        ws.dir_diff_.clear();
-        for (const EdgeId e : ws.dir_support_) {
-          const auto i = static_cast<std::size_t>(e);
-          if (ws.direction_[i] != 0.0) {
-            ws.dir_diff_.emplace_back(x[i], ws.direction_[i]);
-          }
+          for (const auto& [e, v] : rows[c]) touch_dir(e, -v);
+          t_max = 1.0;
+        } else {
+          for (const auto& [e, v] : rows[c]) touch_dir(e, v);
+          for (const EdgeId e : atoms[c][away].edges) touch_dir(e, -demand);
+          // The largest step keeping the away atom's coefficient
+          // nonnegative: (1 + t) * mass - t * demand >= 0.
+          t_max = mass / (demand - mass);
         }
-        if (ws.dir_diff_.empty()) continue;
-        const double t = golden_section_minimize_direction(problem.cost,
-                                                           ws.dir_diff_, 1.0);
+        if (!collect_dir_diff()) continue;
+        const double t = minimize_direction(t_max);
         if (t <= 1e-12) continue;
 
-        const double delta = t * mass;
-        for (const EdgeId e : ws.target_paths_[c].edges) {
-          sparse_flow_add(rows[c], e, delta);
-        }
-        for (const EdgeId e : atoms[c][away].edges) {
-          sparse_flow_add(rows[c], e, -delta);
-        }
-        // Compact near-zero entries occasionally to bound the support.
-        if (rows[c].size() > 256) {
-          std::erase_if(rows[c],
-                        [](const auto& kv) { return kv.second < 1e-12; });
-        }
-        // Merge the mass into the cheapest path's atom, then shrink —
-        // or on a drop step, remove — the away atom.
-        merge_into_atoms(atoms[c], ws.target_paths_[c].edges, delta);
-        if (t == 1.0) {
-          atoms[c].erase(atoms[c].begin() + static_cast<std::ptrdiff_t>(away));
+        if (fw_step) {
+          const double delta = t * demand;
+          for (auto& [e, v] : rows[c]) v *= (1.0 - t);
+          for (const EdgeId e : ws.target_paths_[c].edges) {
+            sparse_flow_add(rows[c], e, delta);
+          }
+          if (rows[c].size() > 256) {
+            std::erase_if(rows[c],
+                          [](const auto& kv) { return kv.second < 1e-12; });
+          }
+          for (auto& atom : atoms[c]) atom.weight *= (1.0 - t);
+          merge_into_atoms(atoms[c], ws.target_paths_[c].edges, delta);
+          if (t == 1.0) {
+            // Full jump: the active set collapses onto the cheapest
+            // path (every other atom was scaled to exactly zero).
+            std::erase_if(atoms[c],
+                          [](const PathAtom& a) { return a.weight <= 0.0; });
+          }
         } else {
-          atoms[c][away].weight -= delta;
+          const double delta = t * demand;
+          for (auto& [e, v] : rows[c]) v *= (1.0 + t);
+          for (const EdgeId e : atoms[c][away].edges) {
+            sparse_flow_add(rows[c], e, -delta);
+          }
+          if (rows[c].size() > 256) {
+            std::erase_if(rows[c],
+                          [](const auto& kv) { return kv.second < 1e-12; });
+          }
+          for (auto& atom : atoms[c]) atom.weight *= (1.0 + t);
+          if (t == t_max) {
+            // Drop step: the away atom drains exactly.
+            atoms[c].erase(atoms[c].begin() + static_cast<std::ptrdiff_t>(away));
+          } else {
+            atoms[c][away].weight -= delta;
+          }
         }
-        // Apply to the dense point and refresh the touched marginal
-        // costs so the rest of the sweep prices the moved mass.
-        for (const EdgeId e : ws.dir_support_) {
-          const auto i = static_cast<std::size_t>(e);
-          if (ws.direction_[i] == 0.0) continue;
-          x[i] = std::max(0.0, x[i] + t * ws.direction_[i]);
-          ws.weights_[i] =
-              std::max(problem.cost_derivative(x[i]), problem.min_edge_weight);
-          touch_x(e);
-        }
+        apply_direction(t);
         stepped = true;
       }
       // Edges the sweep newly touched were appended per sub-step; one
@@ -455,22 +716,26 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
 
     // Classic step: one joint convex combination toward the
     // all-cheapest-paths corner. The only step under kClassic; under
-    // kPairwise the fallback when no commodity offers a pairwise
-    // direction (empty active sets on cold rows) or the pairwise line
-    // search stalled.
+    // the atom rules the fallback when no commodity offers a direction
+    // (empty active sets on cold rows) or every line search stalled.
     if (!stepped) {
       // Step size by golden section on the convex restriction,
       // evaluated only where x and y differ.
+      const auto ls0 = Clock::now();
       const double gamma = golden_section_minimize(
           [&](double t) {
             double c = line_constant;
             for (const auto& [xe, ye] : ws.line_search_diff_) {
               const double v = (1.0 - t) * xe + t * ye;
-              if (v > 1e-15) c += problem.cost(v);
+              if (v > 1e-15) {
+                ++stats.line_search_evals;
+                c += cost_value(v);
+              }
             }
             return c;
           },
           0.0, 1.0, 1e-6);
+      stats.line_search_seconds += seconds_since(ls0);
       if (gamma <= 1e-12) {  // no further progress possible
         clear_targets();
         break;
@@ -514,7 +779,7 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
       // path — so the atom representation survives the fallback and a
       // commodity that started with no atoms (empty warm row) acquires
       // its first one here.
-      if (pairwise) {
+      if (atomic) {
         for (std::size_t c = 0; c < num_commodities; ++c) {
           for (auto& atom : atoms[c]) atom.weight *= (1.0 - gamma);
           merge_into_atoms(atoms[c], ws.target_paths_[c].edges,
@@ -529,24 +794,25 @@ ConvexMcfSolution solve_convex_mcf(const ConvexMcfProblem& problem,
   sol.cost = 0.0;
   for (const EdgeId e : ws.x_support_) {
     const double xe = x[static_cast<std::size_t>(e)];
-    if (xe > 1e-15) sol.cost += problem.cost(xe);
+    if (xe > 1e-15) sol.cost += cost_value(xe);
   }
 
   // Canonicalize the per-commodity rows for the caller: drop float
   // dust, sort by edge id.
   for (SparseEdgeFlow& row : rows) sparse_flow_canonicalize(row, 1e-15);
 
-  // Hand the active sets to the caller (pairwise only): the atom
+  // Hand the active sets to the caller (atom rules only): the atom
   // decomposition of the final point, ready to seed the next related
   // solve without a Raghavan-Tompson pass. The workspace copy is
   // rebuilt per solve, so moving it out is free.
-  if (pairwise) sol.commodity_atoms = std::move(ws.atoms_);
+  if (atomic) sol.commodity_atoms = std::move(ws.atoms_);
 
   // Restore the workspace invariant for the next solve.
   for (const EdgeId e : ws.x_support_) {
     ws.weights_[static_cast<std::size_t>(e)] = w_zero;
   }
   ws.clean_ = true;
+  sol.stats = stats;
   return sol;
 }
 

@@ -24,18 +24,22 @@
 // related instances (consecutive intervals of Algorithm 2) allocates
 // per-solve memory proportional to the solution support only.
 //
-// Two step rules (FrankWolfeOptions::step_rule): the classic joint
-// convex-combination step, and a pairwise (away-step) rule over the
-// per-commodity path polytopes that maintains explicit active sets of
-// path atoms and moves mass from the worst active atom onto the
-// cheapest path — the repair for the warm-start last-mile stall, where
-// the classic step can only shed warm mass geometrically.
+// Three step rules (FrankWolfeOptions::step_rule): the classic joint
+// convex-combination step, a pairwise rule over the per-commodity path
+// polytopes that maintains explicit active sets of path atoms and moves
+// mass from the worst active atom onto the cheapest path — the repair
+// for the warm-start last-mile stall, where the classic step can only
+// shed warm mass geometrically, and the default since v2 — and the full
+// away-step rule, which picks the steeper of the Frank-Wolfe and away
+// directions per commodity.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -54,6 +58,43 @@ struct Commodity {
   double demand = 0.0;
 };
 
+/// Analytic description of the PowerModel convex envelope,
+///
+///     env(x) = env_slope * x                 for x <= r_hat
+///     env(x) = sigma + mu * x^alpha          for x >  r_hat,
+///
+/// attached to a problem so the solver's hot loops (per-iteration edge
+/// repricing, line-search evaluation) run as direct arithmetic instead
+/// of indirect std::function calls — the dense repricing pass
+/// vectorizes, and alpha == 2 / alpha == 3 take pow-free fast paths.
+///
+/// Bitwise contract: value() and derivative() reproduce
+/// PowerModel::envelope / ::envelope_derivative bit for bit (identical
+/// operation order, incl. the pow fast paths), so attaching a spec
+/// never changes any solver output — only how fast it is computed. The
+/// sigma == 0 degenerate case (r_hat == 0, env_slope == 0) falls out:
+/// x <= 0 only at x == 0, where both pieces meet at 0.
+struct EnvelopeCostSpec {
+  double sigma = 0.0;
+  double mu = 1.0;
+  double alpha = 2.0;
+  double r_hat = 0.0;      // min(r_opt, capacity); 0 when sigma == 0
+  double env_slope = 0.0;  // f(r_hat)/r_hat; 0 when r_hat == 0
+
+  [[nodiscard]] double value(double x) const {
+    if (x <= r_hat) return env_slope * x;
+    if (alpha == 2.0) return sigma + mu * (x * x);
+    return sigma + mu * std::pow(x, alpha);
+  }
+  [[nodiscard]] double derivative(double x) const {
+    if (x <= r_hat) return env_slope;
+    if (alpha == 2.0) return mu * alpha * x;
+    // std::pow(x, 2.0) is correctly rounded, hence bit-equal to x * x.
+    if (alpha == 3.0) return mu * alpha * (x * x);
+    return mu * alpha * std::pow(x, alpha - 1.0);
+  }
+};
+
 /// Problem definition. `cost` must be convex and non-decreasing on
 /// [0, inf); `cost_derivative` its (sub)derivative. The solver floors
 /// shortest-path weights at `min_edge_weight` so that a zero marginal
@@ -65,6 +106,11 @@ struct ConvexMcfProblem {
   std::function<double(double)> cost;
   std::function<double(double)> cost_derivative;
   double min_edge_weight = 1e-9;
+  /// Optional analytic fast path. When set, it MUST describe the same
+  /// functions as `cost`/`cost_derivative` (see EnvelopeCostSpec): the
+  /// solver evaluates the spec in its hot loops and the callbacks stay
+  /// as the generic fallback for non-envelope costs.
+  std::optional<EnvelopeCostSpec> envelope;
 };
 
 /// One path atom of the pairwise step rule's active sets: a candidate
@@ -102,8 +148,55 @@ enum class FrankWolfeStepRule : std::int32_t {
   /// step. Mass a warm start misplaced is shed in a handful of steps
   /// while well-placed commodities stay untouched. Falls back to a
   /// classic step for commodities with no active set (cold rows) or
-  /// when the pairwise direction stalls.
+  /// when the pairwise direction stalls. The default since v2: cold
+  /// solves certify tight gaps on the multipath instances where the
+  /// classic rule stalls ~1e-4 from the optimum (bcube incast), and
+  /// warm re-solves shed displaced mass in a handful of steps.
   kPairwise = 1,
+  /// Full away-step Frank-Wolfe on the same per-commodity active sets:
+  /// each commodity compares the Frank-Wolfe direction (move mass onto
+  /// the cheapest path from the whole point) against the away direction
+  /// (move mass off the worst active atom, expanding the point) by
+  /// inner product with the marginal costs and steps along whichever
+  /// descends faster, with an exact line search (a drop step removes
+  /// the away atom; a full FW step collapses the active set onto the
+  /// cheapest path). The textbook AFW companion to kPairwise, kept as
+  /// an A/B alternative: both converge linearly on the path polytopes
+  /// and certify the same objectives (tests/cold_path_test.cc).
+  kAwayStep = 2,
+};
+
+/// Deterministic per-phase counters plus a wall-time split of one solve
+/// (accumulated across solves by the relaxation/online layers). The
+/// counters are invariant under --jobs and any oracle thread count —
+/// safe to byte-compare and to surface as engine stats — while the
+/// *_seconds fields are wall-clock and must never enter canonical
+/// output.
+struct FrankWolfeStats {
+  /// Dijkstra sweeps the linearization oracle ran (one per source
+  /// group and pass; the relaxation layer also counts its cold-routing
+  /// sweeps here).
+  std::int64_t oracle_sweeps = 0;
+  /// Marginal-cost writes: dense repricing passes count every edge,
+  /// sparse passes the support, pairwise/away sub-steps their touched
+  /// edges.
+  std::int64_t edges_repriced = 0;
+  /// Cost-function evaluations inside the golden-section line searches
+  /// (the classic profile's dominant term before the analytic spec).
+  std::int64_t line_search_evals = 0;
+  double oracle_seconds = 0.0;
+  double reprice_seconds = 0.0;
+  double line_search_seconds = 0.0;
+
+  FrankWolfeStats& operator+=(const FrankWolfeStats& o) {
+    oracle_sweeps += o.oracle_sweeps;
+    edges_repriced += o.edges_repriced;
+    line_search_evals += o.line_search_evals;
+    oracle_seconds += o.oracle_seconds;
+    reprice_seconds += o.reprice_seconds;
+    line_search_seconds += o.line_search_seconds;
+    return *this;
+  }
 };
 
 struct FrankWolfeOptions {
@@ -111,14 +204,24 @@ struct FrankWolfeOptions {
   double gap_tolerance = 1e-4;  // stop when gap / cost falls below this
   /// Worker threads for the shortest-path linearization oracle (the
   /// per-source Dijkstra sweeps are independent, so results are
-  /// byte-identical for any thread count). 1 = sequential (default —
-  /// callers that already parallelize at a coarser grain, like
-  /// BatchRunner, should keep it); 0 = hardware concurrency.
-  std::int32_t oracle_threads = 1;
-  /// Step rule. kClassic keeps the historical trajectory bit for bit;
-  /// kPairwise is the warm-start repair the online scheduler opts into
-  /// (see the enum for the trade-off).
-  FrankWolfeStepRule step_rule = FrankWolfeStepRule::kClassic;
+  /// byte-identical for any thread count). 0 (default) is adaptive:
+  /// min(hardware concurrency, #distinct sources) — a single-core host
+  /// or a single-source problem resolves to 1 and skips the pool (and
+  /// its dispatch overhead) entirely. > 0 pins the width; < 0 forces
+  /// sequential.
+  std::int32_t oracle_threads = 0;
+  /// Step rule. kPairwise (the v2 default) converges linearly on the
+  /// per-commodity path polytopes; kClassic keeps the pre-v2 trajectory
+  /// bit for bit; kAwayStep is the full away-step A/B alternative (see
+  /// the enum for the trade-offs).
+  FrankWolfeStepRule step_rule = FrankWolfeStepRule::kPairwise;
+  /// When true (default), the oracle groups commodities by source so
+  /// one multi-target Dijkstra sweep serves every same-source
+  /// commodity. False runs one single-target sweep per commodity —
+  /// byte-identical results (early exit never disturbs the parents of
+  /// settled nodes), kept selectable as the A/B and test hook for the
+  /// batching.
+  bool batch_oracle = true;
 };
 
 /// Fractional solution.
@@ -135,11 +238,13 @@ struct ConvexMcfSolution {
   /// drive the raw gap slightly negative at convergence.
   double relative_gap = 0.0;
   std::int32_t iterations = 0;
-  /// Per-commodity active sets at termination — populated only under
-  /// the pairwise step rule (empty vector under kClassic). atoms[c] is
+  /// Per-commodity active sets at termination — populated under the
+  /// pairwise and away-step rules (empty vector under kClassic). atoms[c] is
   /// a path decomposition of commodity_flow[c]; feed it back through
   /// `warm_atoms` to seed a later related solve without re-decomposing.
   std::vector<AtomSet> commodity_atoms;
+  /// Per-phase counters and wall-time split of this solve.
+  FrankWolfeStats stats;
 };
 
 class ConvexMcfWorkspace;
@@ -151,8 +256,8 @@ class ConvexMcfWorkspace;
 /// when non-null, is reused across calls and eliminates all O(V)/O(E)
 /// scratch allocation after the first solve on a given graph.
 ///
-/// `warm_atoms`, when non-null and of matching length (pairwise rule
-/// only), carries each commodity's active set from a previous related
+/// `warm_atoms`, when non-null and of matching length (pairwise and
+/// away-step rules), carries each commodity's active set from a previous related
 /// solve: a non-empty set seeds the commodity's atoms directly — its
 /// initial point is rebuilt from the atoms, the matching `warm_start`
 /// row is ignored, and the per-solve Raghavan-Tompson decomposition of
@@ -201,7 +306,7 @@ class ConvexMcfWorkspace {
   bool clean_ = false;
 
   // Per-solve scratch (contents regenerated; capacity reused).
-  std::vector<std::pair<NodeId, std::size_t>> by_source_;  // (src, commodity)
+  std::vector<std::pair<NodeId, std::size_t>> by_source_;  // (sweep root, commodity)
   std::vector<std::pair<std::size_t, std::size_t>> group_bounds_;
   std::vector<NodeId> group_targets_;
   std::vector<Path> target_paths_;

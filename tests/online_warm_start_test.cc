@@ -42,7 +42,11 @@ engine::Instance incast_instance() {
 
 TEST(RelaxationWarmStart, ResolveFromOwnSolutionStopsAtFirstGapCheck) {
   const engine::Instance instance = incast_instance();
-  const RelaxationOptions options = tight_options();
+  // Rows-only bit-exactness is a classic-rule contract: the atom rules
+  // re-decompose warm rows (discarding sub-tolerance dust), so their
+  // exact counterpart is the carried-atoms test below.
+  RelaxationOptions options = tight_options();
+  options.frank_wolfe.step_rule = FrankWolfeStepRule::kClassic;
 
   RelaxationWorkspace workspace;
   const FractionalRelaxation cold = solve_relaxation(

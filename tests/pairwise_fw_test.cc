@@ -67,6 +67,7 @@ TEST(PairwiseFrankWolfe, MatchesClassicObjectiveAcrossScenarioGrid) {
       const Instance inst = suite.build(spec, seed, sopt);
 
       RelaxationOptions classic;
+      classic.frank_wolfe.step_rule = FrankWolfeStepRule::kClassic;
       classic.frank_wolfe.max_iterations = 2000;
       classic.frank_wolfe.gap_tolerance = 1e-7;
       RelaxationOptions pairwise = classic;
@@ -129,6 +130,7 @@ TEST(PairwiseFrankWolfe, ShedsWarmMassInStrictlyFewerIterationsThanClassic) {
   // pairwise stays flat.
   for (const double tol : {2e-3, 1e-3, 3e-4, 1e-4}) {
     RelaxationOptions classic;
+    classic.frank_wolfe.step_rule = FrankWolfeStepRule::kClassic;
     classic.frank_wolfe.max_iterations = 2000;
     classic.frank_wolfe.gap_tolerance = tol;
     RelaxationOptions pairwise = classic;

@@ -208,6 +208,7 @@ TEST(SparseEquivalence, LineNetworkQuadratic) {
   p.cost_derivative = [](double x) { return 2.0 * x; };
   p.commodities = {{0, 4, 3.0}, {1, 3, 1.5}, {0, 2, 0.25}, {2, 4, 2.0}};
   FrankWolfeOptions opts;
+  opts.step_rule = FrankWolfeStepRule::kClassic;  // the dense reference's rule
   opts.max_iterations = 200;
   opts.gap_tolerance = 1e-7;
   const auto sparse = solve_convex_mcf(p, opts);
@@ -228,6 +229,7 @@ TEST(SparseEquivalence, FatTreeSpeedScaling) {
   p.commodities.push_back({topo.hosts()[0], topo.hosts()[5], 1.25});
   p.commodities.push_back({topo.hosts()[0], topo.hosts()[11], 0.75});
   FrankWolfeOptions opts;
+  opts.step_rule = FrankWolfeStepRule::kClassic;  // the dense reference's rule
   opts.max_iterations = 150;
   opts.gap_tolerance = 1e-6;
   const auto sparse = solve_convex_mcf(p, opts);
@@ -245,6 +247,7 @@ TEST(SparseEquivalence, FatTreeQuartic) {
                              1.0 + 0.5 * i});
   }
   FrankWolfeOptions opts;
+  opts.step_rule = FrankWolfeStepRule::kClassic;  // the dense reference's rule
   opts.max_iterations = 100;
   opts.gap_tolerance = 1e-5;
   const auto sparse = solve_convex_mcf(p, opts);
@@ -263,6 +266,7 @@ TEST(SparseEquivalence, WarmStartMatchesDenseWarmStart) {
                              topo.hosts()[static_cast<std::size_t>(10 + i)], 2.0});
   }
   FrankWolfeOptions opts;
+  opts.step_rule = FrankWolfeStepRule::kClassic;  // the dense reference's rule
   opts.max_iterations = 120;
   opts.gap_tolerance = 1e-6;
   const auto cold_sparse = solve_convex_mcf(p, opts);

@@ -33,6 +33,30 @@ def _canonical_name(name: str) -> str:
     return re.sub(r"/(iterations|repeats|min_time|min_warmup_time):[^/]+", "", name)
 
 
+def check_release_capture(paths: list[str], raws: list[dict],
+                          allow_debug: bool) -> None:
+    """Refuses debug benchmark-library captures (or warns with --allow-debug).
+
+    A debug google-benchmark library skews the timing harness itself, so
+    a snapshot captured against it is not comparable to Release ones
+    (this bit BENCH_engine.json once). Raw files without the field —
+    e.g. bench_online's own --json output — pass: the field describes
+    the benchmark library, which those files don't link.
+    """
+    for path, raw in zip(paths, raws):
+        build_type = raw.get("context", {}).get("library_build_type")
+        if build_type is None or build_type.lower() != "debug":
+            continue
+        message = (
+            f"{path}: captured against a debug google-benchmark library; "
+            "snapshot timings would not be comparable to Release captures"
+        )
+        if not allow_debug:
+            raise SystemExit(
+                f"bench_to_json: {message} (pass --allow-debug to override)")
+        print(f"bench_to_json: WARNING: {message}", file=sys.stderr)
+
+
 def convert(raws: list[dict], suite: str, exclude: str | None = None) -> dict:
     context = raws[0].get("context", {}) if raws else {}
     pattern = re.compile(exclude) if exclude else None
@@ -141,6 +165,12 @@ def main() -> int:
         "--suite bench_online)",
     )
     parser.add_argument(
+        "--allow-debug",
+        action="store_true",
+        help="convert debug benchmark-library captures with a warning "
+        "instead of refusing them",
+    )
+    parser.add_argument(
         "--fail-over",
         metavar="REGEX:PCT",
         action="append",
@@ -168,6 +198,7 @@ def main() -> int:
     for path in args.files:
         with open(path) as f:
             raws.append(json.load(f))
+    check_release_capture(args.files, raws, args.allow_debug)
     json.dump(convert(raws, args.suite, args.exclude), sys.stdout, indent=2)
     print()
     return 0
