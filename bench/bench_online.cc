@@ -26,20 +26,37 @@
 // pairwise + atom carry-over, no departures fast path), so the admit%
 // and fw_iters columns read directly as the win of this configuration.
 //
-// Flags: --rates a,b,..  arrival rates to sweep       [0.5,1,2,4,8]
-//        --flows a,b,..  offered flows per run        [60]
-//        --runs n        seeds per (cell, solver)     [3]
-//        --capacity x    link capacity                [3]
-//        --scenario s    online scenario              [fat_tree/poisson]
-//        --jobs n        worker threads               [1]
-//        --no-oracle     skip the oracle_dcfsr column
-//        --json FILE     also write the table as google-benchmark JSON
-//                        (bench_to_json.py converts it into the
-//                        BENCH_online.json snapshot schema)
+// Per solver row the table also carries the admission-decision latency
+// percentiles (p50/p99 wall ms per arrival, from the schedulers'
+// per-event clocks) and the load-index health columns: pk_seg, the
+// largest live-segment count any edge's profile held (what bounds
+// probe cost under the low-water-mark pruning), and pruned, the total
+// departed-history breakpoints the index folded away.
+//
+// Flags: --rates a,b,..   arrival rates to sweep       [0.5,1,2,4,8]
+//        --flows a,b,..   offered flows per run        [60]
+//        --runs n         seeds per (cell, solver)     [3]
+//        --capacity x     link capacity                [3]
+//        --scenario s     online scenario              [fat_tree/poisson]
+//        --solvers a,b,.. online solver columns
+//                         [online_greedy,online_dcfsr,online_dcfsr_id]
+//        --jobs n         worker threads               [1]
+//        --no-oracle      skip the oracle_dcfsr column
+//        --json FILE      also write the table as google-benchmark JSON
+//                         (bench_to_json.py converts it into the
+//                         BENCH_online.json snapshot schema; the latency
+//                         percentiles and index-health columns travel as
+//                         per-benchmark counters)
 //
 // The scaling configuration tracked in BENCH_online.json:
 //   bench_online --scenario fat_tree8/poisson --rates 8
 //                --flows 1000,2000,4000 --runs 1 --jobs 4 --json raw.json
+//   bench_online --scenario fat_tree8/poisson --rates 8 --flows 16000
+//                --runs 1 --jobs 4 --no-oracle
+//                --solvers online_greedy,online_dcfsr,online_dcfsr_flat
+//                --json raw16k.json
+// (the 16k point is the flat-per-event acceptance check: online_dcfsr
+// ms per event within ~1.3x of its 1000-flow value)
 #include <algorithm>
 #include <cstdio>
 #include <ctime>
@@ -63,6 +80,10 @@ struct Row {
          gap_checks = 0, peak = 0, edf = 0, ms = 0;
   // Frank-Wolfe phase counters (deterministic; from the fw_* stats).
   double sweeps = 0, repriced = 0, ls_evals = 0;
+  // Load-index health (deterministic stats) and admission-decision
+  // latency percentiles (wall clock, from SolverOutcome::timings);
+  // both averaged over the cell's seeds at print time.
+  double peak_seg = 0, pruned = 0, p50 = 0, p99 = 0;
   int cells = 0;
   bool ok = true;
 };
@@ -82,10 +103,14 @@ int main(int argc, char** argv) {
   using namespace dcn::engine;
   const bench::Args args(argc, argv);
 
-  std::vector<std::string> solvers = {"online_greedy", "online_dcfsr",
-                                      "online_dcfsr_id"};
+  std::vector<std::string> solvers = args.get_list(
+      "solvers", {"online_greedy", "online_dcfsr", "online_dcfsr_id"});
   const bool with_oracle = !args.has_flag("no-oracle");
-  if (with_oracle) solvers.push_back("oracle_dcfsr");
+  if (with_oracle &&
+      std::find(solvers.begin(), solvers.end(), "oracle_dcfsr") ==
+          solvers.end()) {
+    solvers.push_back("oracle_dcfsr");
+  }
   std::vector<double> rates;
   for (const std::string& r : args.get_list("rates", {"0.5", "1", "2", "4", "8"})) {
     rates.push_back(std::stod(r));
@@ -109,14 +134,22 @@ int main(int argc, char** argv) {
   std::printf("Online arrival sweep: %s, %d runs, capacity=%g\n",
               scenario.c_str(), runs, spec.options.capacity);
   bench::rule();
-  std::printf("%6s %6s  %-16s %8s %12s %8s %9s %8s %10s %9s %7s %6s %6s %7s "
-              "%7s %9s\n",
+  std::printf("%6s %6s  %-17s %8s %12s %8s %9s %8s %10s %9s %7s %6s %6s %6s "
+              "%8s %8s %8s %7s %7s %9s\n",
               "rate", "flows", "solver", "admit%", "energy", "resolves",
               "fw_iters", "sweeps", "repriced", "ls_evals", "gapchk", "peak",
-              "edf_fb", "cr_adm", "cr_en", "ms");
+              "edf_fb", "pk_seg", "pruned", "p50ms", "p99ms", "cr_adm",
+              "cr_en", "ms");
 
-  // Rows for the optional JSON dump: (name, mean ms per cell).
-  std::vector<std::pair<std::string, double>> json_rows;
+  // Rows for the optional JSON dump: one benchmark per (cell, solver)
+  // with mean ms per cell as the time and the latency/index columns as
+  // counters.
+  struct JsonRow {
+    std::string name;
+    double ms = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<JsonRow> json_rows;
 
   for (const double rate : rates) {
     for (const std::int64_t flows : flow_counts) {
@@ -153,6 +186,12 @@ int main(int argc, char** argv) {
           if (key == "departure_gap_checks") row.gap_checks += value;
           if (key == "peak_in_flight") row.peak += value;
           if (key == "edf_fallbacks") row.edf += value;
+          if (key == "peak_live_segments") row.peak_seg += value;
+          if (key == "load_segments_pruned") row.pruned += value;
+        }
+        for (const auto& [key, value] : cell.outcome.timings) {
+          if (key == "decision_latency_p50_ms") row.p50 += value;
+          if (key == "decision_latency_p99_ms") row.p99 += value;
         }
       }
       const Row* oracle =
@@ -175,19 +214,28 @@ int main(int argc, char** argv) {
           std::snprintf(cr_en, sizeof(cr_en), "%.3f",
                         row.energy / oracle->energy);
         }
-        std::printf("%6g %6lld  %-16s %7.1f%% %12.1f %8.0f %9.0f %8.0f %10.0f "
-                    "%9.0f %7.0f %6.0f %6.0f %7s %7s %9.0f\n",
+        const double cells = static_cast<double>(std::max(1, row.cells));
+        std::printf("%6g %6lld  %-17s %7.1f%% %12.1f %8.0f %9.0f %8.0f %10.0f "
+                    "%9.0f %7.0f %6.0f %6.0f %6.0f %8.0f %8.2f %8.2f %7s %7s "
+                    "%9.0f\n",
                     rate, static_cast<long long>(flows), solver.c_str(),
                     row.offered > 0 ? 100.0 * row.admitted / row.offered : 0.0,
                     row.energy, row.resolves, row.fw, row.sweeps, row.repriced,
-                    row.ls_evals, row.gap_checks,
-                    row.peak / std::max(1, row.cells), row.edf, cr_adm, cr_en,
-                    row.ms);
+                    row.ls_evals, row.gap_checks, row.peak / cells, row.edf,
+                    row.peak_seg / cells, row.pruned / cells, row.p50 / cells,
+                    row.p99 / cells, cr_adm, cr_en, row.ms);
         char name[160];
         std::snprintf(name, sizeof(name), "BM_Online/%s/rate%g/%lld/%s",
                       flatten(scenario).c_str(), rate,
                       static_cast<long long>(flows), solver.c_str());
-        json_rows.emplace_back(name, row.ms / std::max(1, row.cells));
+        json_rows.push_back(
+            {name,
+             row.ms / cells,
+             {{"decision_latency_p50_ms", row.p50 / cells},
+              {"decision_latency_p99_ms", row.p99 / cells},
+              {"peak_live_segments", row.peak_seg / cells},
+              {"load_segments_pruned", row.pruned / cells},
+              {"peak_in_flight", row.peak / cells}}});
       }
     }
   }
@@ -217,9 +265,12 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
                    "\"real_time\": %.6f, \"cpu_time\": %.6f, "
-                   "\"time_unit\": \"ms\", \"iterations\": 1}%s\n",
-                   json_rows[i].first.c_str(), json_rows[i].second,
-                   json_rows[i].second, i + 1 < json_rows.size() ? "," : "");
+                   "\"time_unit\": \"ms\", \"iterations\": 1",
+                   json_rows[i].name.c_str(), json_rows[i].ms, json_rows[i].ms);
+      for (const auto& [key, value] : json_rows[i].counters) {
+        std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < json_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

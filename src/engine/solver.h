@@ -54,7 +54,16 @@ struct SolverOutcome {
   double lower_bound = 0.0;
 
   /// Ordered solver-specific counters (e.g. {"iterations", 12}).
+  /// Deterministic values only: stats feed canonical_summary, which is
+  /// byte-compared across --jobs and runner thread counts.
   std::vector<std::pair<std::string, double>> stats;
+
+  /// Ordered wall-clock measurements (e.g. the online schedulers'
+  /// admission-decision latency percentiles, in ms). Kept apart from
+  /// `stats` and never serialized by canonical_summary — wall time
+  /// varies run to run while canonical output must not. bench_online
+  /// reads these for its latency columns.
+  std::vector<std::pair<std::string, double>> timings;
 };
 
 /// Abstract solver: every algorithm of the paper behind one call.

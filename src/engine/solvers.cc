@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "baselines/baselines.h"
+#include "common/contracts.h"
 #include "common/interval.h"
 #include "sim/replay.h"
 
@@ -17,6 +18,15 @@ namespace {
 /// replaying them against their full volumes would always fail). The
 /// full-size schedule (rejected rows empty) still travels in the
 /// outcome for inspection.
+/// Nearest-rank percentile of an unsorted sample, p in [0, 1].
+double percentile(std::vector<double>& xs, double p) {
+  DCN_EXPECTS(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[idx];
+}
+
 SolverOutcome finish_online_outcome(const std::string& solver,
                                     const Instance& instance,
                                     OnlineResult result) {
@@ -37,7 +47,24 @@ SolverOutcome finish_online_outcome(const std::string& solver,
   out.schedule = std::move(result.schedule);
   out.stats = {{"admitted", static_cast<double>(result.num_admitted)},
                {"rejected", static_cast<double>(result.num_rejected)},
-               {"events", static_cast<double>(result.num_events)}};
+               {"events", static_cast<double>(result.num_events)},
+               // Load-index health: the live-segment working set that
+               // bounds probe cost, and how much departed history the
+               // low-water pruning folded away. Deterministic, unlike
+               // the latency timings below.
+               {"peak_live_segments",
+                static_cast<double>(result.peak_live_segments)},
+               {"load_segments_pruned",
+                static_cast<double>(result.load_segments_pruned)}};
+  // Wall-clock admission-decision latency percentiles ride in timings,
+  // never stats: canonical output is byte-compared across --jobs.
+  if (!result.decision_latency_ms.empty()) {
+    out.timings = {
+        {"decision_latency_p50_ms",
+         percentile(result.decision_latency_ms, 0.50)},
+        {"decision_latency_p99_ms",
+         percentile(result.decision_latency_ms, 0.99)}};
+  }
   return out;
 }
 

@@ -1,0 +1,82 @@
+#include "online/load_index.h"
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+
+namespace dcn {
+
+EdgeLoadIndex::EdgeLoadIndex(std::int32_t num_edges, bool audit)
+    : profiles_(static_cast<std::size_t>(num_edges)), audit_(audit) {
+  if (audit_) shadow_.resize(static_cast<std::size_t>(num_edges));
+}
+
+void EdgeLoadIndex::add(EdgeId e, const Interval& iv, double rate) {
+  LoadProfile& profile = profiles_[static_cast<std::size_t>(e)];
+  profile.add(iv, rate);
+  peak_live_ = std::max(
+      peak_live_, static_cast<std::int32_t>(profile.live_breakpoints()));
+  if (audit_) shadow_[static_cast<std::size_t>(e)].add(iv, rate);
+}
+
+double EdgeLoadIndex::value_at(EdgeId e, double t) const {
+  const double v = at(e).value_at(t);
+  if (audit_) {
+    // Bitwise, not approximate: the index must be indistinguishable
+    // from the naive replay (same fold order, same zero snapping).
+    DCN_ENSURES(v == shadow_[static_cast<std::size_t>(e)].value_at(t));
+  }
+  return v;
+}
+
+double EdgeLoadIndex::max_within(EdgeId e, const Interval& window) const {
+  const double v = at(e).max_within(window);
+  if (audit_) {
+    DCN_ENSURES(v == shadow_[static_cast<std::size_t>(e)].max_within(window));
+  }
+  return v;
+}
+
+double EdgeLoadIndex::marginal_energy(EdgeId e, const Interval& span, double d,
+                                      const PowerModel& model) const {
+  // The reference implementation (baselines.h) iterates every merged
+  // segment of the profile and clips; runs wholly past the span clip to
+  // nothing, so stopping the walk there is exact — that early exit plus
+  // pruning is what makes the weight O(segments in span).
+  double covered = 0.0;
+  double total = 0.0;
+  at(e).for_each_segment_from(
+      span.lo, [&](const Interval& iv, double value) {
+        if (iv.lo >= span.hi) return false;
+        const Interval clip = iv.intersect(span);
+        if (!clip.empty()) {
+          covered += clip.measure();
+          total += (model.f(value + d) - model.f(value)) * clip.measure();
+        }
+        return true;
+      });
+  const double gaps = span.measure() - covered;
+  if (gaps > 0.0) total += model.f(d) * gaps;
+  if (audit_) {
+    DCN_ENSURES(total == dcn::marginal_energy(
+                             shadow_[static_cast<std::size_t>(e)], span, d,
+                             model));
+  }
+  return total;
+}
+
+void EdgeLoadIndex::advance_low_water(double t) {
+  if (!(t > low_water_)) return;
+  low_water_ = t;
+  for (LoadProfile& profile : profiles_) profile.prune_before(t);
+}
+
+std::int64_t EdgeLoadIndex::segments_pruned() const {
+  std::int64_t total = 0;
+  for (const LoadProfile& profile : profiles_) {
+    total += profile.pruned_breakpoints();
+  }
+  return total;
+}
+
+}  // namespace dcn

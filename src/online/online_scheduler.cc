@@ -1,6 +1,7 @@
 #include "online/online_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -91,31 +92,29 @@ std::vector<std::size_t> arrival_order(const std::vector<Flow>& flows) {
 
 /// True when adding constant rate `rate` over `span` keeps every edge of
 /// `path` within capacity against the committed `load`. The peak lookup
-/// is StepFunction::max_within — allocation-free and early-exiting past
-/// the span, which matters at thousands of committed flows where the
-/// naive segments() scan dominated admission cost.
-bool rate_fits(const std::vector<StepFunction>& load, const Path& path,
+/// is the index's max_within — cached prefix values plus a block-max
+/// overlay over the live (unpruned) region, so the probe cost is bounded
+/// by the in-flight history even after thousands of commits.
+bool rate_fits(const EdgeLoadIndex& load, const Path& path,
                const Interval& span, double rate, double capacity) {
   const double limit = capacity * (1.0 + kCapacitySlack);
   if (rate > limit) return false;
   for (const EdgeId e : path.edges) {
-    if (load[static_cast<std::size_t>(e)].max_within(span) + rate > limit) {
-      return false;
-    }
+    if (load.max_within(e, span) + rate > limit) return false;
   }
   return true;
 }
 
 /// Commits `segments` on `path` for flow `i`: records the flow schedule
-/// and adds every segment to the per-edge load profiles.
-void commit(OnlineResult& out, std::vector<StepFunction>& load, std::size_t i,
-            Path path, std::vector<RateSegment> segments) {
+/// and adds every segment to the per-edge load index.
+void commit(OnlineResult& out, EdgeLoadIndex& load, std::size_t i, Path path,
+            std::vector<RateSegment> segments) {
   FlowSchedule& fs = out.schedule.flows[i];
   fs.path = std::move(path);
   fs.segments = std::move(segments);
   for (const RateSegment& seg : fs.segments) {
     for (const EdgeId e : fs.path.edges) {
-      load[static_cast<std::size_t>(e)].add(seg.interval, seg.rate);
+      load.add(e, seg.interval, seg.rate);
     }
   }
   out.admitted[i] = true;
@@ -124,10 +123,70 @@ void commit(OnlineResult& out, std::vector<StepFunction>& load, std::size_t i,
 
 }  // namespace
 
-/// EDF-style fallback fill: packs `volume` into the earliest remaining
-/// capacity of `path` within `span`. Returns the segments on success,
-/// an empty vector when even the full remaining capacity cannot finish
-/// the flow by its deadline.
+/// Indexed EDF fill (see header): same elementary-piece packing as the
+/// reference below, but the cut collection walks only the merged
+/// segments overlapping `span` (for_each_segment_from stops at the
+/// first run starting past span.hi) and the per-piece load probes are
+/// O(log live) index lookups. Runs the index enumerates that the
+/// reference's full segments() scan would also visit but that end at or
+/// before span.lo — or start at or past span.hi — contribute no cuts
+/// under the strict window filters, so the cut set matches the
+/// reference exactly; in audit mode the whole fill is cross-checked
+/// against the reference on the naive shadow.
+std::vector<RateSegment> edf_fill(const EdgeLoadIndex& load, const Path& path,
+                                  const Interval& span, double volume,
+                                  double capacity) {
+  std::vector<double> cuts{span.lo, span.hi};
+  for (const EdgeId e : path.edges) {
+    load.for_each_segment_from(e, span.lo, [&](const Interval& iv, double) {
+      if (iv.lo >= span.hi) return false;
+      if (iv.lo > span.lo && iv.lo < span.hi) cuts.push_back(iv.lo);
+      if (iv.hi > span.lo && iv.hi < span.hi) cuts.push_back(iv.hi);
+      return true;
+    });
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<RateSegment> segments;
+  double remaining = volume;
+  for (std::size_t k = 0; k + 1 < cuts.size() && remaining > 0.0; ++k) {
+    const Interval piece{cuts[k], cuts[k + 1]};
+    double used = 0.0;
+    for (const EdgeId e : path.edges) {
+      used = std::max(used, load.value_at(e, piece.lo));
+    }
+    const double avail = capacity - used;
+    if (avail <= kCapacitySlack * std::max(1.0, capacity)) continue;
+    const double takeable = avail * piece.measure();
+    if (takeable >= remaining) {
+      segments.push_back({{piece.lo, piece.lo + remaining / avail}, avail});
+      remaining = 0.0;
+    } else {
+      segments.push_back({piece, avail});
+      remaining -= takeable;
+    }
+  }
+  if (remaining > 1e-9 * std::max(1.0, volume)) segments.clear();
+  if (const std::vector<StepFunction>* shadow = load.shadow()) {
+    // Bitwise differential against the reference fill on the naive
+    // never-pruned profiles: same cuts, same rates, same early exit.
+    const std::vector<RateSegment> ref =
+        edf_fill(*shadow, path, span, volume, capacity);
+    DCN_ENSURES(segments.size() == ref.size());
+    for (std::size_t k = 0; k < segments.size(); ++k) {
+      DCN_ENSURES(segments[k].interval.lo == ref[k].interval.lo);
+      DCN_ENSURES(segments[k].interval.hi == ref[k].interval.hi);
+      DCN_ENSURES(segments[k].rate == ref[k].rate);
+    }
+  }
+  return segments;
+}
+
+/// Reference fill: packs `volume` into the earliest remaining capacity
+/// of `path` within `span`, scanning every committed segment of each
+/// edge's full profile. The differential baseline of the indexed
+/// overload above (audit mode and tests); not on any scheduler's path.
 std::vector<RateSegment> edf_fill(const std::vector<StepFunction>& load,
                                   const Path& path, const Interval& span,
                                   double volume, double capacity) {
@@ -206,8 +265,9 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   RelaxationWorkspace workspace;
 
   // Committed per-edge load (admitted density segments) for the
-  // per-flow admission fallback.
-  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+  // per-flow admission fallback: the incremental index, pruned to the
+  // run's low-water mark at every event below.
+  EdgeLoadIndex load(g.num_edges(), options.audit_load_index);
   ReachabilityCache reachable(g);
 
   // The active-flow index: admitted, still-in-flight flows keyed by
@@ -215,12 +275,34 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   // O(log n) each; the residual problem reads the set in deadline order
   // in O(active) — no per-event scan over the whole trace.
   std::set<std::pair<double, std::size_t>> active;
+  // Release times of the flows in `active`, kept as a multiset so the
+  // low-water mark — min(earliest live release, event time) — updates
+  // in O(log n) per admission/completion.
+  std::multiset<double> live_releases;
 
   for (std::size_t lo = 0; lo < order.size();) {
+    // The event's decision point is the batch's first release; with
+    // epoch > 0 every arrival within `epoch` of it joins the batch.
+    // epoch = 0 reduces to equal-release grouping exactly: releases
+    // ascend, so `<= now + 0` is `== now`.
     const double now = flows[order[lo]].release;
     std::size_t hi = lo;
-    while (hi < order.size() && flows[order[hi]].release == now) ++hi;
+    while (hi < order.size() &&
+           flows[order[hi]].release <= now + options.epoch) {
+      ++hi;
+    }
     ++out.num_events;
+    const auto event_start = std::chrono::steady_clock::now();
+    // Every arrival in the batch is charged the event's full wall
+    // clock — the decision latency a caller of admission would see.
+    auto record_latency = [&] {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - event_start)
+                            .count();
+      for (std::size_t k = lo; k < hi; ++k) {
+        out.decision_latency_ms.push_back(ms);
+      }
+    };
 
     // Completions since the previous event: pop the index prefix with
     // deadline <= now and release the departed flows' warm state. The
@@ -233,9 +315,17 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       const std::size_t done = active.begin()->second;
       depart = active.begin()->first;
       active.erase(active.begin());
+      live_releases.erase(live_releases.find(flows[done].release));
       warm[done] = {};
       warm_atoms[done] = {};
     }
+    // Departed history is dead weight for every future probe (batch
+    // spans start at or after `now`, live spans at or after the
+    // earliest live release): advance the low-water mark and let the
+    // index fold it away. This pruning is what keeps probe cost flat
+    // as the trace grows instead of scaling with every flow ever seen.
+    load.advance_low_water(
+        live_releases.empty() ? now : std::min(now, *live_releases.begin()));
 
     // Departures-only fast path. The completions changed the carried
     // problem by removal only: the surviving warm rows stay feasible
@@ -253,11 +343,23 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       std::vector<SparseEdgeFlow> gap_rows;
       std::vector<AtomSet> gap_atoms;
       survivors.reserve(active.size());
+      // The gap check is a re-solve like any other: with a finite
+      // lookahead its survivors are clipped to [depart, depart + W] at
+      // their original densities (no admission happens here, so the
+      // window only shrinks the interval decomposition).
+      const double gap_horizon =
+          options.lookahead_window > 0.0
+              ? depart + options.lookahead_window
+              : std::numeric_limits<double>::infinity();
       for (const auto& [deadline, i] : active) {
         Flow res = flows[i];
         res.id = static_cast<FlowId>(survivors.size());
         res.release = depart;
         res.volume = flows[i].density() * (deadline - depart);
+        if (res.deadline > gap_horizon) {
+          res.volume = flows[i].density() * (gap_horizon - depart);
+          res.deadline = gap_horizon;
+        }
         survivors.push_back(res);
         surviving.push_back(i);
         gap_rows.push_back(warm[i]);
@@ -309,6 +411,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       forced.push_back(nullptr);
     }
     if (residual.empty()) {  // nothing in flight, no routable arrival
+      record_latency();
       lo = hi;
       continue;
     }
@@ -326,12 +429,43 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       warm_rows[r] = warm[orig[r]];
       warm_atom_rows[r] = std::move(warm_atoms[orig[r]]);
     }
+    // Interval-windowed relaxation: flows whose deadlines lie past
+    // now + W enter the *relaxation* clipped to the window at their
+    // original densities — the rounding below still accepts/rejects
+    // against the true spans, so the window affects solve cost, never
+    // admission soundness. When no flow reaches past the horizon
+    // (W = 0, or a window covering every residual span) the relaxation
+    // sees the identical vector, keeping those cases bit-for-bit.
+    const std::vector<Flow>* relax_flows = &residual;
+    std::vector<Flow> clipped;
+    if (options.lookahead_window > 0.0) {
+      const double horizon = now + options.lookahead_window;
+      bool any_clipped = false;
+      for (const Flow& fl : residual) {
+        if (fl.deadline > horizon && fl.release < horizon) {
+          any_clipped = true;
+          break;
+        }
+      }
+      if (any_clipped) {
+        clipped = residual;
+        for (Flow& fl : clipped) {
+          // An epoch-batched arrival releasing at or past the horizon
+          // keeps its true span (clipping would invert it).
+          if (fl.deadline > horizon && fl.release < horizon) {
+            fl.volume = fl.density() * (horizon - fl.release);
+            fl.deadline = horizon;
+          }
+        }
+        relax_flows = &clipped;
+      }
+    }
     RelaxationOptions relax_options = options.rounding.relaxation;
     if (first_new > 0) {
       relax_options.frank_wolfe.step_rule = options.warm_step_rule;
     }
     FractionalRelaxation relax =
-        solve_relaxation(g, residual, model, relax_options, &workspace,
+        solve_relaxation(g, *relax_flows, model, relax_options, &workspace,
                          &warm_rows, &warm_atom_rows);
     ++out.resolves;
     out.fw_iterations += relax.total_fw_iterations;
@@ -346,6 +480,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     // in-flight flow, and rejected arrivals must not keep warm state.
     auto admit_into_index = [&](std::size_t i) {
       active.emplace(flows[i].deadline, i);
+      live_releases.insert(flows[i].release);
     };
     auto release_rejected = [&](std::size_t i) {
       warm[i] = {};
@@ -367,6 +502,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       }
       out.peak_in_flight = std::max(out.peak_in_flight,
                                     static_cast<std::int32_t>(active.size()));
+      record_latency();
       lo = hi;
       continue;
     }
@@ -412,8 +548,11 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     }
     out.peak_in_flight = std::max(out.peak_in_flight,
                                   static_cast<std::int32_t>(active.size()));
+    record_latency();
     lo = hi;
   }
+  out.peak_live_segments = load.peak_live_segments();
+  out.load_segments_pruned = load.segments_pruned();
   return out;
 }
 
@@ -427,7 +566,9 @@ OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   if (flows.empty()) return out;
   out.num_events = 1;
   const double capacity = model.capacity();
-  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+  // One batch, nothing ever departs: the index is never pruned here —
+  // the oracle only uses its cached probes (and audit shadow).
+  EdgeLoadIndex load(g.num_edges(), options.audit_load_index);
 
   // Connectivity screen: unroutable flows are rejections, never fed to
   // the relaxation. The common all-routable case keeps the original
@@ -477,6 +618,7 @@ OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
              {{fl.span(), fl.density()}});
     }
     out.peak_in_flight = peak_overlap(flows, out.admitted);
+    out.peak_live_segments = load.peak_live_segments();
     return out;
   }
 
@@ -508,11 +650,13 @@ OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     if (!placed) ++out.num_rejected;
   }
   out.peak_in_flight = peak_overlap(flows, out.admitted);
+  out.peak_live_segments = load.peak_live_segments();
   return out;
 }
 
 OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
-                           const PowerModel& model) {
+                           const PowerModel& model,
+                           const OnlineOptions& options) {
   validate_flows(g, flows);
   OnlineResult out;
   out.schedule.flows.resize(flows.size());
@@ -522,23 +666,48 @@ OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
   const std::vector<std::size_t> order = arrival_order(flows);
   const double capacity = model.capacity();
 
-  std::vector<StepFunction> load(static_cast<std::size_t>(g.num_edges()));
+  EdgeLoadIndex load(g.num_edges(), options.audit_load_index);
   std::vector<double> weights(static_cast<std::size_t>(g.num_edges()), 0.0);
+
+  // Admitted flows in flight, deadline-ordered, with their releases in
+  // a parallel multiset: completions pop at each arrival and the index
+  // prunes to min(earliest live release, arrival time) — the same
+  // pruning invariant as online_dcfsr's event loop. This is where the
+  // index pays off most: the greedy weight loop probes *every* edge per
+  // arrival, so the naive full-history marginal_energy scan made the
+  // whole policy superlinear in trace length.
+  std::multiset<std::pair<double, double>> active;  // (deadline, release)
+  std::multiset<double> live_releases;
 
   double last_release = flows[order.front()].release - 1.0;
   for (const std::size_t i : order) {
     const Flow& fl = flows[i];
+    const auto event_start = std::chrono::steady_clock::now();
+    auto record_latency = [&] {
+      out.decision_latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - event_start)
+              .count());
+    };
     if (fl.release != last_release) {
       ++out.num_events;
       last_release = fl.release;
     }
+    while (!active.empty() && active.begin()->first <= fl.release) {
+      live_releases.erase(live_releases.find(active.begin()->second));
+      active.erase(active.begin());
+    }
+    load.advance_low_water(live_releases.empty()
+                               ? fl.release
+                               : std::min(fl.release, *live_releases.begin()));
     const double d = fl.density();
 
-    // The greedy baseline's routing rule against the committed load.
+    // The greedy baseline's routing rule against the committed load,
+    // each edge weight read from the span window of the index instead
+    // of the edge's full history.
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      weights[static_cast<std::size_t>(e)] = std::max(
-          marginal_energy(load[static_cast<std::size_t>(e)], fl.span(), d, model),
-          1e-12);
+      weights[static_cast<std::size_t>(e)] =
+          std::max(load.marginal_energy(e, fl.span(), d, model), 1e-12);
     }
     auto path = dijkstra_shortest_path(g, fl.src, fl.dst, weights);
     if (!path.has_value()) {
@@ -546,11 +715,18 @@ OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
       // other unplaceable flow — online inputs are not pre-screened for
       // connectivity, so this must not abort the run.
       ++out.num_rejected;
+      record_latency();
       continue;
     }
+    auto admit = [&] {
+      active.emplace(fl.deadline, fl.release);
+      live_releases.insert(fl.release);
+    };
 
     if (rate_fits(load, *path, fl.span(), d, capacity)) {
       commit(out, load, i, std::move(*path), {{fl.span(), d}});
+      admit();
+      record_latency();
       continue;
     }
 
@@ -560,10 +736,14 @@ OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
     if (!segments.empty()) {
       ++out.edf_fallbacks;
       commit(out, load, i, std::move(*path), std::move(segments));
+      admit();
     } else {
       ++out.num_rejected;
     }
+    record_latency();
   }
+  out.peak_live_segments = load.peak_live_segments();
+  out.load_segments_pruned = load.segments_pruned();
   return out;
 }
 

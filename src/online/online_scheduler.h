@@ -82,6 +82,7 @@
 #include "dcfsr/random_schedule.h"
 #include "flow/flow.h"
 #include "graph/graph.h"
+#include "online/load_index.h"
 #include "power/power_model.h"
 #include "schedule/schedule.h"
 
@@ -121,6 +122,34 @@ struct OnlineOptions {
   /// (a one-iteration warm re-solve) that certifies the rows or
   /// improves them one step against the freed capacity.
   bool departures_fast_path = true;
+  /// Lookahead window W for the per-event re-solves (online_dcfsr
+  /// only); 0 keeps today's full-horizon behavior bit for bit. With
+  /// W > 0 every residual flow whose deadline lies past now + W enters
+  /// the *relaxation* clipped to [release, now + W] at its original
+  /// density (volume scaled to the clipped span) — near-deadline
+  /// decisions only need a short lookahead (cf. RCD) and the interval
+  /// decomposition shrinks with W instead of the longest remaining
+  /// span. Admission stays sound at any W: the randomized rounding's
+  /// capacity accept/reject and the per-flow fallback always check the
+  /// *true* spans against the committed load, so a finite window can
+  /// never break an admitted deadline (asserted across the property
+  /// sweep). A window covering every span is bit-identical to W = 0.
+  double lookahead_window = 0.0;
+  /// Admission epoch (online_dcfsr only); 0 keeps one event per
+  /// distinct release time (today's behavior bit for bit). With
+  /// epoch > 0 all arrivals whose releases land within `epoch` of the
+  /// event's first arrival are admitted in a single joint re-solve —
+  /// the event's decision point stays the *first* release (completions
+  /// pop and residual volumes shrink to it, so the joint capacity
+  /// check covers every batched span soundly); admitted batch members
+  /// keep their true releases and densities. This trades up to `epoch`
+  /// of extra decision latency (in trace time) for ~arrival_rate*epoch
+  /// fewer re-solves per unit time.
+  double epoch = 0.0;
+  /// Differential audit: the EdgeLoadIndex keeps a naive never-pruned
+  /// StepFunction shadow and cross-checks every probe bitwise (tests;
+  /// far too slow for large runs).
+  bool audit_load_index = false;
 };
 
 struct OnlineResult {
@@ -161,6 +190,23 @@ struct OnlineResult {
   /// state for (memory scales with this, not with the offered total).
   std::int32_t peak_in_flight = 0;
 
+  /// Load-index health: the largest live-breakpoint count any edge's
+  /// profile ever held, and the total breakpoints the low-water-mark
+  /// pruning folded away. peak_live_segments is what bounds probe
+  /// cost; segments_pruned is how much history the flat per-event
+  /// claim did *not* have to carry. Deterministic (canonical-safe).
+  std::int32_t peak_live_segments = 0;
+  std::int64_t load_segments_pruned = 0;
+
+  /// Wall-clock admission-decision latency per arrival, in the order
+  /// decisions were made: each arrival is charged its event's
+  /// processing time (every member of an epoch batch gets the batch's
+  /// joint solve time — that is the latency a caller of the decision
+  /// would see). Wall time: must never reach canonical output or
+  /// stats; bench_online folds it into p50/p99 columns via
+  /// SolverOutcome::timings.
+  std::vector<double> decision_latency_ms;
+
   // online_greedy diagnostics.
   std::int32_t edf_fallbacks = 0;       // admissions via the EDF fill
 };
@@ -183,10 +229,13 @@ struct OnlineResult {
                                         const OnlineOptions& options = {});
 
 /// Runs the greedy online loop: marginal-energy routing, density-rate
-/// admission with EDF fallback. Deterministic (no rng).
+/// admission with EDF fallback. Deterministic (no rng). Only
+/// audit_load_index is read from `options` (the greedy loop has no
+/// re-solves to window or batch).
 [[nodiscard]] OnlineResult online_greedy(const Graph& g,
                                          const std::vector<Flow>& flows,
-                                         const PowerModel& model);
+                                         const PowerModel& model,
+                                         const OnlineOptions& options = {});
 
 /// Hindsight admission oracle (see file comment): offline dcfsr over
 /// the whole trace with admission control — joint randomized rounding,
@@ -198,12 +247,25 @@ struct OnlineResult {
                                         const PowerModel& model, Rng& rng,
                                         const OnlineOptions& options = {});
 
-/// EDF-style fallback fill (exposed for testing): packs `volume` into
-/// the earliest remaining capacity of `path` within `span` against the
-/// committed per-edge `load`, one segment per elementary piece of
-/// constant committed load. Returns the segments, or an empty vector
-/// when even the full remaining capacity cannot finish the volume by
-/// span.hi (to the relative tolerance of the admission slack).
+/// EDF-style fallback fill: packs `volume` into the earliest remaining
+/// capacity of `path` within `span` against the committed per-edge
+/// load, one segment per elementary piece of constant committed load.
+/// Returns the segments, or an empty vector when even the full
+/// remaining capacity cannot finish the volume by span.hi (to the
+/// relative tolerance of the admission slack). The cut collection and
+/// per-piece load probes read only the span window of the index (plus
+/// pruning, this is what makes the fill O(segments in span) instead of
+/// O(total history)); in audit mode the result is cross-checked
+/// against the reference overload below on the naive shadow.
+[[nodiscard]] std::vector<RateSegment> edf_fill(const EdgeLoadIndex& load,
+                                                const Path& path,
+                                                const Interval& span,
+                                                double volume, double capacity);
+
+/// Reference implementation of the fill against plain StepFunctions —
+/// scans every segment of each edge's full profile. Kept as the
+/// differential baseline (audit mode and tests/edf_fill_test.cc); the
+/// schedulers route through the indexed overload above.
 [[nodiscard]] std::vector<RateSegment> edf_fill(
     const std::vector<StepFunction>& load, const Path& path,
     const Interval& span, double volume, double capacity);

@@ -8,11 +8,19 @@
 // touching the span endpoints, and the `remaining > tolerance`
 // rejection path when even the full remaining capacity cannot finish
 // the volume.
+// The schedulers route through the EdgeLoadIndex overload; the
+// StepFunction overload exercised by the cases below is its reference
+// implementation. EdfFillIndexed re-runs every committed-load shape
+// through both and requires bitwise-identical fills — including against
+// a pruned index, where the low-water fold must not perturb a single
+// cut or rate.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "common/piecewise.h"
+#include "common/random.h"
+#include "online/load_index.h"
 #include "online/online_scheduler.h"
 
 namespace dcn {
@@ -133,6 +141,83 @@ TEST(EdfFill, FullySaturatedSpanRejectsOutright) {
   Fixture f;
   f.load[1].add({0.0, 10.0}, kCap);
   EXPECT_TRUE(edf_fill(f.load, f.path, {0.0, 10.0}, 1.0, kCap).empty());
+}
+
+/// Asserts the indexed fill is bitwise the reference fill.
+void expect_same_fill(const EdgeLoadIndex& index,
+                      const std::vector<StepFunction>& load, const Path& path,
+                      const Interval& span, double volume) {
+  const std::vector<RateSegment> got =
+      edf_fill(index, path, span, volume, kCap);
+  const std::vector<RateSegment> want =
+      edf_fill(load, path, span, volume, kCap);
+  ASSERT_EQ(got.size(), want.size()) << "span [" << span.lo << ", " << span.hi
+                                     << ") volume " << volume;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    EXPECT_EQ(got[k].interval.lo, want[k].interval.lo);
+    EXPECT_EQ(got[k].interval.hi, want[k].interval.hi);
+    EXPECT_EQ(got[k].rate, want[k].rate);
+  }
+}
+
+TEST(EdfFillIndexed, MatchesReferenceOnEveryFixtureShape) {
+  // Each entry mirrors one of the boundary cases above: (edge, interval,
+  // rate) adds, then the same (span, volume) fill through both overloads.
+  struct Case {
+    std::vector<std::pair<int, RateSegment>> adds;
+    Interval span;
+    double volume;
+  };
+  const std::vector<Case> cases = {
+      {{}, {0.0, 10.0}, 12.0},
+      {{{0, {{0.0, 6.0}, 3.0}}}, {0.0, 10.0}, 22.0},
+      {{{1, {{2.0, 5.0}, kCap}}}, {0.0, 10.0}, 16.0},
+      {{{0, {{0.0, 4.0}, 1.0}}, {1, {{0.0, 4.0}, 3.0}}}, {0.0, 4.0}, 4.0},
+      {{{0, {{0.0, 3.0}, kCap}}, {0, {{7.0, 10.0}, kCap}}}, {0.0, 10.0}, 16.0},
+      {{{0, {{0.0, 10.0}, 1.5}}}, {2.0, 8.0}, 15.0},
+      {{{0, {{0.0, 10.0}, 3.0}}}, {0.0, 10.0}, 10.1},  // rejection path
+      {{{1, {{0.0, 10.0}, kCap}}}, {0.0, 10.0}, 1.0},  // saturated span
+  };
+  for (const Case& c : cases) {
+    Fixture f;
+    EdgeLoadIndex index(2, /*audit=*/true);
+    for (const auto& [e, seg] : c.adds) {
+      f.load[static_cast<std::size_t>(e)].add(seg.interval, seg.rate);
+      index.add(static_cast<EdgeId>(e), seg.interval, seg.rate);
+    }
+    expect_same_fill(index, f.load, f.path, c.span, c.volume);
+  }
+}
+
+TEST(EdfFillIndexed, MatchesReferenceOnRandomizedAndPrunedHistories) {
+  // An arrival-trace-shaped history: commits march forward in time, the
+  // index prunes behind them, and every fill probed at or after the
+  // low-water mark must still be the reference fill bitwise — the naive
+  // profiles keep the full history, so this is exactly the pruning
+  // contract edf_fill relies on.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Fixture f;
+    EdgeLoadIndex index(2, /*audit=*/true);
+    double mark = 0.0;
+    for (int step = 0; step < 60; ++step) {
+      const double base = 0.25 * static_cast<double>(step);
+      const int e = static_cast<int>(rng.uniform_int(0, 1));
+      const Interval iv{base, base + rng.uniform(0.5, 3.0)};
+      const double rate = rng.uniform(0.25, 2.5);
+      f.load[static_cast<std::size_t>(e)].add(iv, rate);
+      index.add(static_cast<EdgeId>(e), iv, rate);
+      if (step % 15 == 14) {
+        mark = base;
+        index.advance_low_water(mark);
+      }
+      const double lo = rng.uniform(mark, base + 1.0);
+      const Interval span{lo, lo + rng.uniform(0.5, 4.0)};
+      expect_same_fill(index, f.load, f.path, span,
+                       rng.uniform(0.5, kCap * span.measure()));
+    }
+    EXPECT_GT(index.segments_pruned(), 0) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// Differential suite of the incremental load index.
+//
+// LoadProfile's contract is *bitwise* equivalence with StepFunction —
+// same adds, same probes, same answers to the last bit — on every probe
+// at or after the prune point. These tests pin that contract on
+// randomized histories (including deliberately colliding breakpoint
+// times, where the difference representation accumulates float dust),
+// the segment enumeration against segments(), pruning at a moving
+// low-water mark, and the EdgeLoadIndex wrapper's audit mode + health
+// counters. The online schedulers' behavior being unchanged by the
+// index (PRs 4–6 outputs byte-identical) rests on exactly these
+// equalities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/piecewise.h"
+#include "common/random.h"
+#include "online/load_index.h"
+#include "power/power_model.h"
+
+namespace dcn {
+namespace {
+
+/// A random committed-load-shaped interval: breakpoints drawn from a
+/// coarse grid half the time (forcing exact time collisions, the
+/// accumulate-into-one-entry path) and continuously otherwise.
+Interval random_interval(Rng& rng, double lo_min, double lo_max) {
+  const auto draw = [&](double lo, double hi) {
+    if (rng.uniform() < 0.5) {
+      return 0.25 * static_cast<double>(rng.uniform_int(
+                        static_cast<std::int64_t>(lo * 4),
+                        static_cast<std::int64_t>(hi * 4)));
+    }
+    return rng.uniform(lo, hi);
+  };
+  const double lo = draw(lo_min, lo_max);
+  return {lo, lo + std::max(0.25, draw(0.0, 3.0))};
+}
+
+double random_rate(Rng& rng) {
+  // Mix exact-dyadic rates (collision-friendly: equal-magnitude adds
+  // cancel exactly) with continuous ones.
+  if (rng.uniform() < 0.5) {
+    return 0.5 * static_cast<double>(rng.uniform_int(-4, 8));
+  }
+  return rng.uniform(-2.0, 4.0);
+}
+
+TEST(LoadProfile, ProbesMatchStepFunctionBitwiseOnRandomHistories) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    StepFunction naive;
+    LoadProfile indexed;
+    for (int step = 0; step < 300; ++step) {
+      const Interval iv = random_interval(rng, 0.0, 20.0);
+      const double rate = random_rate(rng);
+      naive.add(iv, rate);
+      indexed.add(iv, rate);
+
+      // Interleave probes with adds so the lazy caches refresh from
+      // every possible dirty prefix, not just a fully-built history.
+      const double t = rng.uniform(-1.0, 25.0);
+      ASSERT_EQ(indexed.value_at(t), naive.value_at(t)) << "seed " << seed;
+      const Interval window = random_interval(rng, -1.0, 24.0);
+      ASSERT_EQ(indexed.max_within(window), naive.max_within(window))
+          << "seed " << seed;
+    }
+    // Windows wider than any block span exercise the block-max shortcut
+    // end to end.
+    ASSERT_EQ(indexed.max_within({-10.0, 100.0}),
+              naive.max_within({-10.0, 100.0}));
+  }
+}
+
+TEST(LoadProfile, SegmentWalkMatchesSegmentsSuffix) {
+  // for_each_segment_from rewinds to a guaranteed run boundary, so the
+  // emitted runs must be exactly a suffix of segments() — bitwise, and
+  // covering every run that ends after `from`.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    StepFunction naive;
+    LoadProfile indexed;
+    for (int step = 0; step < 120; ++step) {
+      const Interval iv = random_interval(rng, 0.0, 20.0);
+      const double rate = random_rate(rng);
+      naive.add(iv, rate);
+      indexed.add(iv, rate);
+    }
+    const std::vector<std::pair<Interval, double>> reference =
+        naive.segments();
+    for (const double from :
+         {-std::numeric_limits<double>::infinity(), 0.0, 3.7, 10.0, 19.25,
+          50.0}) {
+      std::vector<std::pair<Interval, double>> walked;
+      indexed.for_each_segment_from(from, [&](const Interval& run, double v) {
+        walked.emplace_back(run, v);
+        return true;
+      });
+      ASSERT_LE(walked.size(), reference.size()) << "seed " << seed;
+      const std::size_t offset = reference.size() - walked.size();
+      for (std::size_t i = 0; i < walked.size(); ++i) {
+        EXPECT_EQ(walked[i].first.lo, reference[offset + i].first.lo)
+            << "seed " << seed << " from " << from;
+        EXPECT_EQ(walked[i].first.hi, reference[offset + i].first.hi)
+            << "seed " << seed << " from " << from;
+        EXPECT_EQ(walked[i].second, reference[offset + i].second)
+            << "seed " << seed << " from " << from;
+      }
+      // Completeness: every run ending after `from` was walked.
+      for (std::size_t i = 0; i < offset; ++i) {
+        EXPECT_LE(reference[i].first.hi, from) << "seed " << seed;
+      }
+    }
+    // Early exit: returning false stops after the first run.
+    int calls = 0;
+    indexed.for_each_segment_from(
+        -std::numeric_limits<double>::infinity(), [&](const Interval&, double) {
+          ++calls;
+          return false;
+        });
+    EXPECT_LE(calls, 1);
+  }
+}
+
+TEST(LoadProfile, PruningPreservesProbesAtOrAfterTheLowWaterMark) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    StepFunction naive;  // never pruned: the reference fold
+    LoadProfile indexed;
+    double mark = -std::numeric_limits<double>::infinity();
+    for (int step = 0; step < 300; ++step) {
+      // Releases march forward like an arrival trace; the mark trails
+      // them like the scheduler's low-water mark.
+      const double base = 0.1 * static_cast<double>(step);
+      const Interval iv = random_interval(rng, base, base + 2.0);
+      const double rate = random_rate(rng);
+      naive.add(iv, rate);
+      indexed.add(iv, rate);
+      if (step % 25 == 24) {
+        mark = base;  // strictly increasing: prune points only advance
+        indexed.prune_before(mark);
+        EXPECT_EQ(indexed.prune_time(), mark);
+      }
+      const double t = rng.uniform(std::max(mark, base - 1.0), base + 5.0);
+      ASSERT_EQ(indexed.value_at(t), naive.value_at(t))
+          << "seed " << seed << " step " << step;
+      const double wlo = rng.uniform(std::max(mark, base - 1.0), base + 3.0);
+      const Interval window{wlo, wlo + rng.uniform(0.1, 4.0)};
+      ASSERT_EQ(indexed.max_within(window), naive.max_within(window))
+          << "seed " << seed << " step " << step;
+    }
+    // The trace ran far past the first prune point, so history must
+    // actually have been folded away — live working set strictly
+    // smaller than the full breakpoint count.
+    EXPECT_GT(indexed.pruned_breakpoints(), 0);
+    EXPECT_LT(indexed.live_breakpoints(),
+              indexed.live_breakpoints() + indexed.pruned_breakpoints());
+  }
+}
+
+TEST(LoadProfile, PruneIsIdempotentAndMonotone) {
+  LoadProfile p;
+  p.add({0.0, 1.0}, 2.0);
+  p.add({1.0, 2.0}, 3.0);
+  p.add({2.0, 3.0}, 1.0);
+  p.prune_before(1.5);
+  const std::int64_t pruned = p.pruned_breakpoints();
+  EXPECT_GT(pruned, 0);
+  p.prune_before(1.5);  // same mark: no-op
+  p.prune_before(0.5);  // regressing mark: no-op (monotone)
+  EXPECT_EQ(p.pruned_breakpoints(), pruned);
+  EXPECT_EQ(p.prune_time(), 1.5);
+  // Values at/after the mark keep the exact fold.
+  EXPECT_EQ(p.value_at(1.5), 3.0);
+  EXPECT_EQ(p.value_at(2.5), 1.0);
+  EXPECT_EQ(p.value_at(3.5), 0.0);
+}
+
+TEST(EdgeLoadIndex, AuditModeCrossChecksEveryProbeAndCountsHealth) {
+  const PowerModel model(0.0, 1.0, 2.0, 8.0);
+  EdgeLoadIndex index(2, /*audit=*/true);
+  ASSERT_NE(index.shadow(), nullptr);
+  Rng rng(7);
+  std::vector<StepFunction> reference(2);
+  for (int step = 0; step < 80; ++step) {
+    const EdgeId e = static_cast<EdgeId>(rng.uniform_int(0, 1));
+    const Interval iv = random_interval(rng, 0.0, 10.0);
+    const double rate = std::fabs(random_rate(rng));
+    index.add(e, iv, rate);
+    reference[static_cast<std::size_t>(e)].add(iv, rate);
+
+    // Every probe here re-checks itself against the audit shadow
+    // internally (DCN_ENSURES); the EXPECTs below additionally pin the
+    // wrapper against an independent naive replay.
+    const double t = rng.uniform(0.0, 12.0);
+    EXPECT_EQ(index.value_at(e, t),
+              reference[static_cast<std::size_t>(e)].value_at(t));
+    const Interval window = random_interval(rng, 0.0, 11.0);
+    EXPECT_EQ(index.max_within(e, window),
+              reference[static_cast<std::size_t>(e)].max_within(window));
+    const Interval span = random_interval(rng, 0.0, 11.0);
+    const double d = 0.5 + rng.uniform();
+    EXPECT_EQ(index.marginal_energy(e, span, d, model),
+              marginal_energy(reference[static_cast<std::size_t>(e)], span, d,
+                              model));
+  }
+  EXPECT_GT(index.peak_live_segments(), 0);
+  EXPECT_EQ(index.segments_pruned(), 0);  // never pruned yet
+  // Prune everything strictly before t=6; probes at/after stay valid
+  // and audited (the shadow is never pruned — the cross-check IS the
+  // pruning correctness assertion).
+  index.advance_low_water(6.0);
+  EXPECT_EQ(index.low_water(), 6.0);
+  EXPECT_GT(index.segments_pruned(), 0);
+  for (int probe = 0; probe < 40; ++probe) {
+    const EdgeId e = static_cast<EdgeId>(rng.uniform_int(0, 1));
+    const double t = rng.uniform(6.0, 14.0);
+    EXPECT_EQ(index.value_at(e, t),
+              reference[static_cast<std::size_t>(e)].value_at(t));
+    const double lo = rng.uniform(6.0, 12.0);
+    const Interval window{lo, lo + rng.uniform(0.1, 3.0)};
+    EXPECT_EQ(index.max_within(e, window),
+              reference[static_cast<std::size_t>(e)].max_within(window));
+  }
+  // Regressing the mark is a no-op, like LoadProfile's.
+  index.advance_low_water(2.0);
+  EXPECT_EQ(index.low_water(), 6.0);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -164,6 +164,129 @@ TEST_F(OnlineDifferentialTest, StaggeredArrivalsStillServeEveryAdmittedFlow) {
   EXPECT_GE(admitted, 1.0);
 }
 
+TEST_F(OnlineDifferentialTest, WindowCoveringEverySpanIsBitIdenticalToNoWindow) {
+  // The lookahead window clips residual deadlines to [now, now + W] in
+  // the relaxation; a W larger than every span can never clip, so the
+  // run must be the W = 0 run *bit for bit* — identical admitted set,
+  // identical paths and rate segments, identical solver-work counters.
+  // This is the degenerate-case contract that lets online_dcfsr_flat
+  // share the code path with online_dcfsr.
+  ScenarioOptions scen;
+  scen.num_flows = 14;
+  scen.capacity = 3.0;
+  scen.arrival_rate = 3.0;
+  const Instance instance = suite_.build("fat_tree/poisson", 3, scen);
+
+  OnlineOptions base;
+  base.rounding.relaxation.frank_wolfe.max_iterations = 15;
+  base.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  base.audit_load_index = true;
+  OnlineOptions windowed = base;
+  windowed.lookahead_window = 1e9;  // covers every generated span
+
+  Rng rng_a = solver_rng(instance, "dcfsr");
+  const OnlineResult a =
+      online_dcfsr(instance.graph(), instance.flows(), instance.model(), rng_a,
+                   base);
+  Rng rng_b = solver_rng(instance, "dcfsr");
+  const OnlineResult b =
+      online_dcfsr(instance.graph(), instance.flows(), instance.model(), rng_b,
+                   windowed);
+
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.num_events, b.num_events);
+  EXPECT_EQ(a.resolves, b.resolves);
+  EXPECT_EQ(a.fw_iterations, b.fw_iterations);
+  EXPECT_EQ(a.rounding_attempts, b.rounding_attempts);
+  EXPECT_EQ(a.first_lower_bound, b.first_lower_bound);
+  ASSERT_EQ(a.schedule.flows.size(), b.schedule.flows.size());
+  for (std::size_t i = 0; i < a.schedule.flows.size(); ++i) {
+    EXPECT_EQ(a.schedule.flows[i].path, b.schedule.flows[i].path) << i;
+    EXPECT_EQ(a.schedule.flows[i].segments, b.schedule.flows[i].segments) << i;
+  }
+  // The trace actually exercised the rolling loop (several events) —
+  // otherwise this equality would be vacuous.
+  EXPECT_GT(a.num_events, 1);
+}
+
+TEST_F(OnlineDifferentialTest, EpochBatchingAllAtTimeZeroMatchesOfflineDcfsr) {
+  // Epoch batching groups arrivals within `epoch` of an event's first
+  // release into one joint re-solve. When every flow arrives at t = 0
+  // the batch IS the whole instance regardless of epoch, so the run
+  // must reproduce offline dcfsr byte for byte — same Frank-Wolfe
+  // budget (the registry's calibrated 12 / 1e-3), same "dcfsr" rng
+  // stream, same rounding. A huge window on top must not disturb it
+  // (nothing to clip).
+  const Instance instance = suite_.build("fat_tree/incast", 11);
+  const SolverOutcome offline = run(instance, "dcfsr");
+  ASSERT_TRUE(offline.feasible) << offline.first_issue;
+
+  OnlineOptions options;
+  options.rounding.relaxation.frank_wolfe.max_iterations = 12;
+  options.rounding.relaxation.frank_wolfe.gap_tolerance = 1e-3;
+  options.audit_load_index = true;
+  options.epoch = 0.5;
+  for (const double window : {0.0, 1e9}) {
+    options.lookahead_window = window;
+    Rng rng = solver_rng(instance, "dcfsr");
+    const OnlineResult r = online_dcfsr(instance.graph(), instance.flows(),
+                                        instance.model(), rng, options);
+    EXPECT_EQ(r.num_events, 1) << "window " << window;
+    EXPECT_EQ(r.num_rejected, 0) << "window " << window;
+    ASSERT_EQ(r.schedule.flows.size(), offline.schedule.flows.size());
+    for (std::size_t i = 0; i < r.schedule.flows.size(); ++i) {
+      EXPECT_EQ(r.schedule.flows[i].path, offline.schedule.flows[i].path)
+          << "window " << window << " flow " << i;
+      EXPECT_EQ(r.schedule.flows[i].segments, offline.schedule.flows[i].segments)
+          << "window " << window << " flow " << i;
+    }
+  }
+}
+
+TEST_F(OnlineDifferentialTest, EpochBatchingKeepsEveryAdmittedDeadline) {
+  // Finite window + coarse epoch on a genuinely staggered contended
+  // trace: admission decisions may differ from the per-release loop,
+  // but the hard invariants cannot — every admitted flow replays
+  // cleanly against its *true* span (the rounding checks true spans
+  // even when the relaxation saw clipped ones), rejected flows get no
+  // service, and batching strictly reduces the event count.
+  ScenarioOptions scen;
+  scen.num_flows = 18;
+  scen.capacity = 3.0;
+  scen.arrival_rate = 6.0;
+  const Instance instance = suite_.build("fat_tree/poisson", 9, scen);
+
+  OnlineOptions base;
+  base.rounding.relaxation.frank_wolfe.max_iterations = 15;
+  base.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  base.audit_load_index = true;
+  OnlineOptions batched = base;
+  batched.lookahead_window = 1.5;
+  batched.epoch = 0.5;
+
+  Rng rng_a = solver_rng(instance, "dcfsr");
+  const OnlineResult per_release = online_dcfsr(
+      instance.graph(), instance.flows(), instance.model(), rng_a, base);
+  Rng rng_b = solver_rng(instance, "dcfsr");
+  const OnlineResult r = online_dcfsr(instance.graph(), instance.flows(),
+                                      instance.model(), rng_b, batched);
+
+  EXPECT_LT(r.num_events, per_release.num_events);
+  EXPECT_EQ(r.num_admitted + r.num_rejected,
+            static_cast<std::int32_t>(instance.flows().size()));
+  ASSERT_GE(r.num_admitted, 1);
+  for (std::size_t i = 0; i < r.admitted.size(); ++i) {
+    if (!r.admitted[i]) {
+      EXPECT_TRUE(r.schedule.flows[i].segments.empty()) << i;
+    }
+  }
+  const auto [sub_flows, sub_schedule] =
+      admitted_subset(instance.flows(), r.schedule, r.admitted);
+  const ReplayReport replay = replay_schedule(instance.graph(), sub_flows,
+                                              sub_schedule, instance.model());
+  EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues[0]);
+}
+
 TEST_F(OnlineDifferentialTest, AdmittedFlowsMeetDeadlinesInPacketReplay) {
   // End-to-end: online admission -> fluid schedule -> packet-level
   // store-and-forward simulation. Every admitted flow's last packet

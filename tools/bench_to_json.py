@@ -27,6 +27,14 @@ SCHEMA = "dcn-bench-v1"
 
 _UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
+# google-benchmark per-case fields that are part of the harness schema;
+# any *other* numeric field on a benchmark entry is a user counter.
+_NON_COUNTER_FIELDS = {
+    "name", "run_name", "run_type", "family_index", "per_family_instance_index",
+    "repetitions", "repetition_index", "threads", "iterations", "real_time",
+    "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+}
+
 
 def _canonical_name(name: str) -> str:
     """Strips run-parameter suffixes (e.g. '/iterations:1') from a case name."""
@@ -68,14 +76,26 @@ def convert(raws: list[dict], suite: str, exclude: str | None = None) -> dict:
             if pattern and pattern.search(bench["name"]):
                 continue
             scale = _UNIT_TO_MS[bench.get("time_unit", "ns")]
-            points.append(
-                {
-                    "name": _canonical_name(bench["name"]),
-                    "real_time_ms": bench["real_time"] * scale,
-                    "cpu_time_ms": bench["cpu_time"] * scale,
-                    "iterations": bench.get("iterations", 1),
-                }
-            )
+            point = {
+                "name": _canonical_name(bench["name"]),
+                "real_time_ms": bench["real_time"] * scale,
+                "cpu_time_ms": bench["cpu_time"] * scale,
+                "iterations": bench.get("iterations", 1),
+            }
+            # User counters (google-benchmark emits them as extra numeric
+            # fields; bench_online does the same for its latency
+            # percentiles and load-index health columns) are carried
+            # verbatim — unconverted, since counters are not times.
+            counters = {
+                key: value
+                for key, value in bench.items()
+                if key not in _NON_COUNTER_FIELDS
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            }
+            if counters:
+                point["counters"] = counters
+            points.append(point)
     return {
         "schema": SCHEMA,
         "suite": suite,
