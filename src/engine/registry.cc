@@ -153,6 +153,22 @@ const SolverRegistry& default_registry() {
       options.epoch = 0.5;
       return std::make_unique<OnlineDcfsrSolver>(options, "online_dcfsr_flat");
     });
+    // The flat configuration with deadline-safe re-rating of admitted
+    // flows (PDQ-style preemption, re-rate never re-route): an arrival
+    // that does not fit against the committed load may reshape the
+    // future rate profiles of in-flight flows sharing its path, behind
+    // a commit barrier that keeps every admitted deadline inviolable.
+    // With allow_rerate off this is online_dcfsr_flat byte for byte
+    // (anchored in tests/online_differential_test.cc).
+    r.add("online_dcfsr_preempt", [] {
+      OnlineOptions options;
+      options.rounding.relaxation.frank_wolfe = CalibratedFwBudget();
+      options.lookahead_window = 2.0;
+      options.epoch = 0.5;
+      options.allow_rerate = true;
+      return std::make_unique<OnlineDcfsrSolver>(options,
+                                                 "online_dcfsr_preempt");
+    });
     r.add("online_greedy", [] { return std::make_unique<OnlineGreedySolver>(); });
     // Hindsight admission oracle: the same calibrated budget as dcfsr,
     // so the joint-feasible case (e.g. infinite capacity) is offline

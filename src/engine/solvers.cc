@@ -255,7 +255,12 @@ SolverOutcome OnlineDcfsrSolver::solve(const Instance& instance) const {
       {"first_lb", r.first_lower_bound},
       {"fw_sweeps", static_cast<double>(r.fw_stats.oracle_sweeps)},
       {"fw_edges_repriced", static_cast<double>(r.fw_stats.edges_repriced)},
-      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)}};
+      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)},
+      // Re-rate diagnostics (all zero unless allow_rerate):
+      // deterministic, the pass consumes no rng.
+      {"rerate_attempts", static_cast<double>(r.rerate_attempts)},
+      {"rerate_commits", static_cast<double>(r.rerate_commits)},
+      {"rerated_flows", static_cast<double>(r.rerated_flows)}};
   SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
   out.stats.insert(out.stats.end(), extra.begin(), extra.end());
   return out;
@@ -282,7 +287,13 @@ SolverOutcome OracleDcfsrSolver::solve(const Instance& instance) const {
       {"first_lb", r.first_lower_bound},
       {"fw_sweeps", static_cast<double>(r.fw_stats.oracle_sweeps)},
       {"fw_edges_repriced", static_cast<double>(r.fw_stats.edges_repriced)},
-      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)}};
+      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)},
+      // Admitted counts of the two contended fallback orders (-1 when
+      // the joint rounding was feasible and no fallback ran); the
+      // oracle committed whichever order admitted more.
+      {"oracle_rcd_admitted", static_cast<double>(r.oracle_rcd_admitted)},
+      {"oracle_density_admitted",
+       static_cast<double>(r.oracle_density_admitted)}};
   SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
   out.stats.insert(out.stats.end(), extra.begin(), extra.end());
   return out;

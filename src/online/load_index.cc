@@ -19,6 +19,10 @@ void EdgeLoadIndex::add(EdgeId e, const Interval& iv, double rate) {
   if (audit_) shadow_[static_cast<std::size_t>(e)].add(iv, rate);
 }
 
+void EdgeLoadIndex::retract(EdgeId e, const Interval& iv, double rate) {
+  add(e, iv, -rate);
+}
+
 double EdgeLoadIndex::value_at(EdgeId e, double t) const {
   const double v = at(e).value_at(t);
   if (audit_) {

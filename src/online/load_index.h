@@ -33,6 +33,20 @@ class EdgeLoadIndex {
   /// Adds `rate` over `iv` on edge e (one committed schedule segment).
   void add(EdgeId e, const Interval& iv, double rate);
 
+  /// Removes `rate` over `iv` on edge e — the exact inverse of an
+  /// earlier add, used by the re-rate pass (OnlineOptions::allow_rerate)
+  /// to take a committed profile's future out of the index before
+  /// committing its replacement (or restoring the original, when the
+  /// commit barrier rejects the re-rating). A retraction is an add of
+  /// -rate, so the difference representation — and the bitwise
+  /// audit-shadow equality — is preserved by construction; a retract
+  /// followed by re-adding the identical segment cancels exactly (the
+  /// deltas sum to 0.0 at each breakpoint) and leaves every probe value
+  /// bitwise unchanged. `iv.lo` must be at or after the low-water mark,
+  /// which holds for any retraction of a live flow's future: the mark
+  /// never passes the current event time.
+  void retract(EdgeId e, const Interval& iv, double rate);
+
   /// Committed load on edge e at time t.
   [[nodiscard]] double value_at(EdgeId e, double t) const;
 

@@ -105,20 +105,258 @@ bool rate_fits(const EdgeLoadIndex& load, const Path& path,
   return true;
 }
 
+/// Records the committed schedule and admission of flow `i` without
+/// touching the load index (the re-rate pass places the arrival's load
+/// itself, mid-transaction).
+void record_commit(OnlineResult& out, std::size_t i, Path path,
+                   std::vector<RateSegment> segments) {
+  FlowSchedule& fs = out.schedule.flows[i];
+  fs.path = std::move(path);
+  fs.segments = std::move(segments);
+  out.admitted[i] = true;
+  ++out.num_admitted;
+}
+
 /// Commits `segments` on `path` for flow `i`: records the flow schedule
 /// and adds every segment to the per-edge load index.
 void commit(OnlineResult& out, EdgeLoadIndex& load, std::size_t i, Path path,
             std::vector<RateSegment> segments) {
-  FlowSchedule& fs = out.schedule.flows[i];
-  fs.path = std::move(path);
-  fs.segments = std::move(segments);
+  record_commit(out, i, std::move(path), std::move(segments));
+  const FlowSchedule& fs = out.schedule.flows[i];
   for (const RateSegment& seg : fs.segments) {
     for (const EdgeId e : fs.path.edges) {
       load.add(e, seg.interval, seg.rate);
     }
   }
-  out.admitted[i] = true;
-  ++out.num_admitted;
+}
+
+/// Density-first fallback order (the DCoflow-style counterpart of RCD):
+/// higher density first, then closer deadline, then id. Dense flows are
+/// the hardest to place late; admitting them first wins on traces where
+/// the RCD order burns capacity on urgent-but-thin flows.
+bool density_before(const Flow& a, const Flow& b) {
+  if (a.density() != b.density()) return a.density() > b.density();
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.id < b.id;
+}
+
+/// Volume flow `fl` still has to move at time `t` under its committed
+/// profile (segments before `t` have been transmitted; `t` inside a
+/// segment counts the elapsed part). Exact for any committed profile,
+/// re-rated or not.
+double remaining_volume(const Flow& fl, const FlowSchedule& fs, double t) {
+  double sent = 0.0;
+  for (const RateSegment& seg : fs.segments) {
+    const Interval past{seg.interval.lo, std::min(seg.interval.hi, t)};
+    if (!past.empty()) sent += seg.rate * past.measure();
+  }
+  return std::max(0.0, fl.volume - sent);
+}
+
+/// The part of a committed profile at or after `t`, with a straddling
+/// segment split at `t`. These are the segments the re-rate pass may
+/// retract and replace; everything before `t` is history and immutable.
+std::vector<RateSegment> future_segments(const FlowSchedule& fs, double t) {
+  std::vector<RateSegment> future;
+  for (const RateSegment& seg : fs.segments) {
+    if (seg.interval.hi <= t) continue;
+    future.push_back({{std::max(seg.interval.lo, t), seg.interval.hi}, seg.rate});
+  }
+  return future;
+}
+
+/// True when re-adding `segments` on `path` keeps every edge within
+/// capacity against the committed `load` (the segments themselves are
+/// not yet in the index).
+bool segments_fit(const EdgeLoadIndex& load, const Path& path,
+                  const std::vector<RateSegment>& segments, double capacity) {
+  const double limit = capacity * (1.0 + kCapacitySlack);
+  for (const RateSegment& seg : segments) {
+    for (const EdgeId e : path.edges) {
+      if (load.max_within(e, seg.interval) + seg.rate > limit) return false;
+    }
+  }
+  return true;
+}
+
+/// The deadline-safe re-rate pass (OnlineOptions::allow_rerate). Tries
+/// to make room for arrival `fl` (flow index `arrival`) at its density
+/// rate on `path` by reshaping the future rate profiles of admitted
+/// in-flight flows that share an edge with `path` — re-rate, never
+/// re-route. The transaction:
+///
+///   1. Retract every candidate's future segments from the index. If
+///      the arrival still does not fit, the displaced load was not the
+///      obstacle: restore and fail.
+///   2. Place the arrival at its density over its true span.
+///   3. Re-admit the candidates in deadline (EDF) order. A candidate
+///      whose old future still fits keeps it bitwise — it is not
+///      re-rated, its warm rows stay valid. Otherwise it is repacked
+///      within [max(now, release), deadline] on its committed path: at
+///      its flat residual density when that fits (re-rating should not
+///      spike rates — the power curve is convex), else into the
+///      earliest remaining capacity (edf_fill).
+///   4. The commit barrier: if any candidate cannot move its full
+///      remaining volume by its deadline, every index mutation is
+///      rolled back (bitwise: the retract/add pairs cancel exactly) and
+///      the pass fails — no admitted deadline is ever broken.
+///
+/// On success the arrival's schedule + admission are recorded (its load
+/// is already placed), reshaped candidates get their segments stitched
+/// (immutable past + repacked future), their warm rows/atoms dropped
+/// (the rows route the original density, which the reshaped profile no
+/// longer has), and their `rerated` flags set — from then on their
+/// residual demands are computed from the committed profile, not the
+/// density invariant. Consumes no rng: given the same index state the
+/// pass is deterministic.
+bool try_rerate(OnlineResult& out, EdgeLoadIndex& load,
+                const std::vector<Flow>& flows,
+                const std::set<std::pair<double, std::size_t>>& active,
+                double now, double capacity, std::size_t arrival,
+                const Path& path, std::vector<char>& rerated,
+                std::vector<SparseEdgeFlow>& warm,
+                std::vector<AtomSet>& warm_atoms) {
+  const Flow& fl = flows[arrival];
+  ++out.rerate_attempts;
+
+  std::vector<char> on_path(static_cast<std::size_t>(
+                                *std::max_element(path.edges.begin(),
+                                                  path.edges.end()) +
+                                1),
+                            0);
+  for (const EdgeId e : path.edges) on_path[static_cast<std::size_t>(e)] = 1;
+  auto shares_edge = [&](const Path& p) {
+    for (const EdgeId e : p.edges) {
+      const auto k = static_cast<std::size_t>(e);
+      if (k < on_path.size() && on_path[k]) return true;
+    }
+    return false;
+  };
+
+  // Candidates: admitted in-flight flows sharing an edge with `path`
+  // whose profiles still have a future to reshape, in deadline order
+  // (`active` iterates (deadline, index)).
+  struct Candidate {
+    std::size_t i;
+    std::vector<RateSegment> old_future;
+    double remaining;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [deadline, i] : active) {
+    const FlowSchedule& fs = out.schedule.flows[i];
+    if (!shares_edge(fs.path)) continue;
+    std::vector<RateSegment> future = future_segments(fs, now);
+    if (future.empty()) continue;
+    candidates.push_back(
+        {i, std::move(future), remaining_volume(flows[i], fs, now)});
+  }
+  if (candidates.empty()) return false;
+
+  // 1. Retract the candidates' futures.
+  for (const Candidate& c : candidates) {
+    for (const RateSegment& seg : c.old_future) {
+      for (const EdgeId e : out.schedule.flows[c.i].path.edges) {
+        load.retract(e, seg.interval, seg.rate);
+      }
+    }
+  }
+  auto restore_futures = [&] {
+    for (const Candidate& c : candidates) {
+      for (const RateSegment& seg : c.old_future) {
+        for (const EdgeId e : out.schedule.flows[c.i].path.edges) {
+          load.add(e, seg.interval, seg.rate);
+        }
+      }
+    }
+  };
+  if (!rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+    restore_futures();
+    return false;
+  }
+
+  // 2. Place the arrival.
+  for (const EdgeId e : path.edges) load.add(e, fl.span(), fl.density());
+
+  // 3. Re-admit the candidates, earliest deadline first. `kept[k]` set
+  // means candidate k kept its old future bitwise (not re-rated);
+  // otherwise repacked[k] holds its replacement future.
+  std::vector<std::vector<RateSegment>> repacked(candidates.size());
+  std::vector<char> kept(candidates.size(), 0);
+  bool feasible = true;
+  std::size_t readmitted = 0;
+  for (; readmitted < candidates.size(); ++readmitted) {
+    const Candidate& c = candidates[readmitted];
+    const Flow& cf = flows[c.i];
+    const Path& cpath = out.schedule.flows[c.i].path;
+    const Interval window{std::max(now, cf.release), cf.deadline};
+    if (c.remaining <= 1e-12 * std::max(1.0, cf.volume)) {
+      // Nothing left to move (an earlier re-rating accelerated it to
+      // completion): its future stays empty.
+      continue;
+    }
+    if (segments_fit(load, cpath, c.old_future, capacity)) {
+      kept[readmitted] = 1;
+      for (const RateSegment& seg : c.old_future) {
+        for (const EdgeId e : cpath.edges) load.add(e, seg.interval, seg.rate);
+      }
+      continue;
+    }
+    const double flat = c.remaining / window.measure();
+    if (rate_fits(load, cpath, window, flat, capacity)) {
+      repacked[readmitted] = {{window, flat}};
+    } else {
+      repacked[readmitted] =
+          edf_fill(load, cpath, window, c.remaining, capacity);
+      if (repacked[readmitted].empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    for (const RateSegment& seg : repacked[readmitted]) {
+      for (const EdgeId e : cpath.edges) load.add(e, seg.interval, seg.rate);
+    }
+  }
+
+  if (!feasible) {
+    // 4. Commit barrier: roll back bitwise — retract what was re-added,
+    // retract the arrival, restore the original futures.
+    for (std::size_t k = 0; k < readmitted; ++k) {
+      const Candidate& c = candidates[k];
+      const Path& cpath = out.schedule.flows[c.i].path;
+      const std::vector<RateSegment>& placed =
+          kept[k] ? c.old_future : repacked[k];
+      for (const RateSegment& seg : placed) {
+        for (const EdgeId e : cpath.edges) {
+          load.retract(e, seg.interval, seg.rate);
+        }
+      }
+    }
+    for (const EdgeId e : path.edges) load.retract(e, fl.span(), fl.density());
+    restore_futures();
+    return false;
+  }
+
+  // Success: record the arrival (its load is already placed) and stitch
+  // the reshaped candidates' profiles — immutable past + new future.
+  record_commit(out, arrival, path, {{fl.span(), fl.density()}});
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const Candidate& c = candidates[k];
+    if (kept[k]) continue;
+    FlowSchedule& fs = out.schedule.flows[c.i];
+    std::vector<RateSegment> stitched;
+    for (const RateSegment& seg : fs.segments) {
+      const Interval past{seg.interval.lo, std::min(seg.interval.hi, now)};
+      if (!past.empty()) stitched.push_back({past, seg.rate});
+    }
+    stitched.insert(stitched.end(), repacked[k].begin(), repacked[k].end());
+    fs.segments = std::move(stitched);
+    if (!rerated[c.i]) ++out.rerated_flows;
+    rerated[c.i] = 1;
+    warm[c.i] = {};
+    warm_atoms[c.i] = {};
+  }
+  ++out.rerate_commits;
+  return true;
 }
 
 }  // namespace
@@ -263,6 +501,21 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
   std::vector<SparseEdgeFlow> warm(flows.size());
   std::vector<AtomSet> warm_atoms(flows.size());
   RelaxationWorkspace workspace;
+  // Flows whose committed profile was reshaped by a re-rate pass
+  // (allow_rerate only; sticky). The density invariant — residual
+  // density equals original density — no longer holds for them: their
+  // residual demands are computed from the committed profile, and they
+  // re-enter each relaxation cold (warm rows route the original
+  // density). With allow_rerate off no flag is ever set and every
+  // expression below reduces to the plain event loop bit for bit.
+  std::vector<char> rerated(flows.size(), 0);
+  // Residual volume of in-flight flow i at time t: the density
+  // invariant for untouched flows (bit-identical to the plain loop),
+  // the committed profile's actual remainder once re-rated.
+  auto residual_volume = [&](std::size_t i, double t) {
+    return rerated[i] ? remaining_volume(flows[i], out.schedule.flows[i], t)
+                      : flows[i].density() * (flows[i].deadline - t);
+  };
 
   // Committed per-edge load (admitted density segments) for the
   // per-flow admission fallback: the incremental index, pruned to the
@@ -327,6 +580,25 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     load.advance_low_water(
         live_releases.empty() ? now : std::min(now, *live_releases.begin()));
 
+    // Warm-state hygiene (audit mode): at every event exit, only
+    // admitted in-flight flows may hold warm rows or path atoms — a
+    // rejected or departed flow keeping either would leak carried
+    // state and corrupt a later re-solve (the rows route a density the
+    // residual problem no longer contains).
+    auto audit_warm_state = [&] {
+      if (!options.audit_load_index) return;
+      std::vector<char> in_flight(flows.size(), 0);
+      for (const auto& [deadline, i] : active) {
+        (void)deadline;
+        in_flight[i] = 1;
+      }
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (in_flight[i]) continue;
+        DCN_ENSURES(warm[i].empty());
+        DCN_ENSURES(warm_atoms[i].empty());
+      }
+    };
+
     // Departures-only fast path. The completions changed the carried
     // problem by removal only: the surviving warm rows stay feasible
     // and close to optimal, so a full relaxation at the completion
@@ -353,11 +625,23 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
               : std::numeric_limits<double>::infinity();
       for (const auto& [deadline, i] : active) {
         Flow res = flows[i];
+        res.volume = residual_volume(i, depart);
+        if (rerated[i] &&
+            res.volume <= 1e-12 * std::max(1.0, flows[i].volume)) {
+          // A re-rated flow accelerated to completion before its
+          // deadline: nothing left to optimize for it.
+          continue;
+        }
         res.id = static_cast<FlowId>(survivors.size());
         res.release = depart;
-        res.volume = flows[i].density() * (deadline - depart);
         if (res.deadline > gap_horizon) {
-          res.volume = flows[i].density() * (gap_horizon - depart);
+          // The untouched branch keeps the plain loop's expression bit
+          // for bit; a re-rated profile is not flat, so its clipped
+          // volume is the window's share of the remainder.
+          res.volume = rerated[i]
+                           ? res.volume *
+                                 ((gap_horizon - depart) / (deadline - depart))
+                           : flows[i].density() * (gap_horizon - depart);
           res.deadline = gap_horizon;
         }
         survivors.push_back(res);
@@ -374,6 +658,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       out.gap_check_iterations += check.total_fw_iterations;
       out.fw_stats += check.fw_stats;
       for (std::size_t r = 0; r < survivors.size(); ++r) {
+        if (rerated[surviving[r]]) continue;  // stays cold (see `rerated`)
         warm[surviving[r]] = std::move(check.final_flow[r]);
         warm_atoms[surviving[r]] = std::move(check.final_atoms[r]);
       }
@@ -388,10 +673,14 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     std::vector<const Path*> forced;
     residual.reserve(active.size() + (hi - lo));
     for (const auto& [deadline, i] : active) {
+      (void)deadline;
       Flow res = flows[i];
+      res.volume = residual_volume(i, now);
+      if (rerated[i] && res.volume <= 1e-12 * std::max(1.0, flows[i].volume)) {
+        continue;  // accelerated to completion; nothing left to carry
+      }
       res.id = static_cast<FlowId>(residual.size());
       res.release = now;
-      res.volume = flows[i].density() * (deadline - now);
       residual.push_back(res);
       orig.push_back(i);
       forced.push_back(&out.schedule.flows[i].path);
@@ -411,6 +700,7 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       forced.push_back(nullptr);
     }
     if (residual.empty()) {  // nothing in flight, no routable arrival
+      audit_warm_state();
       record_latency();
       lo = hi;
       continue;
@@ -472,6 +762,14 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     out.fw_stats += relax.fw_stats;
     if (out.resolves == 1) out.first_lower_bound = relax.lower_bound_energy;
     for (std::size_t r = 0; r < residual.size(); ++r) {
+      if (rerated[orig[r]]) {
+        // A re-rated flow's residual density drifts between events
+        // (its committed profile is not flat), so rows routing this
+        // event's density are stale at the next one: re-enter cold.
+        warm[orig[r]] = {};
+        warm_atoms[orig[r]] = {};
+        continue;
+      }
       warm[orig[r]] = std::move(relax.final_flow[r]);
       warm_atoms[orig[r]] = std::move(relax.final_atoms[r]);
     }
@@ -487,6 +785,57 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       warm_atoms[i] = {};
     };
 
+    // Places arrival `r` (residual index) against the committed load:
+    // the per-flow rounding attempts of the admission fallback, then —
+    // with allow_rerate — deterministic re-rate attempts over the
+    // highest-weight candidate paths. Shared by the fallback loop and
+    // the re-rate mode's joint-path verification below; with
+    // allow_rerate off this is exactly the historical fallback body
+    // (same rng consumption, same counters).
+    std::vector<double> weights;
+    auto place_arrival = [&](std::size_t r) -> bool {
+      const std::size_t i = orig[r];
+      const Flow& fl = flows[i];
+      for (std::int32_t attempt = 0;
+           attempt < options.rounding.max_rounding_attempts; ++attempt) {
+        ++out.rounding_attempts;
+        const Path& path = draw_path(relax.candidates[r], rng, weights);
+        if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+          commit(out, load, i, path, {{fl.span(), fl.density()}});
+          admit_into_index(i);
+          return true;
+        }
+      }
+      if (!options.allow_rerate) return false;
+      // Re-rate attempts: the flow does not fit against the committed
+      // load on any drawn path — try reshaping the in-flight profiles
+      // in its way, over the top-weight candidate paths (deterministic:
+      // ranked by rounding weight, no rng, at most three distinct).
+      std::vector<const WeightedPath*> ranked;
+      for (const WeightedPath& wp : relax.candidates[r].paths) {
+        ranked.push_back(&wp);
+      }
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const WeightedPath* a, const WeightedPath* b) {
+                         return a->weight > b->weight;
+                       });
+      std::size_t tried = 0;
+      for (std::size_t k = 0; k < ranked.size() && tried < 3; ++k) {
+        bool duplicate = false;
+        for (std::size_t j = 0; j < k && !duplicate; ++j) {
+          duplicate = ranked[j]->path.edges == ranked[k]->path.edges;
+        }
+        if (duplicate) continue;
+        ++tried;
+        if (try_rerate(out, load, flows, active, now, capacity, i,
+                       ranked[k]->path, rerated, warm, warm_atoms)) {
+          admit_into_index(i);
+          return true;
+        }
+      }
+      return false;
+    };
+
     // Joint batch admission: randomized rounding with admitted flows
     // pinned to their circuits (exactly offline Algorithm 2 when no
     // flow is pinned, i.e. at the first event of an all-at-t=0 input).
@@ -494,14 +843,44 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
                                                  options.rounding, &forced);
     out.rounding_attempts += draw.rounding_attempts;
     if (draw.capacity_feasible) {
-      for (std::size_t r = first_new; r < residual.size(); ++r) {
-        const Flow& fl = flows[orig[r]];
-        commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
-               {{fl.span(), fl.density()}});
-        admit_into_index(orig[r]);
+      if (!options.allow_rerate) {
+        for (std::size_t r = first_new; r < residual.size(); ++r) {
+          const Flow& fl = flows[orig[r]];
+          commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+                 {{fl.span(), fl.density()}});
+          admit_into_index(orig[r]);
+        }
+      } else {
+        // Once any flow has been re-rated the joint rounding's capacity
+        // check is no longer sound for new arrivals — the residual
+        // timeline it checks (flat residual densities) understates a
+        // reshaped profile's committed acceleration. Verify each drawn
+        // path against the index before committing; while nothing has
+        // been re-rated the check never fails (the sequential probes
+        // see a subset of the joint timeline under the same slack), so
+        // admissions match the plain loop exactly.
+        std::vector<std::size_t> leftover;
+        for (std::size_t r = first_new; r < residual.size(); ++r) {
+          const Flow& fl = flows[orig[r]];
+          const Path& path = draw.schedule.flows[r].path;
+          if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+            commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+                   {{fl.span(), fl.density()}});
+            admit_into_index(orig[r]);
+          } else {
+            leftover.push_back(r);
+          }
+        }
+        for (const std::size_t r : leftover) {
+          if (!place_arrival(r)) {
+            ++out.num_rejected;
+            release_rejected(orig[r]);
+          }
+        }
       }
       out.peak_in_flight = std::max(out.peak_in_flight,
                                     static_cast<std::int32_t>(active.size()));
+      audit_warm_state();
       record_latency();
       lo = hi;
       continue;
@@ -525,29 +904,15 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
                   return rcd_before(flows[orig[a]], flows[orig[b]]);
                 });
     }
-    std::vector<double> weights;
     for (const std::size_t r : fallback_order) {
-      const std::size_t i = orig[r];
-      const Flow& fl = flows[i];
-      bool placed = false;
-      for (std::int32_t attempt = 0;
-           attempt < options.rounding.max_rounding_attempts && !placed;
-           ++attempt) {
-        ++out.rounding_attempts;
-        const Path& path = draw_path(relax.candidates[r], rng, weights);
-        if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
-          commit(out, load, i, path, {{fl.span(), fl.density()}});
-          admit_into_index(i);
-          placed = true;
-        }
-      }
-      if (!placed) {
+      if (!place_arrival(r)) {
         ++out.num_rejected;
-        release_rejected(i);
+        release_rejected(orig[r]);
       }
     }
     out.peak_in_flight = std::max(out.peak_in_flight,
                                   static_cast<std::int32_t>(active.size()));
+    audit_warm_state();
     record_latency();
     lo = hi;
   }
@@ -622,33 +987,66 @@ OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
     return out;
   }
 
-  // Contended hindsight: admit one flow at a time in the RCD urgency
-  // order over the *whole* trace (the online loop only ever sees one
-  // event batch at a time — the oracle's edge is exactly this global
-  // ordering plus the trace-wide relaxation candidates).
+  // Contended hindsight: admit one flow at a time over the *whole*
+  // trace (the online loop only ever sees one event batch at a time —
+  // the oracle's edge is this global ordering plus the trace-wide
+  // relaxation candidates). A single fixed order is not a bound: under
+  // heavy contention the RCD urgency order can be beaten by the online
+  // policies it is supposed to upper-bound (cr_adm < 1). So the
+  // fallback runs twice — RCD and density-first — on copies of the
+  // same rng stream (Rng is a value type) with their own scratch load
+  // indexes, and the better admission set wins; ties keep RCD, which
+  // preserves the historical schedules whenever the orders draw equal.
   ++out.batch_fallbacks;
-  std::vector<std::size_t> fallback_order(trace->size());
-  std::iota(fallback_order.begin(), fallback_order.end(), std::size_t{0});
-  std::sort(fallback_order.begin(), fallback_order.end(),
-            [trace](std::size_t a, std::size_t b) {
-              return rcd_before((*trace)[a], (*trace)[b]);
-            });
-  std::vector<double> weights;
-  for (const std::size_t r : fallback_order) {
-    const Flow& fl = flows[orig[r]];
-    bool placed = false;
-    for (std::int32_t attempt = 0;
-         attempt < options.rounding.max_rounding_attempts && !placed;
-         ++attempt) {
-      ++out.rounding_attempts;
-      const Path& path = draw_path(relax.candidates[r], rng, weights);
-      if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
-        commit(out, load, orig[r], path, {{fl.span(), fl.density()}});
-        placed = true;
+  struct OracleAttempt {
+    std::vector<std::size_t> placed;  // residual indices, placement order
+    std::vector<Path> paths;          // parallel to `placed`
+    std::int32_t rounding_attempts = 0;
+  };
+  auto run_fallback = [&](auto order_before, Rng stream) {
+    std::vector<std::size_t> fallback_order(trace->size());
+    std::iota(fallback_order.begin(), fallback_order.end(), std::size_t{0});
+    std::sort(fallback_order.begin(), fallback_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return order_before((*trace)[a], (*trace)[b]);
+              });
+    // Scratch index (no audit: the winner is re-committed through the
+    // audited outer index below, which cross-checks the same probes).
+    EdgeLoadIndex scratch(g.num_edges(), false);
+    OracleAttempt attempt_result;
+    std::vector<double> weights;
+    for (const std::size_t r : fallback_order) {
+      const Flow& fl = flows[orig[r]];
+      for (std::int32_t attempt = 0;
+           attempt < options.rounding.max_rounding_attempts; ++attempt) {
+        ++attempt_result.rounding_attempts;
+        const Path& path = draw_path(relax.candidates[r], stream, weights);
+        if (rate_fits(scratch, path, fl.span(), fl.density(), capacity)) {
+          for (const EdgeId e : path.edges) {
+            scratch.add(e, fl.span(), fl.density());
+          }
+          attempt_result.placed.push_back(r);
+          attempt_result.paths.push_back(path);
+          break;
+        }
       }
     }
-    if (!placed) ++out.num_rejected;
+    return attempt_result;
+  };
+  const OracleAttempt rcd = run_fallback(rcd_before, rng);
+  const OracleAttempt dense = run_fallback(density_before, rng);
+  out.oracle_rcd_admitted = static_cast<std::int32_t>(rcd.placed.size());
+  out.oracle_density_admitted = static_cast<std::int32_t>(dense.placed.size());
+  out.rounding_attempts += rcd.rounding_attempts + dense.rounding_attempts;
+  const OracleAttempt& winner =
+      dense.placed.size() > rcd.placed.size() ? dense : rcd;
+  for (std::size_t k = 0; k < winner.placed.size(); ++k) {
+    const std::size_t r = winner.placed[k];
+    const Flow& fl = flows[orig[r]];
+    commit(out, load, orig[r], winner.paths[k], {{fl.span(), fl.density()}});
   }
+  out.num_rejected +=
+      static_cast<std::int32_t>(trace->size() - winner.placed.size());
   out.peak_in_flight = peak_overlap(flows, out.admitted);
   out.peak_live_segments = load.peak_live_segments();
   return out;

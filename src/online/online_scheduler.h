@@ -26,6 +26,16 @@
 //     Sec. III-A). Re-solves therefore re-optimize *routing of new
 //     arrivals* against a fractional re-optimization of everything in
 //     flight.
+//   * With OnlineOptions::allow_rerate (the online_dcfsr_preempt
+//     solver), the frozen-rate half of that contract softens: an
+//     arrival that cannot fit against the committed load may trigger a
+//     re-rate pass that reshapes the *future* rate profiles of admitted
+//     in-flight flows sharing its path's edges — never their paths, and
+//     never the past. A commit barrier keeps admitted deadlines
+//     inviolable: each reshaped flow must still move its full remaining
+//     volume by its deadline within capacity, or the whole pass rolls
+//     back bitwise and the arrival is rejected (cf. PDQ's deadline-
+//     aware preemptive re-rating).
 //   * The event loop is indexed: admitted in-flight flows live in a
 //     deadline-ordered active set, so each event touches O(active +
 //     log n) state — completions pop off the front, the residual
@@ -65,13 +75,16 @@
 //                  ratios (cf. DCoflow): every flow is presented in one
 //                  batch with full knowledge of the trace, admitted by
 //                  exactly the online machinery — joint rounding first,
-//                  RCD-ordered per-flow fallback after — against the
-//                  true spans. When the joint rounding is feasible
-//                  (always, at infinite capacity) this IS offline
-//                  Random-Schedule bit for bit; under contention it
-//                  admits the subset an offline scheduler could have
-//                  served, the denominator of bench_online's cr_admit
-//                  and cr_energy columns.
+//                  per-flow fallback after — against the true spans.
+//                  When the joint rounding is feasible (always, at
+//                  infinite capacity) this IS offline Random-Schedule
+//                  bit for bit; under contention the fallback runs
+//                  *both* the RCD urgency order and a density-first
+//                  order on identical rng streams and keeps whichever
+//                  admits more (a single fixed order is beatable by the
+//                  online policies it is supposed to bound — cf.
+//                  DCoflow's offline subset selection), the denominator
+//                  of bench_online's cr_admit and cr_energy columns.
 #pragma once
 
 #include <cstdint>
@@ -146,9 +159,31 @@ struct OnlineOptions {
   /// of extra decision latency (in trace time) for ~arrival_rate*epoch
   /// fewer re-solves per unit time.
   double epoch = 0.0;
+  /// Deadline-safe re-rating of admitted flows (the online_dcfsr_preempt
+  /// solver; online_dcfsr only). When an arrival does not fit against
+  /// the committed load — after the usual rounding attempts — a re-rate
+  /// pass may reshape the *future* rate profiles of admitted in-flight
+  /// flows that share an edge with the candidate path: their committed
+  /// futures are retracted from the load index, the arrival is placed
+  /// at its density, and each displaced flow is repacked within
+  /// [now, deadline] — at its flat residual density when that still
+  /// fits, else into the earliest remaining capacity (EDF) on its
+  /// committed path. Paths are never changed and the past is never
+  /// rewritten. The commit barrier: if any displaced flow cannot move
+  /// its full remaining volume by its deadline within capacity, every
+  /// profile is restored bitwise and the arrival is rejected — no
+  /// previously admitted deadline is ever broken (property-swept with
+  /// the audit shadow on, packet-sim replayed). Re-rated flows re-enter
+  /// subsequent relaxations pinned to their paths with residual-size
+  /// demands (their warm rows are dropped: the rows route the original
+  /// density, which a reshaped profile no longer has). false is
+  /// byte-identical to the plain event loop.
+  bool allow_rerate = false;
   /// Differential audit: the EdgeLoadIndex keeps a naive never-pruned
   /// StepFunction shadow and cross-checks every probe bitwise (tests;
-  /// far too slow for large runs).
+  /// far too slow for large runs). Also sweeps warm-state hygiene at
+  /// every event: a flow that is not admitted-and-in-flight must hold
+  /// no warm rows or path atoms.
   bool audit_load_index = false;
 };
 
@@ -209,6 +244,18 @@ struct OnlineResult {
 
   // online_greedy diagnostics.
   std::int32_t edf_fallbacks = 0;       // admissions via the EDF fill
+
+  // Re-rating diagnostics (OnlineOptions::allow_rerate; all zero
+  // otherwise). Deterministic — the pass consumes no rng.
+  std::int32_t rerate_attempts = 0;  // re-rate passes tried
+  std::int32_t rerate_commits = 0;   // passes that stuck (arrival admitted)
+  std::int32_t rerated_flows = 0;    // in-flight profiles reshaped (cumulative)
+
+  // oracle_dcfsr diagnostics: admitted counts of the two contended
+  // fallback orders (-1 when the joint rounding was feasible and the
+  // fallback never ran). The oracle keeps the better set.
+  std::int32_t oracle_rcd_admitted = -1;
+  std::int32_t oracle_density_admitted = -1;
 };
 
 /// Builds the flow subset selected by `admitted` with ids renumbered to
@@ -239,9 +286,11 @@ struct OnlineResult {
 
 /// Hindsight admission oracle (see file comment): offline dcfsr over
 /// the whole trace with admission control — joint randomized rounding,
-/// then RCD-ordered per-flow fallback. Passing the offline dcfsr rng
-/// stream makes the joint-feasible case bit-identical to offline
-/// Random-Schedule. The denominator of empirical competitive ratios.
+/// then a per-flow fallback run in both the RCD and the density-first
+/// order (identical rng streams), keeping whichever admits more.
+/// Passing the offline dcfsr rng stream makes the joint-feasible case
+/// bit-identical to offline Random-Schedule. The denominator of
+/// empirical competitive ratios.
 [[nodiscard]] OnlineResult oracle_dcfsr(const Graph& g,
                                         const std::vector<Flow>& flows,
                                         const PowerModel& model, Rng& rng,

@@ -109,7 +109,8 @@ TEST(BatchRunner, OnlineScenariosAreByteIdenticalAcrossJobs) {
   // capacity) must stay a pure function of (scenario, seed, options) —
   // no state may leak between cells or depend on worker interleaving.
   BatchSpec spec;
-  spec.solvers = {"online_greedy", "online_dcfsr", "online_dcfsr_flat"};
+  spec.solvers = {"online_greedy", "online_dcfsr", "online_dcfsr_flat",
+                  "online_dcfsr_preempt"};
   spec.scenarios = {"fat_tree/poisson", "line/websearch", "leaf_spine/hadoop"};
   spec.seeds = {1, 2};
   spec.options.num_flows = 14;

@@ -181,6 +181,121 @@ TEST(LoadProfile, PruneIsIdempotentAndMonotone) {
   EXPECT_EQ(p.value_at(3.5), 0.0);
 }
 
+TEST(LoadProfile, WindowEdgesAreHalfOpenAtExactBreakpoints) {
+  // The admission probes (rate_fits and the re-rate pass's segment
+  // checks) ask max_within over spans whose endpoints routinely
+  // coincide with committed breakpoints — a flow scheduled back-to-back
+  // after another starts exactly where the other ends. The contract is
+  // half-open on both sides: a segment's value is visible to a window
+  // iff the segment's interior overlaps the window's interior, so
+  // touching at a shared endpoint is never interference.
+  LoadProfile p;
+  StepFunction naive;
+  for (const auto& [iv, rate] :
+       {std::pair<Interval, double>{{0.0, 1.0}, 2.0},
+        std::pair<Interval, double>{{1.0, 2.0}, 3.0},
+        std::pair<Interval, double>{{2.0, 3.0}, 1.0}}) {
+    p.add(iv, rate);
+    naive.add(iv, rate);
+  }
+  // Windows aligned exactly with one segment see that segment only.
+  EXPECT_EQ(p.max_within({0.0, 1.0}), 2.0);
+  EXPECT_EQ(p.max_within({1.0, 2.0}), 3.0);
+  EXPECT_EQ(p.max_within({2.0, 3.0}), 1.0);
+  // A window ending exactly where load begins, or beginning exactly
+  // where it ends, sees nothing (off-by-one in either comparison would
+  // reject a perfectly packable back-to-back flow).
+  EXPECT_EQ(p.max_within({-1.0, 0.0}), 0.0);
+  EXPECT_EQ(p.max_within({3.0, 4.0}), 0.0);
+  // Degenerate (empty) windows pinned at a breakpoint see nothing.
+  EXPECT_EQ(p.max_within({1.0, 1.0}), 0.0);
+  // value_at at an exact breakpoint is right-continuous: the new rate.
+  EXPECT_EQ(p.value_at(0.0), 2.0);
+  EXPECT_EQ(p.value_at(1.0), 3.0);
+  EXPECT_EQ(p.value_at(3.0), 0.0);
+  // And every one of the above is the naive fold's answer, bitwise.
+  for (const Interval w : {Interval{0.0, 1.0}, Interval{1.0, 2.0},
+                           Interval{2.0, 3.0}, Interval{-1.0, 0.0},
+                           Interval{3.0, 4.0}, Interval{1.0, 1.0}}) {
+    EXPECT_EQ(p.max_within(w), naive.max_within(w));
+  }
+}
+
+TEST(EdgeLoadIndex, BackToBackSpansAtASharedBreakpointDoNotInterfere) {
+  // The scheduler-level consequence of half-open windows: a committed
+  // flow at full capacity on [0, 5) leaves the rate_fits probe for a
+  // second full-rate flow on [5, 10) reading zero load — exactly at the
+  // shared breakpoint, no epsilon shaving needed.
+  EdgeLoadIndex index(1, /*audit=*/true);
+  index.add(0, {0.0, 5.0}, 3.0);
+  EXPECT_EQ(index.max_within(0, {5.0, 10.0}), 0.0);
+  EXPECT_EQ(index.max_within(0, {4.999999999, 10.0}), 3.0);
+  index.add(0, {5.0, 10.0}, 3.0);
+  EXPECT_EQ(index.max_within(0, {0.0, 10.0}), 3.0);  // abut, never stack
+  EXPECT_EQ(index.value_at(0, 5.0), 3.0);
+}
+
+TEST(EdgeLoadIndex, RetractIsTheBitwiseInverseOfAdd) {
+  // A single add/retract pair cancels exactly (same magnitudes at the
+  // same breakpoints): the profile reads identically zero afterwards,
+  // not merely small.
+  EdgeLoadIndex index(1, /*audit=*/true);
+  index.add(0, {0.0, 1.0}, 0.3);
+  index.retract(0, {0.0, 1.0}, 0.3);
+  EXPECT_EQ(index.value_at(0, 0.5), 0.0);
+  EXPECT_EQ(index.max_within(0, {-1.0, 2.0}), 0.0);
+}
+
+TEST(EdgeLoadIndex, RetractMatchesNaiveReplayAcrossRandomPrunedHistories) {
+  // Randomized add/retract/prune interleavings (the re-rate pass's op
+  // mix: retract a live flow's future, repack, occasionally roll back)
+  // against a never-pruned naive replay applying the identical op
+  // sequence — probes must agree bitwise at or after the low-water
+  // mark. Retractions honor the documented contract: only intervals
+  // with lo at or after the mark are retracted.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    EdgeLoadIndex index(1, /*audit=*/true);
+    StepFunction naive;
+    std::vector<std::pair<Interval, double>> live;
+    double mark = -std::numeric_limits<double>::infinity();
+    int retractions = 0;
+    for (int step = 0; step < 240; ++step) {
+      const double base = 0.1 * static_cast<double>(step);
+      const Interval iv = random_interval(rng, base, base + 2.0);
+      const double rate = std::fabs(random_rate(rng));
+      index.add(0, iv, rate);
+      naive.add(iv, rate);
+      live.emplace_back(iv, rate);
+
+      if (rng.uniform() < 0.3 && !live.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        const auto [riv, rrate] = live[pick];
+        if (riv.lo >= mark) {
+          index.retract(0, riv, rrate);
+          naive.add(riv, -rrate);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+          ++retractions;
+        }
+      }
+      if (step % 40 == 39) {
+        mark = base - 1.0;
+        index.advance_low_water(mark);
+      }
+      const double t = rng.uniform(std::max(mark, base - 1.0), base + 4.0);
+      ASSERT_EQ(index.value_at(0, t), naive.value_at(t))
+          << "seed " << seed << " step " << step;
+      const double wlo = rng.uniform(std::max(mark, base - 1.0), base + 3.0);
+      const Interval window{wlo, wlo + rng.uniform(0.1, 3.0)};
+      ASSERT_EQ(index.max_within(0, window), naive.max_within(window))
+          << "seed " << seed << " step " << step;
+    }
+    EXPECT_GT(retractions, 10) << "seed " << seed;  // the mix was real
+    EXPECT_GT(index.segments_pruned(), 0) << "seed " << seed;
+  }
+}
+
 TEST(EdgeLoadIndex, AuditModeCrossChecksEveryProbeAndCountsHealth) {
   const PowerModel model(0.0, 1.0, 2.0, 8.0);
   EdgeLoadIndex index(2, /*audit=*/true);

@@ -287,6 +287,100 @@ TEST_F(OnlineDifferentialTest, EpochBatchingKeepsEveryAdmittedDeadline) {
   EXPECT_TRUE(replay.ok) << (replay.issues.empty() ? "" : replay.issues[0]);
 }
 
+TEST_F(OnlineDifferentialTest, RerateOffIsByteIdenticalToFlatConfiguration) {
+  // online_dcfsr_preempt is online_dcfsr_flat plus allow_rerate. Two
+  // anchors on a staggered multi-event trace: (a) with the flag off the
+  // run is the flat configuration byte for byte — same float
+  // expressions, same rng consumption; (b) with the flag ON but no
+  // successful re-rate (ample capacity) the run is *still* byte
+  // identical — the rerate mode only diverges at the first reshaped
+  // profile, and until then its extra per-arrival verification probes
+  // are read-only.
+  ScenarioOptions scen;
+  scen.num_flows = 14;
+  scen.capacity = 8.0;
+  scen.arrival_rate = 3.0;
+  const Instance instance = suite_.build("fat_tree/poisson", 3, scen);
+
+  OnlineOptions flat;
+  flat.rounding.relaxation.frank_wolfe.max_iterations = 15;
+  flat.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
+  flat.lookahead_window = 2.0;
+  flat.epoch = 0.5;
+  flat.audit_load_index = true;
+  OnlineOptions off = flat;
+  off.allow_rerate = false;
+  OnlineOptions on = flat;
+  on.allow_rerate = true;
+
+  Rng rng_flat = solver_rng(instance, "dcfsr");
+  const OnlineResult a = online_dcfsr(instance.graph(), instance.flows(),
+                                      instance.model(), rng_flat, flat);
+  for (const OnlineOptions* options : {&off, &on}) {
+    Rng rng = solver_rng(instance, "dcfsr");
+    const OnlineResult b = online_dcfsr(instance.graph(), instance.flows(),
+                                        instance.model(), rng, *options);
+    const char* tag = options == &on ? "allow_rerate=true" : "allow_rerate=false";
+    EXPECT_EQ(b.rerate_commits, 0) << tag;  // precondition of (b)
+    EXPECT_EQ(a.admitted, b.admitted) << tag;
+    EXPECT_EQ(a.num_events, b.num_events) << tag;
+    EXPECT_EQ(a.resolves, b.resolves) << tag;
+    EXPECT_EQ(a.fw_iterations, b.fw_iterations) << tag;
+    EXPECT_EQ(a.rounding_attempts, b.rounding_attempts) << tag;
+    EXPECT_EQ(a.first_lower_bound, b.first_lower_bound) << tag;
+    ASSERT_EQ(a.schedule.flows.size(), b.schedule.flows.size()) << tag;
+    for (std::size_t i = 0; i < a.schedule.flows.size(); ++i) {
+      EXPECT_EQ(a.schedule.flows[i].path, b.schedule.flows[i].path)
+          << tag << " flow " << i;
+      EXPECT_EQ(a.schedule.flows[i].segments, b.schedule.flows[i].segments)
+          << tag << " flow " << i;
+    }
+  }
+  EXPECT_GT(a.num_events, 1);  // the equality covered the rolling loop
+}
+
+TEST_F(OnlineDifferentialTest, ReRatedProfilesMeetDeadlinesInPacketReplay) {
+  // The tentpole's correctness claim, end to end: under capacity-cliff
+  // contention the preempt solver reshapes in-flight profiles, and
+  // every admitted flow — re-rated ones included — must still replay
+  // cleanly and land its last packet within the store-and-forward
+  // envelope of its deadline. Swept over seeds so at least one run
+  // exercises a committed re-rate (asserted, not assumed).
+  double total_rerate_commits = 0.0;
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5, 6}) {
+    ScenarioOptions options;
+    options.num_flows = 24;
+    options.capacity = 2.5;  // tight but with repack headroom: densities ~1-2
+    options.arrival_rate = 6.0;
+    const Instance instance = suite_.build("fat_tree/poisson", seed, options);
+    const SolverOutcome out = run(instance, "online_dcfsr_preempt");
+    ASSERT_TRUE(out.feasible) << "seed " << seed << ": " << out.first_issue;
+    for (const auto& [key, value] : out.stats) {
+      if (key == "rerate_commits") total_rerate_commits += value;
+    }
+
+    std::vector<bool> admitted(instance.flows().size());
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < instance.flows().size(); ++i) {
+      admitted[i] = !out.schedule.flows[i].segments.empty();
+      count += admitted[i] ? 1u : 0u;
+    }
+    ASSERT_GE(count, 1u) << "seed " << seed;
+    const auto [sub_flows, sub_schedule] =
+        admitted_subset(instance.flows(), out.schedule, admitted);
+    const ReplayReport replay = replay_schedule(
+        instance.graph(), sub_flows, sub_schedule, instance.model());
+    ASSERT_TRUE(replay.ok) << "seed " << seed << ": "
+                           << (replay.issues.empty() ? "" : replay.issues[0]);
+    const PacketSimReport packets =
+        packet_simulate(instance.graph(), sub_flows, sub_schedule);
+    EXPECT_TRUE(packets.all_deadlines_met) << "seed " << seed;
+    EXPECT_EQ(packets.packets_starved, 0) << "seed " << seed;
+  }
+  EXPECT_GE(total_rerate_commits, 1.0)
+      << "sweep never committed a re-rate; tighten the scenario";
+}
+
 TEST_F(OnlineDifferentialTest, AdmittedFlowsMeetDeadlinesInPacketReplay) {
   // End-to-end: online admission -> fluid schedule -> packet-level
   // store-and-forward simulation. Every admitted flow's last packet

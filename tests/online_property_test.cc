@@ -1,10 +1,11 @@
 // Property-based sweep over the online subsystem: across 50 seeded
 // random online scenarios (Poisson / websearch / hadoop arrivals on
-// four fabrics, finite capacity) and three policies — greedy, the
-// per-release rolling horizon, and the flat-latency windowed + epoch-
-// batched configuration, all with the load index's bitwise audit on —
-// every admission decision must uphold the hard invariants of the
-// model:
+// four fabrics, finite capacity) and four policies — greedy, the
+// per-release rolling horizon, the flat-latency windowed + epoch-
+// batched configuration, and the flat configuration with deadline-safe
+// re-rating of admitted flows (online_dcfsr_preempt), all with the
+// load index's bitwise audit on — every admission decision must uphold
+// the hard invariants of the model:
 //
 //   1. no admitted flow misses its deadline (and every admitted flow
 //      receives its full volume) — replay-validated on the admitted
@@ -61,18 +62,24 @@ ScenarioOptions online_options(double capacity) {
   return options;
 }
 
-/// The three swept configurations: greedy routing, the per-release
-/// rolling horizon, and the flat-latency variant (finite lookahead
-/// window + epoch-batched admission). Every run keeps the load index's
-/// differential audit on, so each of the ~150 scenario runs bitwise
-/// cross-checks every index probe against a naive never-pruned replay.
-enum class Policy { kGreedy, kDcfsr, kDcfsrFlat };
+/// The four swept configurations: greedy routing, the per-release
+/// rolling horizon, the flat-latency variant (finite lookahead window +
+/// epoch-batched admission), and the flat variant with deadline-safe
+/// re-rating of admitted flows (online_dcfsr_preempt's configuration —
+/// invariant (1) below is exactly the re-rating commit barrier's
+/// no-admitted-deadline-ever-broken contract). Every run keeps the
+/// load index's differential audit on, so each of the ~200 scenario
+/// runs bitwise cross-checks every index probe — including the re-rate
+/// pass's retract/repack transactions — against a naive never-pruned
+/// replay, plus the warm-state hygiene sweep at every event.
+enum class Policy { kGreedy, kDcfsr, kDcfsrFlat, kDcfsrPreempt };
 
 const char* policy_name(Policy policy) {
   switch (policy) {
     case Policy::kGreedy: return "online_greedy";
     case Policy::kDcfsr: return "online_dcfsr";
-    default: return "online_dcfsr_flat";
+    case Policy::kDcfsrFlat: return "online_dcfsr_flat";
+    default: return "online_dcfsr_preempt";
   }
 }
 
@@ -85,13 +92,14 @@ OnlineResult run_policy(const Instance& instance, Policy policy) {
   }
   options.rounding.relaxation.frank_wolfe.max_iterations = 15;
   options.rounding.relaxation.frank_wolfe.gap_tolerance = 2e-3;
-  if (policy == Policy::kDcfsrFlat) {
+  if (policy == Policy::kDcfsrFlat || policy == Policy::kDcfsrPreempt) {
     // Deliberately aggressive: a window shorter than many spans (so
     // clipping actually happens) and an epoch wide enough to batch at
     // arrival_rate = 3 — the invariants below must survive both.
     options.lookahead_window = 1.0;
     options.epoch = 0.4;
   }
+  options.allow_rerate = policy == Policy::kDcfsrPreempt;
   Rng rng = solver_rng(instance, "dcfsr");
   return online_dcfsr(instance.graph(), instance.flows(), instance.model(), rng,
                       options);
@@ -101,8 +109,8 @@ TEST(OnlineProperty, InvariantsHoldAcrossFiftySeededScenarios) {
   for (const Scenario& sc : sweep()) {
     const Instance instance = ScenarioSuite::default_suite().build(
         sc.spec, sc.seed, online_options(3.0));
-    for (const Policy policy :
-         {Policy::kGreedy, Policy::kDcfsr, Policy::kDcfsrFlat}) {
+    for (const Policy policy : {Policy::kGreedy, Policy::kDcfsr,
+                                Policy::kDcfsrFlat, Policy::kDcfsrPreempt}) {
       const OnlineResult r = run_policy(instance, policy);
       const std::string tag = sc.spec + "#" + std::to_string(sc.seed) + "/" +
                               policy_name(policy);

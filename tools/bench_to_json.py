@@ -7,6 +7,14 @@ to milliseconds so snapshots from different google-benchmark configs
 stay comparable. bench_online emits the same JSON shape via --json, so
 its sweeps fold into BENCH_online.json through this converter too.
 
+Any numeric per-benchmark field outside the harness schema passes
+through as a counter (see _NON_COUNTER_FIELDS): bench_online's latency
+percentiles and index-health columns, and since the preempt solver also
+admitted/energy (the competitive-ratio inputs), rerate_commits/
+rerated_flows (re-rating activity), and oracle_beaten (seeds where a
+solver out-admitted the hindsight oracle — nonzero means that cell's
+cr_adm is not a bound).
+
 Usage:
     bench_micro --benchmark_format=json > raw.json
     python3 tools/bench_to_json.py raw.json > BENCH_engine.json
