@@ -58,8 +58,23 @@
 //        --json FILE      also write the table as google-benchmark JSON
 //                         (bench_to_json.py converts it into the
 //                         BENCH_online.json snapshot schema; the latency
-//                         percentiles and index-health columns travel as
-//                         per-benchmark counters)
+//                         percentiles, index-health columns and peak RSS
+//                         travel as per-benchmark counters)
+//        --stream         sustained-stream mode instead of the batch
+//                         grid: arrivals pulled from a PoissonEventStream
+//                         into the sharded service, never materializing
+//                         the trace (--flows = arrival counts, default
+//                         100000; --seed [101], --shards [0 = one lane
+//                         per source group]); rows are BM_OnlineStream
+//                         names with per-event p50/p99 and peak-RSS
+//                         counters
+//
+// The sustained-stream configuration tracked in BENCH_online.json (the
+// bounded-memory acceptance check: per-event p50/p99 at 100k arrivals
+// flat versus the 16k batch point, peak RSS bounded because the stream
+// synthesizes arrivals on demand and discards completed rows):
+//   bench_online --stream --scenario fat_tree8/poisson --rates 8
+//                --flows 100000 --json rawstream.json
 //
 // The scaling configuration tracked in BENCH_online.json:
 //   bench_online --scenario fat_tree8/poisson --rates 8
@@ -90,6 +105,8 @@
 // on the fat_tree8 cliff it out-admits even the fixed oracle, which
 // cannot re-rate: cr_adm 1.005, flagged '!')
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <ctime>
 #include <map>
@@ -103,6 +120,8 @@
 
 #include "bench_util.h"
 #include "engine/batch_runner.h"
+#include "online/event_stream.h"
+#include "online/sharded.h"
 
 namespace {
 
@@ -133,12 +152,192 @@ std::string flatten(std::string s) {
   return s;
 }
 
+/// Rows for the optional JSON dump: one benchmark per (cell, solver)
+/// with mean ms per cell as the time and the latency/index columns as
+/// counters.
+struct JsonRow {
+  std::string name;
+  double ms = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Google-benchmark-shaped JSON so tools/bench_to_json.py can fold the
+/// table into the tracked BENCH_online.json snapshot.
+int write_json(const std::string& json_path,
+               const std::vector<JsonRow>& json_rows) {
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_online: cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  // Provenance context, mirroring google-benchmark's: snapshots from
+  // mismatched hosts must be tellable apart when comparing.
+  char date[64] = "";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", std::localtime(&now));
+  char host[256] = "";
+#ifndef _WIN32
+  if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+#endif
+  std::fprintf(f,
+               "{\n  \"context\": {\"date\": \"%s\", \"host_name\": \"%s\", "
+               "\"num_cpus\": %u},\n  \"benchmarks\": [\n",
+               date, host, std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < json_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                 "\"real_time\": %.6f, \"cpu_time\": %.6f, "
+                 "\"time_unit\": \"ms\", \"iterations\": 1",
+                 json_rows[i].name.c_str(), json_rows[i].ms, json_rows[i].ms);
+    for (const auto& [key, value] : json_rows[i].counters) {
+      std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < json_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return 0;
+}
+
+double latency_pct(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1) +
+                                     0.5)];
+}
+
+/// --stream: the sustained-stream scaling probe. Pulls arrivals from a
+/// PoissonEventStream into the sharded service (run_online_stream), so
+/// the trace is synthesized on demand and completed schedule rows are
+/// discarded — the configuration whose memory must stay bounded at
+/// 100k+ arrivals. One row per (rate, arrival count); the tracked
+/// BM_OnlineStream names carry per-event latency percentiles and peak
+/// RSS as counters.
+int run_stream(const dcn::bench::Args& args) {
+  using namespace dcn;
+  using namespace dcn::engine;
+
+  const std::string scenario =
+      args.get_list("scenario", {"fat_tree8/poisson"})[0];
+  const std::size_t slash = scenario.find('/');
+  const std::string workload =
+      slash == std::string::npos ? "" : scenario.substr(slash + 1);
+  SizeModel size_model;
+  if (workload == "poisson") {
+    size_model = SizeModel::kFixed;
+  } else if (workload == "websearch") {
+    size_model = SizeModel::kWebSearch;
+  } else if (workload == "hadoop") {
+    size_model = SizeModel::kHadoop;
+  } else {
+    std::fprintf(stderr,
+                 "bench_online --stream: scenario workload must be "
+                 "poisson|websearch|hadoop, got \"%s\"\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  std::vector<double> rates;
+  for (const std::string& r : args.get_list("rates", {"8"})) {
+    rates.push_back(std::stod(r));
+  }
+  const std::vector<std::int64_t> arrival_counts =
+      args.get_int_list("flows", {100000});
+  const double capacity = args.get_double("capacity", 3.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 101));
+  const auto shards = static_cast<std::int32_t>(args.get_int("shards", 0));
+  const std::string json_path = args.get("json", "");
+
+  std::printf("Sustained-stream sweep: %s, capacity=%g, seed=%llu\n",
+              scenario.c_str(), capacity,
+              static_cast<unsigned long long>(seed));
+  bench::rule();
+  std::printf("%6s %8s  %8s %8s %8s %8s %8s %8s %8s %10s %10s\n", "rate",
+              "arrivals", "admit%", "peak", "pk_seg", "pruned", "p50ms",
+              "p99ms", "rss_mb", "ms", "us/event");
+
+  std::vector<JsonRow> json_rows;
+  for (const double rate : rates) {
+    for (const std::int64_t arrivals : arrival_counts) {
+      ScenarioOptions options;
+      options.capacity = capacity;
+      options.arrival_rate = rate;
+      options.num_flows = static_cast<std::int32_t>(arrivals);
+
+      // The registered online_dcfsr_sharded configuration (flat-latency
+      // options on the calibrated Frank-Wolfe budget).
+      OnlineOptions online;
+      online.rounding.relaxation.frank_wolfe.max_iterations = 12;
+      online.rounding.relaxation.frank_wolfe.gap_tolerance = 1e-3;
+      online.lookahead_window = 2.0;
+      online.epoch = 0.5;
+
+      auto [topology, stream_rng] = ScenarioSuite::default_suite()
+                                        .build_topology(scenario, seed);
+      PoissonEventStream stream(topology,
+                                online_workload_params(options, size_model),
+                                stream_rng, arrivals);
+      const ShardPlan plan = ShardPlan::by_source_group(topology, shards);
+      Rng rng(mix_seed(seed,
+                       scenario + "#" + std::to_string(seed) + "|dcfsr"));
+      const PowerModel model = options.power_model();
+
+      const auto start = std::chrono::steady_clock::now();
+      OnlineResult result = run_online_stream(
+          topology.graph(), stream, model, rng, online, plan, /*workers=*/0,
+          /*flush_every=*/0, nullptr, /*discard_completed=*/true);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+
+      const double offered =
+          static_cast<double>(result.num_admitted + result.num_rejected);
+      const double p50 = latency_pct(result.decision_latency_ms, 0.50);
+      const double p99 = latency_pct(result.decision_latency_ms, 0.99);
+      const double rss_mb = static_cast<double>(peak_rss_kb()) / 1024.0;
+      std::printf(
+          "%6g %8lld  %7.1f%% %8d %8d %8lld %8.3f %8.3f %8.1f %10.0f %10.1f\n",
+          rate, static_cast<long long>(arrivals),
+          offered > 0 ? 100.0 * result.num_admitted / offered : 0.0,
+          result.peak_in_flight, result.peak_live_segments,
+          static_cast<long long>(result.load_segments_pruned), p50, p99,
+          rss_mb, ms, offered > 0 ? 1000.0 * ms / offered : 0.0);
+
+      char cap_segment[32] = "";
+      if (capacity != 3.0) {
+        std::snprintf(cap_segment, sizeof(cap_segment), "cap%g/", capacity);
+      }
+      char name[160];
+      std::snprintf(name, sizeof(name),
+                    "BM_OnlineStream/%s/rate%g/%lld/%sonline_dcfsr_sharded",
+                    flatten(scenario).c_str(), rate,
+                    static_cast<long long>(arrivals), cap_segment);
+      json_rows.push_back(
+          {name,
+           ms,
+           {{"decision_latency_p50_ms", p50},
+            {"decision_latency_p99_ms", p99},
+            {"peak_live_segments",
+             static_cast<double>(result.peak_live_segments)},
+            {"load_segments_pruned",
+             static_cast<double>(result.load_segments_pruned)},
+            {"peak_in_flight", static_cast<double>(result.peak_in_flight)},
+            {"admitted", static_cast<double>(result.num_admitted)},
+            {"peak_rss_mb", rss_mb}}});
+    }
+  }
+  if (!json_path.empty()) return write_json(json_path, json_rows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcn;
   using namespace dcn::engine;
   const bench::Args args(argc, argv);
+  if (args.has_flag("stream")) return run_stream(args);
 
   std::vector<std::string> solvers = args.get_list(
       "solvers", {"online_greedy", "online_dcfsr", "online_dcfsr_id"});
@@ -178,14 +377,6 @@ int main(int argc, char** argv) {
               "edf_fb", "rr_cmt", "rr_flows", "pk_seg", "pruned", "p50ms",
               "p99ms", "cr_adm", "cr_en", "ms");
 
-  // Rows for the optional JSON dump: one benchmark per (cell, solver)
-  // with mean ms per cell as the time and the latency/index columns as
-  // counters.
-  struct JsonRow {
-    std::string name;
-    double ms = 0;
-    std::vector<std::pair<std::string, double>> counters;
-  };
   std::vector<JsonRow> json_rows;
 
   for (const double rate : rates) {
@@ -312,45 +503,16 @@ int main(int argc, char** argv) {
               {"energy", row.energy / cells},
               {"rerate_commits", row.rerate_commits / cells},
               {"rerated_flows", row.rerated_flows / cells},
-              {"oracle_beaten", row.oracle_beaten}}});
+              {"oracle_beaten", row.oracle_beaten},
+              // Process-wide high-water mark at row emission: rows
+              // within one invocation share the process, so read the
+              // largest cell's footprint from the last row (tracked
+              // sweeps run one configuration per invocation).
+              {"peak_rss_mb", static_cast<double>(peak_rss_kb()) / 1024.0}}});
       }
     }
   }
 
-  // Google-benchmark-shaped JSON so tools/bench_to_json.py can fold the
-  // table into the tracked BENCH_online.json snapshot.
-  if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench_online: cannot write %s\n", json_path.c_str());
-      return 2;
-    }
-    // Provenance context, mirroring google-benchmark's: snapshots from
-    // mismatched hosts must be tellable apart when comparing.
-    char date[64] = "";
-    const std::time_t now = std::time(nullptr);
-    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", std::localtime(&now));
-    char host[256] = "";
-#ifndef _WIN32
-    if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
-#endif
-    std::fprintf(f,
-                 "{\n  \"context\": {\"date\": \"%s\", \"host_name\": \"%s\", "
-                 "\"num_cpus\": %u},\n  \"benchmarks\": [\n",
-                 date, host, std::thread::hardware_concurrency());
-    for (std::size_t i = 0; i < json_rows.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
-                   "\"real_time\": %.6f, \"cpu_time\": %.6f, "
-                   "\"time_unit\": \"ms\", \"iterations\": 1",
-                   json_rows[i].name.c_str(), json_rows[i].ms, json_rows[i].ms);
-      for (const auto& [key, value] : json_rows[i].counters) {
-        std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
-      }
-      std::fprintf(f, "}%s\n", i + 1 < json_rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-  }
+  if (!json_path.empty()) return write_json(json_path, json_rows);
   return 0;
 }

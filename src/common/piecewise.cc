@@ -20,6 +20,22 @@ void StepFunction::add(const Interval& iv, double delta) {
   deltas_[iv.hi] -= delta;
 }
 
+void StepFunction::drop_before(double t) {
+  const auto first_kept = deltas_.lower_bound(t);
+  if (first_kept == deltas_.begin()) return;
+  // Ascending partial fold — exactly the prefix every probe computes —
+  // carried at the last folded breakpoint, so the elementary segment it
+  // opened keeps its value and everything at or after it is unchanged.
+  double folded = 0.0;
+  double last_time = 0.0;
+  for (auto it = deltas_.begin(); it != first_kept; ++it) {
+    folded += it->second;
+    last_time = it->first;
+  }
+  deltas_.erase(deltas_.begin(), first_kept);
+  if (folded != 0.0) deltas_.emplace(last_time, folded);
+}
+
 double StepFunction::value_at(double t) const {
   double v = 0.0;
   for (const auto& [time, delta] : deltas_) {

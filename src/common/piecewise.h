@@ -80,6 +80,21 @@ class StepFunction {
   /// True when the function is identically zero.
   [[nodiscard]] bool is_zero() const;
 
+  /// Folds every breakpoint strictly before t into one carried delta at
+  /// the last folded breakpoint's time (omitted when the fold is exactly
+  /// zero). The fold runs in ascending time order — the exact partial
+  /// fold every probe performs — so for any query at or after the last
+  /// folded breakpoint the function is indistinguishable from the
+  /// unpruned one: LoadProfile::prune_before's contract, on the naive
+  /// representation. Bounds audit-shadow growth in long soaks (the
+  /// audit cross-checks only probe at or after the low-water mark).
+  void drop_before(double t);
+
+  /// Breakpoints currently held (the memory the audit shadow bounds).
+  [[nodiscard]] std::int64_t breakpoint_count() const {
+    return static_cast<std::int64_t>(deltas_.size());
+  }
+
  private:
   // Breakpoint map: value changes by deltas_[t] at time t (fenwick-style
   // difference representation). The function at t is the prefix sum of

@@ -169,6 +169,20 @@ const SolverRegistry& default_registry() {
       return std::make_unique<OnlineDcfsrSolver>(options,
                                                  "online_dcfsr_preempt");
     });
+    // The sharded always-on service on the flat-latency configuration:
+    // flows partitioned by source edge-group, shard workers re-solving
+    // per group, a serial core-link coordinator arbitrating commits
+    // against the global load index. shards = 0 means one lane per
+    // group; the output is byte-identical for any shard count >= 2 and
+    // any worker count (topologies with a single source group delegate
+    // to the flat loop).
+    r.add("online_dcfsr_sharded", [] {
+      OnlineOptions options;
+      options.rounding.relaxation.frank_wolfe = CalibratedFwBudget();
+      options.lookahead_window = 2.0;
+      options.epoch = 0.5;
+      return std::make_unique<OnlineShardedSolver>(options);
+    });
     r.add("online_greedy", [] { return std::make_unique<OnlineGreedySolver>(); });
     // Hindsight admission oracle: the same calibrated budget as dcfsr,
     // so the joint-feasible case (e.g. infinite capacity) is offline

@@ -12,7 +12,10 @@ std::int32_t clamp_count(std::int32_t requested, std::int32_t available) {
   return std::max<std::int32_t>(1, std::min(requested, available));
 }
 
-OnlineWorkloadParams online_params(const ScenarioOptions& o, SizeModel model) {
+}  // namespace
+
+OnlineWorkloadParams online_workload_params(const ScenarioOptions& o,
+                                            SizeModel model) {
   OnlineWorkloadParams params;
   params.num_flows = std::max<std::int32_t>(1, o.num_flows);
   params.arrival_rate = o.arrival_rate;
@@ -22,8 +25,6 @@ OnlineWorkloadParams online_params(const ScenarioOptions& o, SizeModel model) {
   params.base_rate = o.base_rate;
   return params;
 }
-
-}  // namespace
 
 ScenarioSuite::ScenarioSuite() {
   topologies_ = {
@@ -74,16 +75,16 @@ ScenarioSuite::ScenarioSuite() {
        }},
       {"poisson",
        [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
-         return poisson_workload(topo, online_params(o, SizeModel::kFixed), rng);
+         return poisson_workload(topo, online_workload_params(o, SizeModel::kFixed), rng);
        }},
       {"websearch",
        [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
-         return poisson_workload(topo, online_params(o, SizeModel::kWebSearch),
+         return poisson_workload(topo, online_workload_params(o, SizeModel::kWebSearch),
                                  rng);
        }},
       {"hadoop",
        [](const Topology& topo, const ScenarioOptions& o, Rng& rng) {
-         return poisson_workload(topo, online_params(o, SizeModel::kHadoop), rng);
+         return poisson_workload(topo, online_workload_params(o, SizeModel::kHadoop), rng);
        }},
   };
 }
@@ -153,6 +154,33 @@ Instance ScenarioSuite::build(const std::string& spec, std::uint64_t seed,
 
   return Instance(spec + "#" + std::to_string(seed), std::move(topology),
                   std::move(flows), options.power_model(), seed);
+}
+
+std::pair<Topology, Rng> ScenarioSuite::build_topology(
+    const std::string& spec, std::uint64_t seed) const {
+  const std::size_t slash = spec.find('/');
+  const std::string topo_name =
+      slash == std::string::npos ? spec : spec.substr(0, slash);
+  const std::string work_name =
+      slash == std::string::npos ? "" : spec.substr(slash + 1);
+  const auto topo_it = topologies_.find(topo_name);
+  if (slash == std::string::npos || topo_it == topologies_.end() ||
+      !workloads_.contains(work_name)) {
+    std::string message = "unknown scenario \"" + spec +
+                          "\" (want <topology>/<workload>); topologies:";
+    for (const auto& [name, factory] : topologies_) message += " " + name;
+    message += "; workloads:";
+    for (const auto& [name, factory] : workloads_) message += " " + name;
+    throw UnknownScenarioError(message);
+  }
+
+  // Exactly build()'s stream discipline: the scenario rng is seeded by
+  // (seed, spec) and the topology factory consumes its prefix. The
+  // returned rng is therefore in the precise state the workload factory
+  // would receive — a generator fed from it synthesizes build()'s trace.
+  Rng rng(mix_seed(seed, spec));
+  Topology topology = topo_it->second(rng);
+  return {std::move(topology), rng};
 }
 
 }  // namespace dcn::engine

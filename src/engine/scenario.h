@@ -28,6 +28,7 @@
 
 #include "common/random.h"
 #include "engine/instance.h"
+#include "flow/workload.h"
 
 namespace dcn::engine {
 
@@ -67,6 +68,13 @@ struct ScenarioOptions {
   }
 };
 
+/// The OnlineWorkloadParams the online scenario workloads
+/// (poisson/websearch/hadoop) derive from ScenarioOptions — public so a
+/// sustained-stream service can synthesize the exact arrival process a
+/// scenario instance would materialize.
+[[nodiscard]] OnlineWorkloadParams online_workload_params(
+    const ScenarioOptions& options, SizeModel model);
+
 class ScenarioSuite {
  public:
   /// The default preset catalogue described in the header comment.
@@ -86,6 +94,16 @@ class ScenarioSuite {
   /// UnknownScenarioError for malformed or unknown specs.
   [[nodiscard]] Instance build(const std::string& spec, std::uint64_t seed,
                                const ScenarioOptions& options = {}) const;
+
+  /// Builds only the topology of "<topology>/<workload>#<seed>" and
+  /// returns the scenario rng advanced past the topology draw. For the
+  /// online workloads, feeding that rng to a PoissonEventStream with
+  /// online_workload_params() yields — flow for flow — the trace
+  /// build() would materialize with the same (spec, seed, options):
+  /// the sustained-stream service's bit-identical bridge to scenario
+  /// instances. Throws UnknownScenarioError like build().
+  [[nodiscard]] std::pair<Topology, Rng> build_topology(
+      const std::string& spec, std::uint64_t seed) const;
 
  private:
   using TopologyFactory = std::function<Topology(Rng&)>;

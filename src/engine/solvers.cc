@@ -267,6 +267,50 @@ SolverOutcome OnlineDcfsrSolver::solve(const Instance& instance) const {
 }
 
 // ---------------------------------------------------------------------------
+// OnlineShardedSolver
+
+OnlineShardedSolver::OnlineShardedSolver(OnlineOptions options,
+                                         std::int32_t shards,
+                                         std::int32_t workers, std::string name)
+    : options_(options),
+      shards_(shards),
+      workers_(workers),
+      name_(std::move(name)) {}
+
+SolverOutcome OnlineShardedSolver::solve(const Instance& instance) const {
+  // Same stream key as the rest of the dcfsr family: the single-lane
+  // delegating case is then online_dcfsr draw for draw.
+  Rng rng = solver_rng(instance, "dcfsr");
+  const ShardPlan plan =
+      ShardPlan::by_source_group(instance.topology(), shards_);
+  OnlineResult r =
+      online_dcfsr_sharded(instance.graph(), instance.flows(),
+                           instance.model(), rng, options_, plan, workers_);
+  const std::vector<std::pair<std::string, double>> extra = {
+      {"resolves", static_cast<double>(r.resolves)},
+      {"fw_iterations", static_cast<double>(r.fw_iterations)},
+      {"rounding_attempts", static_cast<double>(r.rounding_attempts)},
+      {"batch_fallbacks", static_cast<double>(r.batch_fallbacks)},
+      {"departure_gap_checks", static_cast<double>(r.departure_gap_checks)},
+      {"gap_check_iterations", static_cast<double>(r.gap_check_iterations)},
+      {"peak_in_flight", static_cast<double>(r.peak_in_flight)},
+      {"first_lb", r.first_lower_bound},
+      {"fw_sweeps", static_cast<double>(r.fw_stats.oracle_sweeps)},
+      {"fw_edges_repriced", static_cast<double>(r.fw_stats.edges_repriced)},
+      {"fw_ls_evals", static_cast<double>(r.fw_stats.line_search_evals)},
+      {"rerate_attempts", static_cast<double>(r.rerate_attempts)},
+      {"rerate_commits", static_cast<double>(r.rerate_commits)},
+      {"rerated_flows", static_cast<double>(r.rerated_flows)},
+      // The decomposition (groups) is topology-fixed; lanes are the
+      // concurrency cap actually in effect. Both deterministic.
+      {"shard_groups", static_cast<double>(plan.num_groups())},
+      {"shard_lanes", static_cast<double>(plan.num_lanes())}};
+  SolverOutcome out = finish_online_outcome(name(), instance, std::move(r));
+  out.stats.insert(out.stats.end(), extra.begin(), extra.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // OracleDcfsrSolver
 
 OracleDcfsrSolver::OracleDcfsrSolver(OnlineOptions options)

@@ -39,6 +39,7 @@
 #include "dcfsr/random_schedule.h"
 #include "engine/solver.h"
 #include "online/online_scheduler.h"
+#include "online/sharded.h"
 
 namespace dcn::engine {
 
@@ -153,6 +154,39 @@ class OnlineDcfsrSolver final : public Solver {
 
  private:
   OnlineOptions options_;
+  std::string name_;
+};
+
+/// The sharded always-on scheduling service behind the batch API
+/// (src/online/sharded.h): flows partitioned by source edge-group, one
+/// long-lived shard worker per group (phase A runs groups in parallel
+/// across `workers` lanes), a serial core-link coordinator arbitrating
+/// every commit against the global load index in deterministic
+/// (event-time, shard-id, flow-id) order. Byte-identical for any shard
+/// count >= 2 and any worker count; single-lane plans delegate to
+/// online_dcfsr outright. The rng is keyed to "dcfsr" like every
+/// dcfsr-family solver (the delegating case then matches the flat
+/// solver's stream draw for draw).
+class OnlineShardedSolver final : public Solver {
+ public:
+  /// `shards` = requested lane count (0: one lane per source group);
+  /// `workers` = phase-A thread cap (0: hardware concurrency).
+  explicit OnlineShardedSolver(OnlineOptions options = {},
+                               std::int32_t shards = 0,
+                               std::int32_t workers = 0,
+                               std::string name = "online_dcfsr_sharded");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string description() const override {
+    return "sharded online service: per-source-group shard workers + "
+           "core-link coordinator (byte-identical at any worker count)";
+  }
+  [[nodiscard]] SolverOutcome solve(const Instance& instance) const override;
+
+ private:
+  OnlineOptions options_;
+  std::int32_t shards_;
+  std::int32_t workers_;
   std::string name_;
 };
 

@@ -208,29 +208,43 @@ double sample_size(SizeModel model, double mean, Rng& rng) {
 
 }  // namespace
 
+PoissonFlowGenerator::PoissonFlowGenerator(const Topology& topo,
+                                           const OnlineWorkloadParams& params,
+                                           Rng rng)
+    : topo_(&topo), params_(params), rng_(rng), t_(params.start) {
+  DCN_EXPECTS(params_.arrival_rate > 0.0);
+  DCN_EXPECTS(params_.mean_volume > 0.0);
+  DCN_EXPECTS(params_.slack >= 1.0);
+  DCN_EXPECTS(params_.base_rate > 0.0);
+  DCN_EXPECTS(params_.min_span > 0.0);
+}
+
+Flow PoissonFlowGenerator::next() {
+  if (count_ > 0) {
+    // Exponential inter-arrival gap (inverse-CDF; uniform() < 1 keeps
+    // the log argument positive).
+    t_ += -std::log(1.0 - rng_.uniform()) / params_.arrival_rate;
+  }
+  const auto [src, dst] = random_host_pair(*topo_, rng_);
+  const double volume =
+      sample_size(params_.size_model, params_.mean_volume, rng_);
+  const double span =
+      std::max(params_.min_span, params_.slack * volume / params_.base_rate);
+  return {static_cast<FlowId>(count_++), src, dst, volume, t_, t_ + span};
+}
+
 std::vector<Flow> poisson_workload(const Topology& topo,
                                    const OnlineWorkloadParams& params, Rng& rng) {
   DCN_EXPECTS(params.num_flows >= 1);
-  DCN_EXPECTS(params.arrival_rate > 0.0);
-  DCN_EXPECTS(params.mean_volume > 0.0);
-  DCN_EXPECTS(params.slack >= 1.0);
-  DCN_EXPECTS(params.base_rate > 0.0);
-  DCN_EXPECTS(params.min_span > 0.0);
+  // The pull-based generator IS the definition: the materialized trace
+  // is num_flows pulls, with the advanced rng stream handed back.
+  PoissonFlowGenerator gen(topo, params, rng);
   std::vector<Flow> flows;
   flows.reserve(static_cast<std::size_t>(params.num_flows));
-  double t = params.start;
   for (std::int32_t i = 0; i < params.num_flows; ++i) {
-    if (i > 0) {
-      // Exponential inter-arrival gap (inverse-CDF; uniform() < 1 keeps
-      // the log argument positive).
-      t += -std::log(1.0 - rng.uniform()) / params.arrival_rate;
-    }
-    const auto [src, dst] = random_host_pair(topo, rng);
-    const double volume = sample_size(params.size_model, params.mean_volume, rng);
-    const double span =
-        std::max(params.min_span, params.slack * volume / params.base_rate);
-    flows.push_back({i, src, dst, volume, t, t + span});
+    flows.push_back(gen.next());
   }
+  rng = gen.rng();
   validate_flows(topo.graph(), flows);
   return flows;
 }

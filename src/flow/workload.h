@@ -99,4 +99,36 @@ struct OnlineWorkloadParams {
                                                  const OnlineWorkloadParams& params,
                                                  Rng& rng);
 
+/// Pull-based form of poisson_workload: draws one flow per next() call
+/// with an rng-consumption order identical to the materializing
+/// generator (gap, endpoints, size — in that order), so a sustained
+/// stream of 100k+ arrivals never exists as a vector and the k-th flow
+/// it emits equals poisson_workload's k-th flow bit for bit on the same
+/// seed (asserted by tests/event_stream_test.cc). `params.num_flows` is
+/// ignored — the stream is unbounded; the caller decides when to stop
+/// (flow ids count up from 0 and releases never decrease). `topo` must
+/// outlive the generator.
+class PoissonFlowGenerator {
+ public:
+  PoissonFlowGenerator(const Topology& topo, const OnlineWorkloadParams& params,
+                       Rng rng);
+
+  /// The next arrival. Sequential ids, non-decreasing releases.
+  [[nodiscard]] Flow next();
+
+  /// Flows emitted so far (== the next flow's id).
+  [[nodiscard]] std::int64_t generated() const { return count_; }
+
+  /// The rng stream after the draws so far (lets poisson_workload hand
+  /// the advanced stream back to its caller).
+  [[nodiscard]] const Rng& rng() const { return rng_; }
+
+ private:
+  const Topology* topo_;
+  OnlineWorkloadParams params_;
+  Rng rng_;
+  std::int64_t count_ = 0;
+  double t_;
+};
+
 }  // namespace dcn

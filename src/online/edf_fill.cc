@@ -1,0 +1,63 @@
+// EDF fill: the earliest-remaining-capacity fallback packing shared by
+// every online policy. The indexed overload routes through the template
+// in admission_core.h (the same body the sharded service instantiates
+// over its routed index); the StepFunction overload is the reference
+// the audit shadow cross-checks against.
+#include <algorithm>
+#include <vector>
+
+#include "online/admission_core.h"
+#include "online/online_scheduler.h"
+
+namespace dcn {
+
+std::vector<RateSegment> edf_fill(const EdgeLoadIndex& load, const Path& path,
+                                  const Interval& span, double volume,
+                                  double capacity) {
+  return online_impl::edf_fill_over(load, path, span, volume, capacity);
+}
+
+/// Reference fill: packs `volume` into the earliest remaining capacity
+/// of `path` within `span`, scanning every committed segment of each
+/// edge's full profile. The differential baseline of the indexed
+/// overload above (audit mode and tests); not on any scheduler's path.
+std::vector<RateSegment> edf_fill(const std::vector<StepFunction>& load,
+                                  const Path& path, const Interval& span,
+                                  double volume, double capacity) {
+  // Elementary intervals: every committed-load breakpoint of the path's
+  // edges inside the span, so the combined load is constant per piece.
+  std::vector<double> cuts{span.lo, span.hi};
+  for (const EdgeId e : path.edges) {
+    for (const auto& [iv, value] : load[static_cast<std::size_t>(e)].segments()) {
+      if (iv.lo > span.lo && iv.lo < span.hi) cuts.push_back(iv.lo);
+      if (iv.hi > span.lo && iv.hi < span.hi) cuts.push_back(iv.hi);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<RateSegment> segments;
+  double remaining = volume;
+  for (std::size_t k = 0; k + 1 < cuts.size() && remaining > 0.0; ++k) {
+    const Interval piece{cuts[k], cuts[k + 1]};
+    double used = 0.0;
+    for (const EdgeId e : path.edges) {
+      used = std::max(used,
+                      load[static_cast<std::size_t>(e)].value_at(piece.lo));
+    }
+    const double avail = capacity - used;
+    if (avail <= online_impl::kCapacitySlack * std::max(1.0, capacity)) continue;
+    const double takeable = avail * piece.measure();
+    if (takeable >= remaining) {
+      segments.push_back({{piece.lo, piece.lo + remaining / avail}, avail});
+      remaining = 0.0;
+    } else {
+      segments.push_back({piece, avail});
+      remaining -= takeable;
+    }
+  }
+  if (remaining > 1e-9 * std::max(1.0, volume)) return {};
+  return segments;
+}
+
+}  // namespace dcn

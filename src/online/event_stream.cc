@@ -1,0 +1,36 @@
+#include "online/event_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace dcn {
+
+TraceEventStream::TraceEventStream(std::vector<Flow> flows)
+    : flows_(std::move(flows)) {
+  std::sort(flows_.begin(), flows_.end(), [](const Flow& a, const Flow& b) {
+    if (a.release != b.release) return a.release < b.release;
+    return a.id < b.id;
+  });
+}
+
+std::optional<Flow> TraceEventStream::next() {
+  if (pos_ >= flows_.size()) return std::nullopt;
+  return flows_[pos_++];
+}
+
+PoissonEventStream::PoissonEventStream(const Topology& topo,
+                                       const OnlineWorkloadParams& params,
+                                       Rng rng, std::int64_t limit)
+    : gen_(topo, params, rng), remaining_(limit) {
+  DCN_EXPECTS(limit >= 0);
+}
+
+std::optional<Flow> PoissonEventStream::next() {
+  if (remaining_ <= 0) return std::nullopt;
+  --remaining_;
+  return gen_.next();
+}
+
+}  // namespace dcn

@@ -73,6 +73,13 @@ void EdgeLoadIndex::advance_low_water(double t) {
   if (!(t > low_water_)) return;
   low_water_ = t;
   for (LoadProfile& profile : profiles_) profile.prune_before(t);
+  // The audit shadows fold the same prefix (drop_before is the naive
+  // replay's prune), so a long soak with audit on stays bounded too —
+  // every cross-check probes at or after the low-water mark, where the
+  // folded shadow is indistinguishable from the unpruned one.
+  if (audit_) {
+    for (StepFunction& s : shadow_) s.drop_before(t);
+  }
 }
 
 std::int64_t EdgeLoadIndex::segments_pruned() const {

@@ -9,10 +9,13 @@
 // segments in span) regardless of how many flows ever committed.
 //
 // Audit mode (OnlineOptions::audit_load_index, used by the test
-// sweeps) keeps a shadow of plain never-pruned StepFunctions alongside
-// and cross-checks every probe bitwise against the naive replay — the
+// sweeps) keeps a shadow of plain StepFunctions alongside and
+// cross-checks every probe bitwise against the naive replay — the
 // differential harness of the bitwise contract documented on
-// LoadProfile.
+// LoadProfile. The shadows fold their own history at the same low-water
+// mark (StepFunction::drop_before — the naive fold of the same prefix),
+// so audit-on soaks stay memory-bounded without weakening the check:
+// every probe the contract covers is at or after the mark.
 #pragma once
 
 #include <cstdint>

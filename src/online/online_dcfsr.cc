@@ -1,0 +1,471 @@
+// The flat event loop: online_dcfsr, the per-event warm-started
+// re-solve policy (see online_scheduler.h for the contract). Split out
+// of the online monolith; the admission primitives live in
+// admission_core.h and the re-rate transaction in rerate.h so the
+// sharded service (sharded.cc) runs the identical machinery per shard.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "mcf/relaxation.h"
+#include "online/admission_core.h"
+#include "online/load_index.h"
+#include "online/online_scheduler.h"
+#include "online/rerate.h"
+
+namespace dcn {
+
+using online_impl::arrival_order;
+using online_impl::commit;
+using online_impl::rate_fits;
+using online_impl::rcd_before;
+using online_impl::remaining_volume;
+using online_impl::ReachabilityCache;
+using online_impl::try_rerate;
+
+OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
+                          const PowerModel& model, Rng& rng,
+                          const OnlineOptions& options) {
+  validate_flows(g, flows);
+  OnlineResult out;
+  out.schedule.flows.resize(flows.size());
+  out.admitted.assign(flows.size(), false);
+  if (flows.empty()) return out;
+
+  const std::vector<std::size_t> order = arrival_order(flows);
+  const double capacity = model.capacity();
+
+  // Warm-start rows and pairwise path atoms by original flow id,
+  // threaded across re-solves, and one workspace for every re-solve of
+  // the run: the PR 2 fast path plus the PR 5 atom carry-over. Both are
+  // released the moment a flow departs or is rejected, so the carried
+  // state stays proportional to the flows actually in flight.
+  std::vector<SparseEdgeFlow> warm(flows.size());
+  std::vector<AtomSet> warm_atoms(flows.size());
+  RelaxationWorkspace workspace;
+  // Flows whose committed profile was reshaped by a re-rate pass
+  // (allow_rerate only; sticky). The density invariant — residual
+  // density equals original density — no longer holds for them: their
+  // residual demands are computed from the committed profile, and they
+  // re-enter each relaxation cold (warm rows route the original
+  // density). With allow_rerate off no flag is ever set and every
+  // expression below reduces to the plain event loop bit for bit.
+  std::vector<char> rerated(flows.size(), 0);
+  // Residual volume of in-flight flow i at time t: the density
+  // invariant for untouched flows (bit-identical to the plain loop),
+  // the committed profile's actual remainder once re-rated.
+  auto residual_volume = [&](std::size_t i, double t) {
+    return rerated[i] ? remaining_volume(flows[i], out.schedule.flows[i], t)
+                      : flows[i].density() * (flows[i].deadline - t);
+  };
+
+  // Committed per-edge load (admitted density segments) for the
+  // per-flow admission fallback: the incremental index, pruned to the
+  // run's low-water mark at every event below.
+  EdgeLoadIndex load(g.num_edges(), options.audit_load_index);
+  ReachabilityCache reachable(g);
+
+  // The active-flow index: admitted, still-in-flight flows keyed by
+  // (deadline, flow index). Completions leave from the front in
+  // O(log n) each; the residual problem reads the set in deadline order
+  // in O(active) — no per-event scan over the whole trace.
+  std::set<std::pair<double, std::size_t>> active;
+  // Release times of the flows in `active`, kept as a multiset so the
+  // low-water mark — min(earliest live release, event time) — updates
+  // in O(log n) per admission/completion.
+  std::multiset<double> live_releases;
+
+  for (std::size_t lo = 0; lo < order.size();) {
+    // The event's decision point is the batch's first release; with
+    // epoch > 0 every arrival within `epoch` of it joins the batch.
+    // epoch = 0 reduces to equal-release grouping exactly: releases
+    // ascend, so `<= now + 0` is `== now`.
+    const double now = flows[order[lo]].release;
+    std::size_t hi = lo;
+    while (hi < order.size() &&
+           flows[order[hi]].release <= now + options.epoch) {
+      ++hi;
+    }
+    ++out.num_events;
+    const auto event_start = std::chrono::steady_clock::now();
+    // Every arrival in the batch is charged the event's full wall
+    // clock — the decision latency a caller of admission would see.
+    auto record_latency = [&] {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - event_start)
+                            .count();
+      for (std::size_t k = lo; k < hi; ++k) {
+        out.decision_latency_ms.push_back(ms);
+      }
+    };
+
+    // Completions since the previous event: pop the index prefix with
+    // deadline <= now and release the departed flows' warm state. The
+    // index held exactly the flows in flight after the previous event,
+    // so the popped deadlines are exactly the completions strictly
+    // inside (previous event, now]; the latest one seeds the
+    // departures-only fast path below.
+    double depart = -std::numeric_limits<double>::infinity();
+    while (!active.empty() && active.begin()->first <= now) {
+      const std::size_t done = active.begin()->second;
+      depart = active.begin()->first;
+      active.erase(active.begin());
+      live_releases.erase(live_releases.find(flows[done].release));
+      warm[done] = {};
+      warm_atoms[done] = {};
+    }
+    // Departed history is dead weight for every future probe (batch
+    // spans start at or after `now`, live spans at or after the
+    // earliest live release): advance the low-water mark and let the
+    // index fold it away. This pruning is what keeps probe cost flat
+    // as the trace grows instead of scaling with every flow ever seen.
+    load.advance_low_water(
+        live_releases.empty() ? now : std::min(now, *live_releases.begin()));
+
+    // Warm-state hygiene (audit mode): at every event exit, only
+    // admitted in-flight flows may hold warm rows or path atoms — a
+    // rejected or departed flow keeping either would leak carried
+    // state and corrupt a later re-solve (the rows route a density the
+    // residual problem no longer contains).
+    auto audit_warm_state = [&] {
+      if (!options.audit_load_index) return;
+      std::vector<char> in_flight(flows.size(), 0);
+      for (const auto& [deadline, i] : active) {
+        (void)deadline;
+        in_flight[i] = 1;
+      }
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (in_flight[i]) continue;
+        DCN_ENSURES(warm[i].empty());
+        DCN_ENSURES(warm_atoms[i].empty());
+      }
+    };
+
+    // Departures-only fast path. The completions changed the carried
+    // problem by removal only: the surviving warm rows stay feasible
+    // and close to optimal, so a full relaxation at the completion
+    // point would be wasted. Instead the latest completion time gets a
+    // single gap check — a one-iteration warm re-solve that certifies
+    // the rows when they are still within tolerance and otherwise
+    // sheds one step of mass onto the capacity the departures freed —
+    // so this event's full re-solve starts from rows adapted to the
+    // post-departure network.
+    if (options.departures_fast_path && std::isfinite(depart) &&
+        !active.empty()) {
+      std::vector<Flow> survivors;
+      std::vector<std::size_t> surviving;
+      std::vector<SparseEdgeFlow> gap_rows;
+      std::vector<AtomSet> gap_atoms;
+      survivors.reserve(active.size());
+      // The gap check is a re-solve like any other: with a finite
+      // lookahead its survivors are clipped to [depart, depart + W] at
+      // their original densities (no admission happens here, so the
+      // window only shrinks the interval decomposition).
+      const double gap_horizon =
+          options.lookahead_window > 0.0
+              ? depart + options.lookahead_window
+              : std::numeric_limits<double>::infinity();
+      for (const auto& [deadline, i] : active) {
+        Flow res = flows[i];
+        res.volume = residual_volume(i, depart);
+        if (rerated[i] &&
+            res.volume <= 1e-12 * std::max(1.0, flows[i].volume)) {
+          // A re-rated flow accelerated to completion before its
+          // deadline: nothing left to optimize for it.
+          continue;
+        }
+        res.id = static_cast<FlowId>(survivors.size());
+        res.release = depart;
+        if (res.deadline > gap_horizon) {
+          // The untouched branch keeps the plain loop's expression bit
+          // for bit; a re-rated profile is not flat, so its clipped
+          // volume is the window's share of the remainder.
+          res.volume = rerated[i]
+                           ? res.volume *
+                                 ((gap_horizon - depart) / (deadline - depart))
+                           : flows[i].density() * (gap_horizon - depart);
+          res.deadline = gap_horizon;
+        }
+        survivors.push_back(res);
+        surviving.push_back(i);
+        gap_rows.push_back(warm[i]);
+        gap_atoms.push_back(std::move(warm_atoms[i]));
+      }
+      RelaxationOptions gap_options = options.rounding.relaxation;
+      gap_options.frank_wolfe.max_iterations = 1;
+      gap_options.frank_wolfe.step_rule = options.warm_step_rule;
+      FractionalRelaxation check = solve_relaxation(
+          g, survivors, model, gap_options, &workspace, &gap_rows, &gap_atoms);
+      ++out.departure_gap_checks;
+      out.gap_check_iterations += check.total_fw_iterations;
+      out.fw_stats += check.fw_stats;
+      for (std::size_t r = 0; r < survivors.size(); ++r) {
+        if (rerated[surviving[r]]) continue;  // stays cold (see `rerated`)
+        warm[surviving[r]] = std::move(check.final_flow[r]);
+        warm_atoms[surviving[r]] = std::move(check.final_atoms[r]);
+      }
+    }
+
+    // Residual problem: admitted flows still in flight (at their
+    // original densities — the density schedule leaves the residual
+    // density invariant), straight off the index in deadline order,
+    // then the arriving batch.
+    std::vector<Flow> residual;
+    std::vector<std::size_t> orig;
+    std::vector<const Path*> forced;
+    residual.reserve(active.size() + (hi - lo));
+    for (const auto& [deadline, i] : active) {
+      (void)deadline;
+      Flow res = flows[i];
+      res.volume = residual_volume(i, now);
+      if (rerated[i] && res.volume <= 1e-12 * std::max(1.0, flows[i].volume)) {
+        continue;  // accelerated to completion; nothing left to carry
+      }
+      res.id = static_cast<FlowId>(residual.size());
+      res.release = now;
+      residual.push_back(res);
+      orig.push_back(i);
+      forced.push_back(&out.schedule.flows[i].path);
+    }
+    const std::size_t first_new = residual.size();
+    for (std::size_t k = lo; k < hi; ++k) {
+      Flow res = flows[order[k]];
+      if (!reachable.routable(res.src, res.dst)) {
+        // No route at all: reject here rather than crash the routing
+        // oracle inside the relaxation.
+        ++out.num_rejected;
+        continue;
+      }
+      res.id = static_cast<FlowId>(residual.size());
+      residual.push_back(res);
+      orig.push_back(order[k]);
+      forced.push_back(nullptr);
+    }
+    if (residual.empty()) {  // nothing in flight, no routable arrival
+      audit_warm_state();
+      record_latency();
+      lo = hi;
+      continue;
+    }
+
+    // Warm-started incremental re-solve over the shifted horizon. With
+    // warm mass carried (any admitted flow still in flight) the solve
+    // steps with the warm rule — pairwise Frank-Wolfe sheds the rows'
+    // mass that the arrivals made suboptimal in a handful of steps —
+    // while an all-new event (the first one in particular) keeps the
+    // configured rule, so the all-at-t=0 case stays bit-identical to
+    // offline dcfsr.
+    std::vector<SparseEdgeFlow> warm_rows(residual.size());
+    std::vector<AtomSet> warm_atom_rows(residual.size());
+    for (std::size_t r = 0; r < residual.size(); ++r) {
+      warm_rows[r] = warm[orig[r]];
+      warm_atom_rows[r] = std::move(warm_atoms[orig[r]]);
+    }
+    // Interval-windowed relaxation: flows whose deadlines lie past
+    // now + W enter the *relaxation* clipped to the window at their
+    // original densities — the rounding below still accepts/rejects
+    // against the true spans, so the window affects solve cost, never
+    // admission soundness. When no flow reaches past the horizon
+    // (W = 0, or a window covering every residual span) the relaxation
+    // sees the identical vector, keeping those cases bit-for-bit.
+    const std::vector<Flow>* relax_flows = &residual;
+    std::vector<Flow> clipped;
+    if (options.lookahead_window > 0.0) {
+      const double horizon = now + options.lookahead_window;
+      bool any_clipped = false;
+      for (const Flow& fl : residual) {
+        if (fl.deadline > horizon && fl.release < horizon) {
+          any_clipped = true;
+          break;
+        }
+      }
+      if (any_clipped) {
+        clipped = residual;
+        for (Flow& fl : clipped) {
+          // An epoch-batched arrival releasing at or past the horizon
+          // keeps its true span (clipping would invert it).
+          if (fl.deadline > horizon && fl.release < horizon) {
+            fl.volume = fl.density() * (horizon - fl.release);
+            fl.deadline = horizon;
+          }
+        }
+        relax_flows = &clipped;
+      }
+    }
+    RelaxationOptions relax_options = options.rounding.relaxation;
+    if (first_new > 0) {
+      relax_options.frank_wolfe.step_rule = options.warm_step_rule;
+    }
+    FractionalRelaxation relax =
+        solve_relaxation(g, *relax_flows, model, relax_options, &workspace,
+                         &warm_rows, &warm_atom_rows);
+    ++out.resolves;
+    out.fw_iterations += relax.total_fw_iterations;
+    out.fw_stats += relax.fw_stats;
+    if (out.resolves == 1) out.first_lower_bound = relax.lower_bound_energy;
+    for (std::size_t r = 0; r < residual.size(); ++r) {
+      if (rerated[orig[r]]) {
+        // A re-rated flow's residual density drifts between events
+        // (its committed profile is not flat), so rows routing this
+        // event's density are stale at the next one: re-enter cold.
+        warm[orig[r]] = {};
+        warm_atoms[orig[r]] = {};
+        continue;
+      }
+      warm[orig[r]] = std::move(relax.final_flow[r]);
+      warm_atoms[orig[r]] = std::move(relax.final_atoms[r]);
+    }
+
+    // After this event's admissions the index must hold every admitted
+    // in-flight flow, and rejected arrivals must not keep warm state.
+    auto admit_into_index = [&](std::size_t i) {
+      active.emplace(flows[i].deadline, i);
+      live_releases.insert(flows[i].release);
+    };
+    auto release_rejected = [&](std::size_t i) {
+      warm[i] = {};
+      warm_atoms[i] = {};
+    };
+
+    // Places arrival `r` (residual index) against the committed load:
+    // the per-flow rounding attempts of the admission fallback, then —
+    // with allow_rerate — deterministic re-rate attempts over the
+    // highest-weight candidate paths. Shared by the fallback loop and
+    // the re-rate mode's joint-path verification below; with
+    // allow_rerate off this is exactly the historical fallback body
+    // (same rng consumption, same counters).
+    std::vector<double> weights;
+    auto place_arrival = [&](std::size_t r) -> bool {
+      const std::size_t i = orig[r];
+      const Flow& fl = flows[i];
+      for (std::int32_t attempt = 0;
+           attempt < options.rounding.max_rounding_attempts; ++attempt) {
+        ++out.rounding_attempts;
+        const Path& path = draw_path(relax.candidates[r], rng, weights);
+        if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+          commit(out, load, i, path, {{fl.span(), fl.density()}});
+          admit_into_index(i);
+          return true;
+        }
+      }
+      if (!options.allow_rerate) return false;
+      // Re-rate attempts: the flow does not fit against the committed
+      // load on any drawn path — try reshaping the in-flight profiles
+      // in its way, over the top-weight candidate paths (deterministic:
+      // ranked by rounding weight, no rng, at most three distinct).
+      std::vector<const WeightedPath*> ranked;
+      for (const WeightedPath& wp : relax.candidates[r].paths) {
+        ranked.push_back(&wp);
+      }
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const WeightedPath* a, const WeightedPath* b) {
+                         return a->weight > b->weight;
+                       });
+      std::size_t tried = 0;
+      for (std::size_t k = 0; k < ranked.size() && tried < 3; ++k) {
+        bool duplicate = false;
+        for (std::size_t j = 0; j < k && !duplicate; ++j) {
+          duplicate = ranked[j]->path.edges == ranked[k]->path.edges;
+        }
+        if (duplicate) continue;
+        ++tried;
+        if (try_rerate(out, load, flows, active, now, capacity, i,
+                       ranked[k]->path, rerated, warm, warm_atoms)) {
+          admit_into_index(i);
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Joint batch admission: randomized rounding with admitted flows
+    // pinned to their circuits (exactly offline Algorithm 2 when no
+    // flow is pinned, i.e. at the first event of an all-at-t=0 input).
+    RandomScheduleResult draw = round_relaxation(g, residual, model, relax, rng,
+                                                 options.rounding, &forced);
+    out.rounding_attempts += draw.rounding_attempts;
+    if (draw.capacity_feasible) {
+      if (!options.allow_rerate) {
+        for (std::size_t r = first_new; r < residual.size(); ++r) {
+          const Flow& fl = flows[orig[r]];
+          commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+                 {{fl.span(), fl.density()}});
+          admit_into_index(orig[r]);
+        }
+      } else {
+        // Once any flow has been re-rated the joint rounding's capacity
+        // check is no longer sound for new arrivals — the residual
+        // timeline it checks (flat residual densities) understates a
+        // reshaped profile's committed acceleration. Verify each drawn
+        // path against the index before committing; while nothing has
+        // been re-rated the check never fails (the sequential probes
+        // see a subset of the joint timeline under the same slack), so
+        // admissions match the plain loop exactly.
+        std::vector<std::size_t> leftover;
+        for (std::size_t r = first_new; r < residual.size(); ++r) {
+          const Flow& fl = flows[orig[r]];
+          const Path& path = draw.schedule.flows[r].path;
+          if (rate_fits(load, path, fl.span(), fl.density(), capacity)) {
+            commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+                   {{fl.span(), fl.density()}});
+            admit_into_index(orig[r]);
+          } else {
+            leftover.push_back(r);
+          }
+        }
+        for (const std::size_t r : leftover) {
+          if (!place_arrival(r)) {
+            ++out.num_rejected;
+            release_rejected(orig[r]);
+          }
+        }
+      }
+      out.peak_in_flight = std::max(out.peak_in_flight,
+                                    static_cast<std::int32_t>(active.size()));
+      audit_warm_state();
+      record_latency();
+      lo = hi;
+      continue;
+    }
+
+    // Joint admission failed within the attempt budget: fall back to
+    // admitting the batch one flow at a time, each against the
+    // committed load only — so one unroutable elephant cannot veto an
+    // entire batch of mice. The default order is RCD-style
+    // close-to-deadline first (ties: denser first, then id): urgent,
+    // hard-to-place flows draw their paths while the committed load is
+    // lightest, instead of whichever flows happened to get low ids.
+    ++out.batch_fallbacks;
+    std::vector<std::size_t> fallback_order;
+    for (std::size_t r = first_new; r < residual.size(); ++r) {
+      fallback_order.push_back(r);
+    }
+    if (options.fallback_order == FallbackAdmissionOrder::kDeadlineDensity) {
+      std::sort(fallback_order.begin(), fallback_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return rcd_before(flows[orig[a]], flows[orig[b]]);
+                });
+    }
+    for (const std::size_t r : fallback_order) {
+      if (!place_arrival(r)) {
+        ++out.num_rejected;
+        release_rejected(orig[r]);
+      }
+    }
+    out.peak_in_flight = std::max(out.peak_in_flight,
+                                  static_cast<std::int32_t>(active.size()));
+    audit_warm_state();
+    record_latency();
+    lo = hi;
+  }
+  out.peak_live_segments = load.peak_live_segments();
+  out.load_segments_pruned = load.segments_pruned();
+  return out;
+}
+
+}  // namespace dcn

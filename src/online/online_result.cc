@@ -1,0 +1,27 @@
+// Result-shaping utilities of the online layer.
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "online/online_scheduler.h"
+
+namespace dcn {
+
+std::pair<std::vector<Flow>, Schedule> admitted_subset(
+    const std::vector<Flow>& flows, const Schedule& schedule,
+    const std::vector<bool>& admitted) {
+  DCN_EXPECTS(schedule.flows.size() == flows.size());
+  DCN_EXPECTS(admitted.size() == flows.size());
+  std::vector<Flow> sub_flows;
+  Schedule sub_schedule;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!admitted[i]) continue;
+    Flow fl = flows[i];
+    fl.id = static_cast<FlowId>(sub_flows.size());
+    sub_flows.push_back(fl);
+    sub_schedule.flows.push_back(schedule.flows[i]);
+  }
+  return {std::move(sub_flows), std::move(sub_schedule)};
+}
+
+}  // namespace dcn

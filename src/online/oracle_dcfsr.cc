@@ -1,0 +1,154 @@
+// The hindsight admission oracle (see online_scheduler.h): offline
+// dcfsr over the whole trace with admission control, the denominator of
+// bench_online's empirical competitive ratios.
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "mcf/relaxation.h"
+#include "online/admission_core.h"
+#include "online/load_index.h"
+#include "online/online_scheduler.h"
+
+namespace dcn {
+
+using online_impl::commit;
+using online_impl::density_before;
+using online_impl::peak_overlap;
+using online_impl::rate_fits;
+using online_impl::rcd_before;
+using online_impl::ReachabilityCache;
+
+OnlineResult oracle_dcfsr(const Graph& g, const std::vector<Flow>& flows,
+                          const PowerModel& model, Rng& rng,
+                          const OnlineOptions& options) {
+  validate_flows(g, flows);
+  OnlineResult out;
+  out.schedule.flows.resize(flows.size());
+  out.admitted.assign(flows.size(), false);
+  if (flows.empty()) return out;
+  out.num_events = 1;
+  const double capacity = model.capacity();
+  // One batch, nothing ever departs: the index is never pruned here —
+  // the oracle only uses its cached probes (and audit shadow).
+  EdgeLoadIndex load(g.num_edges(), options.audit_load_index);
+
+  // Connectivity screen: unroutable flows are rejections, never fed to
+  // the relaxation. The common all-routable case keeps the original
+  // vector, so the joint-feasible trajectory below stays bit-identical
+  // to offline dcfsr.
+  ReachabilityCache reachable(g);
+  std::vector<std::size_t> orig;
+  orig.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (reachable.routable(flows[i].src, flows[i].dst)) {
+      orig.push_back(i);
+    } else {
+      ++out.num_rejected;
+    }
+  }
+  if (orig.empty()) return out;
+  std::vector<Flow> sub;
+  const std::vector<Flow>* trace = &flows;
+  if (orig.size() != flows.size()) {
+    sub.reserve(orig.size());
+    for (const std::size_t i : orig) {
+      Flow fl = flows[i];
+      fl.id = static_cast<FlowId>(sub.size());
+      sub.push_back(fl);
+    }
+    trace = &sub;
+  }
+
+  // One relaxation over the whole trace at its true spans — exactly the
+  // offline Algorithm 2 relaxation (cold start, whatever step rule the
+  // caller configured), so with matching options the joint-feasible
+  // case reproduces offline dcfsr bit for bit on the shared rng stream.
+  const FractionalRelaxation relax =
+      solve_relaxation(g, *trace, model, options.rounding.relaxation);
+  out.resolves = 1;
+  out.fw_iterations = relax.total_fw_iterations;
+  out.fw_stats = relax.fw_stats;
+  out.first_lower_bound = relax.lower_bound_energy;
+
+  RandomScheduleResult draw =
+      round_relaxation(g, *trace, model, relax, rng, options.rounding);
+  out.rounding_attempts += draw.rounding_attempts;
+  if (draw.capacity_feasible) {
+    for (std::size_t r = 0; r < trace->size(); ++r) {
+      const Flow& fl = flows[orig[r]];
+      commit(out, load, orig[r], std::move(draw.schedule.flows[r].path),
+             {{fl.span(), fl.density()}});
+    }
+    out.peak_in_flight = peak_overlap(flows, out.admitted);
+    out.peak_live_segments = load.peak_live_segments();
+    return out;
+  }
+
+  // Contended hindsight: admit one flow at a time over the *whole*
+  // trace (the online loop only ever sees one event batch at a time —
+  // the oracle's edge is this global ordering plus the trace-wide
+  // relaxation candidates). A single fixed order is not a bound: under
+  // heavy contention the RCD urgency order can be beaten by the online
+  // policies it is supposed to upper-bound (cr_adm < 1). So the
+  // fallback runs twice — RCD and density-first — on copies of the
+  // same rng stream (Rng is a value type) with their own scratch load
+  // indexes, and the better admission set wins; ties keep RCD, which
+  // preserves the historical schedules whenever the orders draw equal.
+  ++out.batch_fallbacks;
+  struct OracleAttempt {
+    std::vector<std::size_t> placed;  // residual indices, placement order
+    std::vector<Path> paths;          // parallel to `placed`
+    std::int32_t rounding_attempts = 0;
+  };
+  auto run_fallback = [&](auto order_before, Rng stream) {
+    std::vector<std::size_t> fallback_order(trace->size());
+    std::iota(fallback_order.begin(), fallback_order.end(), std::size_t{0});
+    std::sort(fallback_order.begin(), fallback_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return order_before((*trace)[a], (*trace)[b]);
+              });
+    // Scratch index (no audit: the winner is re-committed through the
+    // audited outer index below, which cross-checks the same probes).
+    EdgeLoadIndex scratch(g.num_edges(), false);
+    OracleAttempt attempt_result;
+    std::vector<double> weights;
+    for (const std::size_t r : fallback_order) {
+      const Flow& fl = flows[orig[r]];
+      for (std::int32_t attempt = 0;
+           attempt < options.rounding.max_rounding_attempts; ++attempt) {
+        ++attempt_result.rounding_attempts;
+        const Path& path = draw_path(relax.candidates[r], stream, weights);
+        if (rate_fits(scratch, path, fl.span(), fl.density(), capacity)) {
+          for (const EdgeId e : path.edges) {
+            scratch.add(e, fl.span(), fl.density());
+          }
+          attempt_result.placed.push_back(r);
+          attempt_result.paths.push_back(path);
+          break;
+        }
+      }
+    }
+    return attempt_result;
+  };
+  const OracleAttempt rcd = run_fallback(rcd_before, rng);
+  const OracleAttempt dense = run_fallback(density_before, rng);
+  out.oracle_rcd_admitted = static_cast<std::int32_t>(rcd.placed.size());
+  out.oracle_density_admitted = static_cast<std::int32_t>(dense.placed.size());
+  out.rounding_attempts += rcd.rounding_attempts + dense.rounding_attempts;
+  const OracleAttempt& winner =
+      dense.placed.size() > rcd.placed.size() ? dense : rcd;
+  for (std::size_t k = 0; k < winner.placed.size(); ++k) {
+    const std::size_t r = winner.placed[k];
+    const Flow& fl = flows[orig[r]];
+    commit(out, load, orig[r], winner.paths[k], {{fl.span(), fl.density()}});
+  }
+  out.num_rejected +=
+      static_cast<std::int32_t>(trace->size() - winner.placed.size());
+  out.peak_in_flight = peak_overlap(flows, out.admitted);
+  out.peak_live_segments = load.peak_live_segments();
+  return out;
+}
+
+}  // namespace dcn

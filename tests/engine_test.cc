@@ -20,13 +20,13 @@ TEST(SolverRegistry, DefaultRegistryCarriesEveryAlgorithm) {
        {"mcf", "mcf_paper", "mcf_plain", "sp_mcf", "dcfsr", "dcfsr_classic",
         "dcfsr_mt", "ecmp_mcf", "greedy", "edf", "exact", "online_dcfsr",
         "online_dcfsr_id", "online_dcfsr_flat", "online_dcfsr_preempt",
-        "online_greedy", "oracle_dcfsr"}) {
+        "online_dcfsr_sharded", "online_greedy", "oracle_dcfsr"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     const std::unique_ptr<Solver> solver = registry.create(name);
     EXPECT_EQ(solver->name(), name);
     EXPECT_FALSE(solver->description().empty());
   }
-  EXPECT_EQ(registry.size(), 17u);
+  EXPECT_EQ(registry.size(), 18u);
 }
 
 TEST(SolverRegistry, UnknownSolverThrowsWithCatalogue) {

@@ -1,0 +1,114 @@
+// The event-stream seam of the online service, pinned differentially.
+//
+// The service never materializes its trace: PoissonEventStream must
+// emit — flow for flow, field for field — exactly what poisson_workload
+// would have materialized from the same scenario rng state, and
+// TraceEventStream must hand a materialized trace out in the event
+// loop's (release, id) arrival order. ScenarioSuite::build_topology is
+// the bridge: it returns the scenario rng advanced past the topology
+// draw, i.e. the precise state the workload factory would have
+// received.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "flow/workload.h"
+#include "online/event_stream.h"
+
+namespace dcn::engine {
+namespace {
+
+class EventStreamTest : public ::testing::Test {
+ protected:
+  const ScenarioSuite& suite_ = ScenarioSuite::default_suite();
+};
+
+TEST_F(EventStreamTest, PoissonStreamEmitsTheMaterializedTrace) {
+  // Every online workload family, several seeds: pulls equal the
+  // materialized instance's flows exactly (Flow has defaulted ==, so
+  // this is field-for-field float identity), then the stream exhausts.
+  const struct {
+    const char* spec;
+    SizeModel model;
+  } families[] = {{"fat_tree/poisson", SizeModel::kFixed},
+                  {"leaf_spine/websearch", SizeModel::kWebSearch},
+                  {"fat_tree/hadoop", SizeModel::kHadoop}};
+  for (const auto& [spec, model] : families) {
+    for (const std::uint64_t seed : {1, 2, 7}) {
+      ScenarioOptions scen;
+      scen.num_flows = 25;
+      scen.arrival_rate = 3.0;
+      const Instance instance = suite_.build(spec, seed, scen);
+
+      auto [topo, rng] = suite_.build_topology(spec, seed);
+      PoissonEventStream stream(topo, online_workload_params(scen, model),
+                                rng, scen.num_flows);
+      std::vector<Flow> pulled;
+      while (auto next = stream.next()) pulled.push_back(*next);
+      ASSERT_EQ(pulled.size(), instance.flows().size())
+          << spec << " seed " << seed;
+      for (std::size_t i = 0; i < pulled.size(); ++i) {
+        EXPECT_EQ(pulled[i], instance.flows()[i])
+            << spec << " seed " << seed << " flow " << i;
+      }
+      EXPECT_FALSE(stream.next().has_value());
+    }
+  }
+}
+
+TEST_F(EventStreamTest, PoissonStreamLimitTruncatesWithoutPerturbing) {
+  // A shorter limit is a strict prefix: synthesizing fewer arrivals
+  // must not disturb the ones emitted (the service's --arrivals knob).
+  const char* spec = "fat_tree/poisson";
+  ScenarioOptions scen;
+  scen.num_flows = 20;
+
+  auto [topo_full, rng_full] = suite_.build_topology(spec, 3);
+  PoissonEventStream full(topo_full, online_workload_params(scen, SizeModel::kFixed),
+                          rng_full, 20);
+  std::vector<Flow> all;
+  while (auto next = full.next()) all.push_back(*next);
+  ASSERT_EQ(all.size(), 20u);
+
+  auto [topo_short, rng_short] = suite_.build_topology(spec, 3);
+  PoissonEventStream truncated(
+      topo_short, online_workload_params(scen, SizeModel::kFixed), rng_short,
+      7);
+  std::vector<Flow> prefix;
+  while (auto next = truncated.next()) prefix.push_back(*next);
+  ASSERT_EQ(prefix.size(), 7u);
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i], all[i]) << "flow " << i;
+  }
+}
+
+TEST_F(EventStreamTest, TraceStreamHandsOutArrivalOrder) {
+  // A deliberately shuffled trace with a release tie: the stream must
+  // emit (release, id) order — the flat event loop's arrival order.
+  std::vector<Flow> flows(4);
+  flows[0] = {0, 0, 1, 1.0, 5.0, 8.0};
+  flows[1] = {1, 1, 2, 1.0, 1.0, 4.0};
+  flows[2] = {2, 2, 3, 1.0, 5.0, 9.0};  // release tie with id 0
+  flows[3] = {3, 3, 4, 1.0, 0.5, 3.0};
+  TraceEventStream stream(flows);
+
+  std::vector<FlowId> order;
+  double last_release = 0.0;
+  while (auto next = stream.next()) {
+    EXPECT_GE(next->release, last_release);
+    last_release = next->release;
+    order.push_back(next->id);
+  }
+  EXPECT_EQ(order, (std::vector<FlowId>{3, 1, 0, 2}));
+}
+
+TEST_F(EventStreamTest, EmptyTraceStreamIsImmediatelyExhausted) {
+  TraceEventStream stream({});
+  EXPECT_FALSE(stream.next().has_value());
+}
+
+}  // namespace
+}  // namespace dcn::engine

@@ -327,11 +327,18 @@ TEST(EdgeLoadIndex, AuditModeCrossChecksEveryProbeAndCountsHealth) {
   EXPECT_GT(index.peak_live_segments(), 0);
   EXPECT_EQ(index.segments_pruned(), 0);  // never pruned yet
   // Prune everything strictly before t=6; probes at/after stay valid
-  // and audited (the shadow is never pruned — the cross-check IS the
-  // pruning correctness assertion).
+  // and audited (the shadow folds its own prefix at the same mark via
+  // StepFunction::drop_before, so the cross-check keeps running against
+  // the same naive fold while staying memory-bounded).
   index.advance_low_water(6.0);
   EXPECT_EQ(index.low_water(), 6.0);
   EXPECT_GT(index.segments_pruned(), 0);
+  for (std::size_t e = 0; e < 2; ++e) {
+    // The shadow actually shrank: strictly fewer breakpoints than the
+    // unpruned naive function it still agrees with at/after the mark.
+    EXPECT_LT((*index.shadow())[e].breakpoint_count(),
+              reference[e].breakpoint_count());
+  }
   for (int probe = 0; probe < 40; ++probe) {
     const EdgeId e = static_cast<EdgeId>(rng.uniform_int(0, 1));
     const double t = rng.uniform(6.0, 14.0);

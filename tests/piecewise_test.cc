@@ -193,6 +193,45 @@ TEST_P(StepFunctionPropertyTest, PowerIntegralIsSuperadditiveUnderMerging) {
             fast.integrate_transformed({0.0, 20.0}, square));
 }
 
+TEST_P(StepFunctionPropertyTest, DropBeforePreservesProbesAtOrAfterTheCut) {
+  // drop_before folds the pre-cut prefix in ascending order — the
+  // exact partial fold every probe performs — so probes at or after the
+  // last folded breakpoint are bitwise those of the unpruned function,
+  // while the breakpoint count strictly shrinks. This is the bound on
+  // the audit shadow's growth in long soaks.
+  Rng rng(GetParam() ^ 0x5117);
+  StepFunction pruned, reference;
+  for (int i = 0; i < 60; ++i) {
+    double a = rng.uniform(0.0, 40.0);
+    double b = a + rng.uniform(0.1, 5.0);
+    const double delta = rng.uniform(-2.0, 3.0);
+    pruned.add({a, b}, delta);
+    reference.add({a, b}, delta);
+  }
+  const std::int64_t before = pruned.breakpoint_count();
+  ASSERT_GT(before, 10);
+  pruned.drop_before(20.0);
+  EXPECT_LT(pruned.breakpoint_count(), before);
+  for (int probe = 0; probe < 200; ++probe) {
+    const double t = rng.uniform(20.0, 50.0);
+    EXPECT_EQ(pruned.value_at(t), reference.value_at(t)) << t;
+    const double lo = rng.uniform(20.0, 45.0);
+    const Interval window{lo, lo + rng.uniform(0.1, 4.0)};
+    EXPECT_EQ(pruned.max_within(window), reference.max_within(window))
+        << window.lo;
+    EXPECT_EQ(pruned.integral_between(lo, window.hi),
+              reference.integral_between(lo, window.hi))
+        << lo;
+  }
+  // Monotone and idempotent like LoadProfile::prune_before; dropping
+  // past every breakpoint leaves at most the carried fold.
+  const std::int64_t after = pruned.breakpoint_count();
+  pruned.drop_before(20.0);
+  EXPECT_EQ(pruned.breakpoint_count(), after);
+  pruned.drop_before(1000.0);
+  EXPECT_LE(pruned.breakpoint_count(), 1);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, StepFunctionPropertyTest,
                          ::testing::Values(7u, 11u, 19u, 23u, 42u));
 

@@ -125,7 +125,10 @@ def compare(old: dict, new: dict, fail_over: list[str]) -> int:
 
     Each gate is "REGEX:PCT": any case in `new` matching REGEX that also
     exists in `old` fails the comparison when its real time regressed by
-    more than PCT percent.
+    more than PCT percent. A gate whose only matches are cases missing
+    from the baseline snapshot (freshly-landed benchmarks that have not
+    been recorded yet) warns and skips instead of failing: the first
+    capture after a new tracked case lands must not break the trend job.
     """
     gates = []
     for spec in fail_over:
@@ -136,7 +139,8 @@ def compare(old: dict, new: dict, fail_over: list[str]) -> int:
             threshold = None
         if not sep or not pattern or threshold is None:
             raise SystemExit(f"--fail-over expects REGEX:PCT, got {spec!r}")
-        gates.append([re.compile(pattern), threshold, 0])
+        # [pattern, threshold, compared matches, new-only matches]
+        gates.append([re.compile(pattern), threshold, 0, 0])
 
     old_points = {p["name"]: p for p in old["points"]}
     width = max((len(n) for n in old_points), default=0) + 2
@@ -145,13 +149,16 @@ def compare(old: dict, new: dict, fail_over: list[str]) -> int:
         name = point["name"]
         if name not in old_points:
             print(f"{name:{width}s} (new case)")
+            for gate in gates:
+                if gate[0].search(name):
+                    gate[3] += 1
             continue
         before = old_points[name]["real_time_ms"]
         after = point["real_time_ms"]
         speedup = before / after if after > 0 else float("inf")
         verdict = ""
         for gate in gates:
-            pattern, pct, _ = gate
+            pattern, pct, _, _ = gate
             if not pattern.search(name):
                 continue
             gate[2] += 1
@@ -162,13 +169,23 @@ def compare(old: dict, new: dict, fail_over: list[str]) -> int:
             f"{name:{width}s} {before:12.2f} ms -> {after:12.2f} ms"
             f"   {speedup:6.2f}x{verdict}"
         )
-    # A gate that matched nothing is a silently-vanished gate (renamed
-    # case, over-narrow benchmark filter): fail loudly instead.
-    for pattern, _, matches in gates:
-        if matches == 0:
-            print(f"--fail-over gate '{pattern.pattern}' matched no compared case",
-                  file=sys.stderr)
-            failed = 1
+    # A gate that matched nothing compared is either a silently-vanished
+    # gate (renamed case, over-narrow benchmark filter — fail loudly) or
+    # a gate over a case the baseline has not recorded yet (warn, skip:
+    # the next snapshot capture establishes the baseline).
+    for pattern, _, matches, new_only in gates:
+        if matches > 0:
+            continue
+        if new_only > 0:
+            print(
+                f"--fail-over gate '{pattern.pattern}' matched only "
+                f"{new_only} case(s) missing from the baseline snapshot; "
+                "skipping until a baseline is recorded",
+                file=sys.stderr)
+            continue
+        print(f"--fail-over gate '{pattern.pattern}' matched no compared case",
+              file=sys.stderr)
+        failed = 1
     return failed
 
 

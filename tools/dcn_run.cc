@@ -31,11 +31,163 @@
 //   --canonical        dump the full canonical result (for diffing)
 //   --list             list solvers and scenarios, then exit
 //
-// Exit status: 0 when every cell produced a replay-validated schedule.
+// Sustained-stream service mode (--serve): instead of a batch grid,
+// runs the sharded always-on scheduler over a pull-based Poisson
+// arrival stream — the trace is synthesized on demand and never
+// materialized, so 100k+ arrivals run in bounded memory. The stream
+// reproduces, flow for flow, the trace the scenario would materialize
+// with the same seed and knobs, and the scheduler consumes the same
+// rng stream as the online_dcfsr_sharded batch solver.
+//
+//   dcn_run --serve --scenario fat_tree8/poisson --seed 1
+//           --arrivals 100000 --rate 8 --capacity 3 --flush-every 10000
+//
+// Serve flags (plus --seed/--flows-family knobs above where noted):
+//   --arrivals n       arrivals to stream                  [10000]
+//   --shards n         shard lanes (0 = one per source group) [0]
+//   --workers n        phase-A threads (0 = hardware)      [0]
+//   --epoch x          admission epoch                     [0.5]
+//   --window x         lookahead window                    [2]
+//   --flush-every n    arrivals between stats flushes (0 = off) [10000]
+//   --rerate           enable deadline-safe re-rating
+//   --audit            load-index audit shadow + warm-state sweeps (slow)
+//
+// Exit status: 0 when every cell produced a replay-validated schedule
+// (batch mode) / the stream drained (serve mode).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/batch_runner.h"
 #include "engine/cli.h"
+#include "online/event_stream.h"
+#include "online/sharded.h"
+
+namespace {
+
+double latency_percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[idx];
+}
+
+int run_serve(const dcn::cli::Args& args,
+              const dcn::engine::ScenarioSuite& suite) {
+  using namespace dcn;
+  using namespace dcn::engine;
+
+  const std::string spec = args.get("scenario", "fat_tree8/poisson");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::int64_t arrivals = args.get_int("arrivals", 10000);
+  if (arrivals < 0) {
+    std::fprintf(stderr, "dcn_run --serve: --arrivals must be >= 0\n");
+    return 2;
+  }
+
+  const std::size_t slash = spec.find('/');
+  const std::string workload =
+      slash == std::string::npos ? "" : spec.substr(slash + 1);
+  SizeModel size_model;
+  if (workload == "poisson") {
+    size_model = SizeModel::kFixed;
+  } else if (workload == "websearch") {
+    size_model = SizeModel::kWebSearch;
+  } else if (workload == "hadoop") {
+    size_model = SizeModel::kHadoop;
+  } else {
+    std::fprintf(stderr,
+                 "dcn_run --serve: scenario workload must be an arrival "
+                 "process (poisson|websearch|hadoop), got \"%s\"\n",
+                 spec.c_str());
+    return 2;
+  }
+
+  ScenarioOptions options;
+  options.alpha = args.get_double("alpha", options.alpha);
+  options.sigma = args.get_double("sigma", options.sigma);
+  options.volume = args.get_double("volume", options.volume);
+  options.arrival_rate = args.get_double("rate", options.arrival_rate);
+  options.slack = args.get_double("slack", options.slack);
+  options.capacity = args.get_double("capacity", options.capacity);
+
+  // The registered online_dcfsr_sharded configuration (the calibrated
+  // Frank-Wolfe budget on the flat-latency options), overridable per
+  // run; --audit turns on the load-index shadow + warm-state sweeps.
+  OnlineOptions online;
+  online.rounding.relaxation.frank_wolfe.max_iterations = 12;
+  online.rounding.relaxation.frank_wolfe.gap_tolerance = 1e-3;
+  online.lookahead_window = args.get_double("window", 2.0);
+  online.epoch = args.get_double("epoch", 0.5);
+  online.allow_rerate = args.has_flag("rerate");
+  online.audit_load_index = args.has_flag("audit");
+
+  auto [topology, stream_rng] = suite.build_topology(spec, seed);
+  PoissonEventStream stream(topology,
+                            online_workload_params(options, size_model),
+                            stream_rng, arrivals);
+  const ShardPlan plan = ShardPlan::by_source_group(
+      topology, static_cast<std::int32_t>(args.get_int("shards", 0)));
+  const auto workers = static_cast<std::int32_t>(args.get_int("workers", 0));
+  const std::int64_t flush_every = args.get_int("flush-every", 10000);
+
+  std::printf(
+      "dcn_run --serve: %s seed=%llu arrivals=%lld rate=%g capacity=%g "
+      "groups=%d lanes=%d epoch=%g window=%g rerate=%d audit=%d\n",
+      spec.c_str(), static_cast<unsigned long long>(seed),
+      static_cast<long long>(arrivals), options.arrival_rate, options.capacity,
+      plan.num_groups(), plan.num_lanes(), online.epoch,
+      online.lookahead_window, online.allow_rerate ? 1 : 0,
+      online.audit_load_index ? 1 : 0);
+
+  // The batch solver's exact stream key (see engine::solver_rng): a
+  // serve run consumes the identical rng online_dcfsr_sharded would on
+  // the materialized "<spec>#<seed>" instance.
+  Rng rng(mix_seed(seed, spec + "#" + std::to_string(seed) + "|dcfsr"));
+  const PowerModel model = options.power_model();
+
+  auto on_flush = [](const StreamFlushStats& s) {
+    std::printf(
+        "serve t=%.2f arrivals=%lld admitted=%d rejected=%d completed=%lld "
+        "in_flight=%d resolves=%d p50=%.3fms p99=%.3fms live_segments=%d "
+        "pruned=%lld rss=%lldKB\n",
+        s.now, static_cast<long long>(s.arrivals), s.admitted, s.rejected,
+        static_cast<long long>(s.completed), s.in_flight, s.resolves, s.p50_ms,
+        s.p99_ms, s.peak_live_segments,
+        static_cast<long long>(s.segments_pruned),
+        static_cast<long long>(s.peak_rss_kb));
+    std::fflush(stdout);
+  };
+
+  OnlineResult result =
+      run_online_stream(topology.graph(), stream, model, rng, online, plan,
+                        workers, flush_every, on_flush,
+                        /*discard_completed=*/true);
+
+  // Deterministic counters first (byte-comparable across runs and
+  // worker counts), wall-clock and RSS on their own line.
+  std::printf(
+      "serve done: arrivals=%lld events=%d admitted=%d rejected=%d "
+      "peak_in_flight=%d resolves=%d batch_fallbacks=%d rounding_attempts=%d "
+      "rerate_commits=%d peak_live_segments=%d segments_pruned=%lld\n",
+      static_cast<long long>(result.num_admitted + result.num_rejected),
+      result.num_events, result.num_admitted, result.num_rejected,
+      result.peak_in_flight, result.resolves, result.batch_fallbacks,
+      result.rounding_attempts, result.rerate_commits,
+      result.peak_live_segments,
+      static_cast<long long>(result.load_segments_pruned));
+  std::printf("serve timings: p50=%.3f ms p99=%.3f ms peak_rss=%lld KB\n",
+              latency_percentile(result.decision_latency_ms, 0.50),
+              latency_percentile(result.decision_latency_ms, 0.99),
+              static_cast<long long>(peak_rss_kb()));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dcn;
@@ -44,6 +196,8 @@ int main(int argc, char** argv) {
 
   const SolverRegistry& registry = default_registry();
   const ScenarioSuite& suite = ScenarioSuite::default_suite();
+
+  if (args.has_flag("serve")) return run_serve(args, suite);
 
   if (args.has_flag("list")) {
     std::printf("solvers:\n");
