@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/baselines.h"
+#include "bench_util.h"
 #include "common/random.h"
 #include "dcfs/most_critical_first.h"
 #include "dcfsr/random_schedule.h"
@@ -335,4 +336,17 @@ BENCHMARK(BM_RandomScheduleFull)
 }  // namespace
 }  // namespace dcn
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so a ThreadSanitizer build can stamp the
+// JSON context: bench_to_json.py refuses such captures the same way it
+// refuses debug benchmark-library ones (TSan is a 5-15x slowdown — the
+// numbers must never fold into a tracked snapshot).
+int main(int argc, char** argv) {
+  if (DCN_BENCH_TSAN) {
+    benchmark::AddCustomContext("dcn_sanitizer", "thread");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

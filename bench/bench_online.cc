@@ -179,10 +179,14 @@ int write_json(const std::string& json_path,
 #ifndef _WIN32
   if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
 #endif
+  // dcn_sanitizer mirrors bench_micro's custom context: a TSan build's
+  // numbers must be refused by bench_to_json.py, not folded into a
+  // tracked snapshot (see bench_util.h).
   std::fprintf(f,
                "{\n  \"context\": {\"date\": \"%s\", \"host_name\": \"%s\", "
-               "\"num_cpus\": %u},\n  \"benchmarks\": [\n",
-               date, host, std::thread::hardware_concurrency());
+               "\"num_cpus\": %u%s},\n  \"benchmarks\": [\n",
+               date, host, std::thread::hardware_concurrency(),
+               DCN_BENCH_TSAN ? ", \"dcn_sanitizer\": \"thread\"" : "");
   for (std::size_t i = 0; i < json_rows.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", "

@@ -8,6 +8,22 @@
 
 #include "engine/cli.h"
 
+// Sanitizer-instrumented benchmark captures must be refusable down the
+// pipeline (tools/bench_to_json.py), exactly like debug-library ones:
+// TSan alone is a 5-15x slowdown, so such numbers are never comparable
+// to tracked Release snapshots. Benches stamp their JSON context with
+// this flag.
+#if defined(__SANITIZE_THREAD__)
+#define DCN_BENCH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DCN_BENCH_TSAN 1
+#endif
+#endif
+#ifndef DCN_BENCH_TSAN
+#define DCN_BENCH_TSAN 0
+#endif
+
 namespace dcn::bench {
 
 using Args = ::dcn::cli::Args;

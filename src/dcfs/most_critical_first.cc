@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/contracts.h"
@@ -61,18 +60,27 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
             : flows[i].volume;
   }
 
-  // Flows assigned to each link (J_e); only links used by some flow matter.
-  std::unordered_map<EdgeId, std::vector<FlowId>> link_flows;
+  // Flows assigned to each link (J_e), indexed by the dense EdgeId —
+  // iteration order is edge-ascending by construction, so no hash
+  // order can reach the schedule (dcn_lint: unordered-iter).
+  const auto num_edges = static_cast<std::size_t>(g.num_edges());
+  std::vector<std::vector<FlowId>> link_flows(num_edges);
   for (std::size_t i = 0; i < n; ++i) {
     for (EdgeId e : paths[i].edges) {
-      link_flows[e].push_back(static_cast<FlowId>(i));
+      link_flows[static_cast<std::size_t>(e)].push_back(static_cast<FlowId>(i));
     }
   }
 
+  // Deterministic link iteration order: used links, edge-ascending.
+  std::vector<EdgeId> links;
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    if (!link_flows[e].empty()) links.push_back(static_cast<EdgeId>(e));
+  }
+
   const Interval horizon = flow_horizon(flows);
-  std::unordered_map<EdgeId, IntervalSet> avail;
-  for (const auto& [e, unused] : link_flows) {
-    avail.emplace(e, IntervalSet{horizon});
+  std::vector<IntervalSet> avail(num_edges);
+  for (EdgeId e : links) {
+    avail[static_cast<std::size_t>(e)] = IntervalSet{horizon};
   }
 
   DcfsResult result;
@@ -80,12 +88,6 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
   result.rates.assign(n, 0.0);
   std::vector<bool> done(n, false);
   std::size_t remaining = n;
-
-  // Deterministic link iteration order, fixed once.
-  std::vector<EdgeId> links;
-  links.reserve(link_flows.size());
-  for (const auto& [e, fl] : link_flows) links.push_back(e);
-  std::sort(links.begin(), links.end());
 
   while (remaining > 0) {
     // Allowed time per pending flow. circuit_exact: intersect the
@@ -98,7 +100,7 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
       IntervalSet a{flows[i].span()};
       if (options.circuit_exact) {
         for (EdgeId e : paths[i].edges) {
-          a = a.intersect(avail.at(e));
+          a = a.intersect(avail[static_cast<std::size_t>(e)]);
           if (a.empty()) break;
         }
       }
@@ -121,14 +123,15 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
       std::vector<FlowId> pending;
       std::vector<const IntervalSet*> clipped;
       std::vector<IntervalSet> storage;  // paper-literal per-link clips
-      storage.reserve(link_flows[e].size());  // keep clipped pointers stable
-      for (FlowId fid : link_flows[e]) {
+      // keep clipped pointers stable
+      storage.reserve(link_flows[static_cast<std::size_t>(e)].size());
+      for (FlowId fid : link_flows[static_cast<std::size_t>(e)]) {
         const auto i = static_cast<std::size_t>(fid);
         if (done[i]) continue;
         if (options.circuit_exact) {
           clipped.push_back(&allowed[i]);
         } else {
-          IntervalSet a = avail.at(e).intersect(flows[i].span());
+          IntervalSet a = avail[static_cast<std::size_t>(e)].intersect(flows[i].span());
           if (a.empty()) {
             // Span fully booked on this link: fall back to the raw span
             // (overlap resolved by packet priorities; see header note).
@@ -166,7 +169,7 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
           // (identical whenever the allowed sets cover the window).
           double denom = options.circuit_exact
                              ? usable.measure()
-                             : avail.at(e).measure_within(window);
+                             : avail[static_cast<std::size_t>(e)].measure_within(window);
           if (denom <= 0.0) {
             // Only reachable through the span-availability fallback in
             // paper-literal mode: the link has no free time in the
@@ -197,7 +200,7 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
         const auto i = static_cast<std::size_t>(fid);
         IntervalSet job_allowed = options.circuit_exact
                                       ? allowed[i]
-                                      : avail.at(best.link).intersect(flows[i].span());
+                                      : avail[static_cast<std::size_t>(best.link)].intersect(flows[i].span());
         if (job_allowed.empty()) job_allowed = IntervalSet{flows[i].span()};
         edf_jobs.push_back(EdfJob{fid, flows[i].deadline,
                                   virtual_weight[i] / delta,
@@ -229,7 +232,7 @@ DcfsResult most_critical_first(const Graph& g, const std::vector<Flow>& flows,
       // A transmitting flow occupies every link on its path: mark the
       // execution segments busy along the whole path (step 6).
       for (EdgeId e : paths[i].edges) {
-        IntervalSet& link_avail = avail.at(e);
+        IntervalSet& link_avail = avail[static_cast<std::size_t>(e)];
         for (const Interval& seg : edf.segments[k]) {
           link_avail.subtract(seg);
         }

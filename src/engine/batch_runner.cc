@@ -1,15 +1,14 @@
 #include "engine/batch_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <exception>
 #include <memory>
-#include <thread>
 
 #include "common/contracts.h"
+#include "common/parallel.h"
 
 namespace dcn::engine {
 namespace {
@@ -26,6 +25,7 @@ void run_cell(const SolverRegistry& registry, const ScenarioSuite& suite,
   result.solver = cell.solver;
   result.seed = cell.seed;
 
+  // dcn-lint: allow(wall-clock) timing capture: elapsed_ms feeds CellResult's diagnostic column only, never canonical()
   const auto start = std::chrono::steady_clock::now();
   try {
     const Instance instance =
@@ -39,6 +39,7 @@ void run_cell(const SolverRegistry& registry, const ScenarioSuite& suite,
     result.error = e.what();
   }
   result.elapsed_ms =
+      // dcn-lint: allow(wall-clock) timing capture: end of the elapsed_ms window opened above
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 start)
           .count();
@@ -127,18 +128,13 @@ BatchResult run_batch(const SolverRegistry& registry, const ScenarioSuite& suite
       run_cell(registry, suite, spec, grid[i], result.cells[i]);
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (std::size_t i = next.fetch_add(1); i < grid.size();
-           i = next.fetch_add(1)) {
-        run_cell(registry, suite, spec, grid[i], result.cells[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    const std::size_t workers = std::min(jobs, grid.size());
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    // WorkerPool claims cells from its atomic task counter; every cell
+    // writes into its own slot, so the outcome is independent of how
+    // cells land on workers (and TSan-vetted, unlike an ad-hoc pool).
+    WorkerPool pool(std::min(jobs, grid.size()));
+    pool.run(grid.size(), [&](std::size_t i, std::size_t /*worker*/) {
+      run_cell(registry, suite, spec, grid[i], result.cells[i]);
+    });
   }
 
   // Serial aggregation in spec order: identical for any thread count.

@@ -9,6 +9,8 @@ bool is_valid_path(const Graph& g, const Path& path) {
   if (!g.valid_node(path.src) || !g.valid_node(path.dst)) return false;
   if (path.edges.empty()) return path.src == path.dst;
   NodeId at = path.src;
+  // Membership probes only — never iterated, so hash order cannot
+  // reach any result (dcn_lint's unordered-iter rule guards this).
   std::unordered_set<NodeId> visited{at};
   for (EdgeId e : path.edges) {
     if (!g.valid_edge(e)) return false;

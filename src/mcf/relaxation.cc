@@ -257,8 +257,10 @@ FractionalRelaxation solve_relaxation(const Graph& g, const std::vector<Flow>& f
   std::vector<std::pair<std::vector<EdgeId>, double>> sorted;
   for (std::size_t i = 0; i < flows.size(); ++i) {
     DCN_ENSURES(!accum[i].empty());
-    sorted.assign(std::make_move_iterator(accum[i].begin()),
-                  std::make_move_iterator(accum[i].end()));
+    sorted.clear();
+    sorted.reserve(accum[i].size());
+    // dcn-lint: allow(unordered-iter) drain-then-sort: every entry lands in `sorted` and is lexicographically ordered below before any float is accumulated, so hash order cannot reach the candidates
+    for (auto& entry : accum[i]) sorted.push_back(std::move(entry));
     std::sort(sorted.begin(), sorted.end());
     double total = 0.0;
     for (const auto& [edges, w] : sorted) total += w;

@@ -92,11 +92,14 @@ OnlineResult online_dcfsr(const Graph& g, const std::vector<Flow>& flows,
       ++hi;
     }
     ++out.num_events;
+    // dcn-lint: allow(wall-clock) timing capture: decision latency, reaches SolverOutcome::timings only (never canonical)
     const auto event_start = std::chrono::steady_clock::now();
     // Every arrival in the batch is charged the event's full wall
     // clock — the decision latency a caller of admission would see.
     auto record_latency = [&] {
+      // dcn-lint: allow(wall-clock) timing capture: closes the decision-latency window opened at event_start
       const double ms = std::chrono::duration<double, std::milli>(
+                            // dcn-lint: allow(wall-clock) timing capture: same latency read (continuation)
                             std::chrono::steady_clock::now() - event_start)
                             .count();
       for (std::size_t k = lo; k < hi; ++k) {

@@ -46,10 +46,13 @@ OnlineResult online_greedy(const Graph& g, const std::vector<Flow>& flows,
   double last_release = flows[order.front()].release - 1.0;
   for (const std::size_t i : order) {
     const Flow& fl = flows[i];
+    // dcn-lint: allow(wall-clock) timing capture: decision latency, reaches SolverOutcome::timings only (never canonical)
     const auto event_start = std::chrono::steady_clock::now();
     auto record_latency = [&] {
       out.decision_latency_ms.push_back(
+          // dcn-lint: allow(wall-clock) timing capture: closes the decision-latency window opened at event_start
           std::chrono::duration<double, std::milli>(
+              // dcn-lint: allow(wall-clock) timing capture: same latency read (continuation)
               std::chrono::steady_clock::now() - event_start)
               .count());
     };

@@ -417,6 +417,7 @@ void ShardedScheduler::audit_warm_state() const {
 void ShardedScheduler::process_batch(double now,
                                      const std::vector<Flow>& batch) {
   ++out_.num_events;
+  // dcn-lint: allow(wall-clock) timing capture: decision latency, reaches SolverOutcome::timings only (never canonical)
   const auto event_start = std::chrono::steady_clock::now();
 
   const std::size_t base = flows_.size();
@@ -485,7 +486,9 @@ void ShardedScheduler::process_batch(double now,
 
   out_.peak_in_flight = std::max(out_.peak_in_flight, in_flight());
   audit_warm_state();
+  // dcn-lint: allow(wall-clock) timing capture: closes the decision-latency window opened at event_start
   const double ms = std::chrono::duration<double, std::milli>(
+                        // dcn-lint: allow(wall-clock) timing capture: same latency read (continuation)
                         std::chrono::steady_clock::now() - event_start)
                         .count();
   for (std::size_t k = 0; k < batch.size(); ++k) {

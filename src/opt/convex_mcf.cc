@@ -13,9 +13,11 @@ namespace dcn {
 
 namespace {
 
+// dcn-lint: allow(wall-clock) timing capture: phase wall clocks feed FrankWolfeStats only — surfaced by the benches, excluded from canonical output
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
+  // dcn-lint: allow(wall-clock) timing capture: the single clock read behind every FrankWolfeStats phase timer
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 

@@ -103,7 +103,9 @@ struct EnvelopeCostSpec {
 struct ConvexMcfProblem {
   const Graph* graph = nullptr;
   std::vector<Commodity> commodities;
+  // dcn-lint: allow(std-function-hot) problem-definition callbacks: only the generic fallback calls them per edge; the hot loops take EnvelopeCostSpec's analytic path (PR 6)
   std::function<double(double)> cost;
+  // dcn-lint: allow(std-function-hot) same problem-definition callback as `cost`
   std::function<double(double)> cost_derivative;
   double min_edge_weight = 1e-9;
   /// Optional analytic fast path. When set, it MUST describe the same

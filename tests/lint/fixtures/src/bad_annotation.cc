@@ -1,0 +1,23 @@
+// Known-bad fixture: suppression annotations that must themselves be
+// rejected — an allow() with no reason, an unknown rule name, and a
+// malformed annotation. A reasonless allow is how silent suppressions
+// creep in; the lint requires every one to argue its case.
+#include <chrono>
+
+double reasonless() {
+  // dcn-lint: allow(wall-clock)
+  const auto t0 = std::chrono::steady_clock::now();  // still BAD: allow above has no reason
+  return t0.time_since_epoch().count();
+}
+
+double unknown_rule() {
+  // dcn-lint: allow(made-up-rule) this rule does not exist
+  const auto t0 = std::chrono::steady_clock::now();  // still BAD: allow names unknown rule
+  return t0.time_since_epoch().count();
+}
+
+double malformed() {
+  // dcn-lint: suppress wall-clock please
+  const auto t0 = std::chrono::steady_clock::now();  // still BAD: not the allow() grammar
+  return t0.time_since_epoch().count();
+}

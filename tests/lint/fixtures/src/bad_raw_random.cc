@@ -1,0 +1,19 @@
+// Known-bad fixture: raw std random sources in canonical code. Each
+// one either varies per run (random_device) or per standard library
+// (mt19937 + std distributions), so every line here must be flagged.
+#include <cstdlib>
+#include <random>
+
+int libc_rand() {
+  return rand();  // BAD: hidden global state
+}
+
+unsigned hardware_entropy() {
+  std::random_device device;  // BAD: non-deterministic by definition
+  return device();
+}
+
+double std_engine() {
+  std::mt19937 engine(42);  // BAD: bypasses the seeded dcn::Rng
+  return static_cast<double>(engine());
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture: ad-hoc threading outside common/parallel. Raw
+// threads bypass the WorkerPool's deterministic task claiming and its
+// TSan-vetted synchronization; detached threads outlive any barrier.
+#include <future>
+#include <thread>
+
+void spawn_raw_worker() {
+  std::thread worker([] {});  // BAD: ad-hoc thread
+  worker.join();
+}
+
+void fire_and_forget() {
+  std::thread background([] {});
+  background.detach();  // BAD: unjoinable work
+}
+
+int async_compute() {
+  auto result = std::async([] { return 7; });  // BAD: hidden thread
+  return result.get();
+}

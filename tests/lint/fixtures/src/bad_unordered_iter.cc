@@ -1,0 +1,33 @@
+// Known-bad fixture: iteration over unordered containers in canonical
+// code. dcn_lint must flag the range-for, the alias-typed iterator
+// walk, and the indexed element of a vector-of-unordered.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using Accumulator = std::unordered_map<int, double>;
+
+double hash_order_sum() {
+  std::unordered_map<int, double> weights;
+  weights[3] = 0.25;
+  weights[7] = 0.75;
+  double total = 0.0;
+  for (const auto& [key, value] : weights) {  // BAD: hash-order floats
+    total += value * static_cast<double>(key);
+  }
+  return total;
+}
+
+int first_key(const std::unordered_set<int>& members) {
+  return *members.begin();  // BAD: hash-order front element
+}
+
+double element_walk() {
+  std::vector<Accumulator> accum(4);
+  accum[0][1] = 1.0;
+  double total = 0.0;
+  for (auto it = accum[2].begin(); it != accum[2].end(); ++it) {  // BAD
+    total += it->second;
+  }
+  return total;
+}

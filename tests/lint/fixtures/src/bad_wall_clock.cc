@@ -1,0 +1,13 @@
+// Known-bad fixture: un-annotated clock reads in canonical code. Any
+// of these could leak wall time into output that must be byte-stable.
+#include <chrono>
+#include <ctime>
+
+double sneak_a_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // BAD: no annotation
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long sneak_posix_time() {
+  return static_cast<long>(time(nullptr));  // BAD: wall clock
+}

@@ -1,0 +1,20 @@
+// Known-good fixture: randomness through the seeded dcn::Rng, the way
+// every stochastic component draws it. The mentions of std::mt19937
+// and rand() in comments and string literals exercise the linter's
+// comment/string stripping — they must NOT be flagged.
+//
+// The seed engine replaced a std::mt19937 in the seed repo: xoshiro
+// is deterministic across standard libraries, rand() never was.
+
+namespace dcn {
+class Rng;
+}
+
+const char* kDocstring =
+    "randomized rounding draws from Rng, never std::random_device";
+
+double draw(dcn::Rng& rng);
+
+double sample(dcn::Rng& rng) {
+  return draw(rng);  /* not rand(): the Rng stream is seeded per (instance, solver) */
+}

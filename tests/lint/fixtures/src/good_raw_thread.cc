@@ -1,0 +1,24 @@
+// Known-good fixture: parallelism through WorkerPool, plus the static
+// std::thread::hardware_concurrency() query — allowed, it creates no
+// thread. Must lint clean with no annotations at all.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace dcn {
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t threads);
+  template <typename Fn>
+  void run(std::size_t num_tasks, const Fn& fn);
+};
+}  // namespace dcn
+
+std::size_t pick_worker_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void fan_out(std::vector<double>& slots) {
+  dcn::WorkerPool pool(pick_worker_count());
+  pool.run(slots.size(), [&](std::size_t i) { slots[i] = 1.0; });
+}

@@ -1,0 +1,30 @@
+// Known-good fixture: every blessed unordered-container pattern.
+// Membership probes, inserts, and keyed value access are fine without
+// any annotation; the one genuine hash-order drain is annotated with
+// a reason (the collect-then-sort idiom).
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+bool saw_before(std::unordered_set<int>& visited, int node) {
+  return !visited.insert(node).second;  // membership only — no iteration
+}
+
+double keyed_access(std::unordered_map<int, std::vector<double>>& by_key) {
+  double total = 0.0;
+  // Value access through a key: by_key[k] is an ordered vector, so
+  // this range-for exposes no hash order and needs no annotation.
+  for (double x : by_key[3]) total += x;
+  for (double x : by_key.at(4)) total += x;
+  return total;
+}
+
+std::vector<int> sorted_keys(const std::unordered_map<int, double>& m) {
+  std::vector<int> keys;
+  keys.reserve(m.size());
+  // dcn-lint: allow(unordered-iter) keys collected then sorted below — the hash order never reaches the result
+  for (const auto& [key, value] : m) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

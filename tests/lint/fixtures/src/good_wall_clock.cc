@@ -1,0 +1,12 @@
+// Known-good fixture: the annotated timing-capture pattern — every
+// clock read carries a visible allow() saying where the value goes
+// (and that destination is never canonical output).
+#include <chrono>
+
+double capture_decision_latency() {
+  // dcn-lint: allow(wall-clock) timing capture: decision latency, reaches SolverOutcome::timings only
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // dcn-lint: allow(wall-clock) timing capture: closes the window opened above
+  // dcn-lint: allow(wall-clock) timing capture: duration arithmetic on already-captured points
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture: std::function in src/opt/ — the Frank-Wolfe hot
+// loops run ~10^8 cost evaluations per cold solve; type erasure there
+// cost 1.4x wall clock before PR 6 templated it away.
+#include <functional>
+#include <vector>
+
+double line_search(const std::function<double(double)>& objective,  // BAD
+                   double lo, double hi) {
+  return (objective(lo) < objective(hi)) ? lo : hi;
+}
+
+struct Repricer {
+  std::function<double(double)> marginal_cost;  // BAD: per-edge indirect call
+  std::vector<double> loads;
+};

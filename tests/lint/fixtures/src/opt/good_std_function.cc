@@ -1,0 +1,26 @@
+// Known-good fixture: the templated-callable idiom src/opt uses since
+// PR 6 — concrete functors inline into the hot loop. The std::function
+// mention in this comment must not be flagged (comment stripping), and
+// the one real use is annotated as a cold-path exception.
+#include <functional>
+#include <vector>
+
+template <typename Objective>
+double line_search(const Objective& objective, double lo, double hi) {
+  return (objective(lo) < objective(hi)) ? lo : hi;
+}
+
+struct AnalyticCost {
+  double sigma = 0.0;
+  double alpha = 2.0;
+  double operator()(double x) const { return sigma + x * x * alpha; }
+};
+
+double minimize(double lo, double hi) {
+  return line_search(AnalyticCost{}, lo, hi);
+}
+
+struct ProblemSpec {
+  // dcn-lint: allow(std-function-hot) problem-definition callback: read once at setup, never inside the iteration loop
+  std::function<double(double)> generic_fallback_cost;
+};

@@ -1,0 +1,169 @@
+// Self-test for tools/lint/dcn_lint.py: feeds the known-bad and
+// known-good fixtures under tests/lint/fixtures/ through every rule in
+// both directions, checks the suppression annotation demands a
+// non-empty reason, and finally runs the lint over the real tree — the
+// tree staying clean is itself part of the contract.
+//
+// The lint is a Python tool, so this test shells out to it (CMake
+// injects DCN_SOURCE_DIR); when no python3 is on PATH the tests skip
+// rather than fail, matching how CI environments without Python would
+// degrade.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+constexpr const char* kRoot = DCN_SOURCE_DIR;
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string command = std::string("python3 '") + kRoot +
+                              "/tools/lint/dcn_lint.py' " + args + " 2>&1";
+  LintRun run;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buffer{};
+  std::size_t got = 0;
+  while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    run.output.append(buffer.data(), got);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+bool python_available() {
+  static const bool available = [] {
+    return run_lint("--list-rules").exit_code == 0;
+  }();
+  return available;
+}
+
+#define REQUIRE_PYTHON() \
+  if (!python_available()) GTEST_SKIP() << "python3 not available on PATH"
+
+std::string fixture_args(const std::string& rel_file) {
+  return std::string("--root '") + kRoot + "/tests/lint/fixtures' --quiet " +
+         rel_file;
+}
+
+struct RuleFixture {
+  const char* rule;
+  const char* bad_file;
+  int bad_violations;
+  const char* good_file;
+};
+
+// One known-bad and one known-good fixture per rule. The expected
+// violation counts pin the rules' sensitivity: fewer means a detector
+// went blind, more means a false positive crept in.
+constexpr RuleFixture kRuleFixtures[] = {
+    {"unordered-iter", "src/bad_unordered_iter.cc", 4,
+     "src/good_unordered_iter.cc"},
+    {"wall-clock", "src/bad_wall_clock.cc", 3, "src/good_wall_clock.cc"},
+    {"raw-random", "src/bad_raw_random.cc", 3, "src/good_raw_random.cc"},
+    {"raw-thread", "src/bad_raw_thread.cc", 4, "src/good_raw_thread.cc"},
+    {"std-function-hot", "src/opt/bad_std_function.cc", 2,
+     "src/opt/good_std_function.cc"},
+};
+
+int count_lines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) lines += (c == '\n');
+  return lines;
+}
+
+TEST(DcnLint, ListsEveryRule) {
+  REQUIRE_PYTHON();
+  const LintRun run = run_lint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const RuleFixture& fixture : kRuleFixtures) {
+    EXPECT_NE(run.output.find(fixture.rule), std::string::npos)
+        << "--list-rules is missing " << fixture.rule << ":\n"
+        << run.output;
+  }
+}
+
+TEST(DcnLint, EveryRuleFlagsItsKnownBadFixture) {
+  REQUIRE_PYTHON();
+  for (const RuleFixture& fixture : kRuleFixtures) {
+    const LintRun run = run_lint(fixture_args(fixture.bad_file));
+    EXPECT_EQ(run.exit_code, 1) << fixture.bad_file << ":\n" << run.output;
+    EXPECT_NE(run.output.find(std::string("[") + fixture.rule + "]"),
+              std::string::npos)
+        << fixture.bad_file << " did not trip [" << fixture.rule << "]:\n"
+        << run.output;
+    EXPECT_EQ(count_lines(run.output), fixture.bad_violations)
+        << fixture.bad_file << " violation count drifted:\n"
+        << run.output;
+  }
+}
+
+TEST(DcnLint, EveryRulePassesItsKnownGoodFixture) {
+  REQUIRE_PYTHON();
+  for (const RuleFixture& fixture : kRuleFixtures) {
+    const LintRun run = run_lint(fixture_args(fixture.good_file));
+    EXPECT_EQ(run.exit_code, 0)
+        << fixture.good_file << " should lint clean:\n"
+        << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+  }
+}
+
+TEST(DcnLint, SuppressionRequiresNonEmptyReason) {
+  REQUIRE_PYTHON();
+  const LintRun run = run_lint(fixture_args("src/bad_annotation.cc"));
+  EXPECT_EQ(run.exit_code, 1);
+  // The reasonless allow() is rejected as an annotation violation…
+  EXPECT_NE(run.output.find("requires a non-empty reason"), std::string::npos)
+      << run.output;
+  // …the unknown rule name and the malformed spelling likewise…
+  EXPECT_NE(run.output.find("unknown rule"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("malformed"), std::string::npos) << run.output;
+  // …and none of the three suppresses anything: all three underlying
+  // wall-clock violations still fire (3 annotation + 3 wall-clock).
+  EXPECT_EQ(count_lines(run.output), 6) << run.output;
+}
+
+TEST(DcnLint, AnnotatedViolationCarriesNoExitPenalty) {
+  REQUIRE_PYTHON();
+  // good_wall_clock.cc and good_unordered_iter.cc both contain real
+  // rule hits covered by reasoned allow() annotations — together they
+  // prove suppression works on the same line and on the line above.
+  const LintRun run = run_lint(
+      fixture_args("src/good_wall_clock.cc src/good_unordered_iter.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(DcnLint, WholeFixtureTreeSeparatesGoodFromBad) {
+  REQUIRE_PYTHON();
+  const LintRun run = run_lint(std::string("--root '") + kRoot +
+                               "/tests/lint/fixtures' --quiet");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output.find("good_"), std::string::npos)
+      << "a known-good fixture was flagged:\n"
+      << run.output;
+  int expected = 6;  // bad_annotation.cc
+  for (const RuleFixture& fixture : kRuleFixtures) {
+    expected += fixture.bad_violations;
+  }
+  EXPECT_EQ(count_lines(run.output), expected) << run.output;
+}
+
+// The real tree must lint clean: this is the same invariant the CI
+// lint job gates on, kept enforceable locally through ctest.
+TEST(DcnLint, RealTreeIsClean) {
+  REQUIRE_PYTHON();
+  const LintRun run =
+      run_lint(std::string("--root '") + kRoot + "' --quiet");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+}  // namespace

@@ -73,6 +73,32 @@ def check_release_capture(paths: list[str], raws: list[dict],
         print(f"bench_to_json: WARNING: {message}", file=sys.stderr)
 
 
+def check_uninstrumented_capture(paths: list[str], raws: list[dict],
+                                 allow_sanitizer: bool) -> None:
+    """Refuses sanitizer-instrumented captures (or warns with
+    --allow-sanitizer).
+
+    A ThreadSanitizer build runs 5-15x slower than Release, so its
+    numbers can never fold into a tracked snapshot — the same reasoning
+    as the debug benchmark-library refusal above. Both bench_micro
+    (custom benchmark context) and bench_online (--json context field)
+    stamp `dcn_sanitizer` when built under TSan; see bench_util.h.
+    """
+    for path, raw in zip(paths, raws):
+        sanitizer = raw.get("context", {}).get("dcn_sanitizer")
+        if not sanitizer:
+            continue
+        message = (
+            f"{path}: captured from a {sanitizer}-sanitizer-instrumented "
+            "build; timings would not be comparable to Release captures"
+        )
+        if not allow_sanitizer:
+            raise SystemExit(
+                f"bench_to_json: {message} (pass --allow-sanitizer to "
+                "override)")
+        print(f"bench_to_json: WARNING: {message}", file=sys.stderr)
+
+
 def convert(raws: list[dict], suite: str, exclude: str | None = None) -> dict:
     context = raws[0].get("context", {}) if raws else {}
     pattern = re.compile(exclude) if exclude else None
@@ -216,6 +242,12 @@ def main() -> int:
         "instead of refusing them",
     )
     parser.add_argument(
+        "--allow-sanitizer",
+        action="store_true",
+        help="convert sanitizer-instrumented captures (e.g. a DCN_TSAN "
+        "build) with a warning instead of refusing them",
+    )
+    parser.add_argument(
         "--fail-over",
         metavar="REGEX:PCT",
         action="append",
@@ -244,6 +276,7 @@ def main() -> int:
         with open(path) as f:
             raws.append(json.load(f))
     check_release_capture(args.files, raws, args.allow_debug)
+    check_uninstrumented_capture(args.files, raws, args.allow_sanitizer)
     json.dump(convert(raws, args.suite, args.exclude), sys.stdout, indent=2)
     print()
     return 0

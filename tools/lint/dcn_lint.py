@@ -1,0 +1,553 @@
+#!/usr/bin/env python3
+"""dcn_lint — repo-specific determinism lint for the dcn engine.
+
+The engine's headline guarantee is byte-identical canonical output for
+any --jobs, shard count, or worker count. CI enforces it end to end
+with cmp grids, but nothing stopped a PR from introducing an
+order-dependent iteration or a stray wall-clock read on a path the
+grids do not cover. This tool makes the conventions mechanical:
+
+  unordered-iter   No iteration over std::unordered_map/set (or
+                   aliases of them) in canonical-result code under
+                   src/. Hash-order iteration feeds float accumulation
+                   in a platform/libstdc++-dependent order, which
+                   breaks byte-determinism. Membership tests, inserts,
+                   and lookups are fine; collect-keys-then-sort is the
+                   blessed pattern (annotate the collection loop).
+
+  wall-clock       No std::chrono/clock reads under src/ outside the
+                   annotated timing-capture sites. Wall time must only
+                   ever reach SolverOutcome::timings (never canonical
+                   output, never `stats`); every capture site carries
+                   a visible annotation saying where the value goes.
+                   bench/, tools/, and tests/ are exempt — measuring
+                   time is their job.
+
+  raw-random       No rand()/std::random_device/raw std::mt19937
+                   outside src/common/random. All randomness flows
+                   through the seeded dcn::Rng (xoshiro256**) so every
+                   experiment replays bit-for-bit; std::random_device
+                   is non-deterministic by definition and the std
+                   engines/distributions vary across standard-library
+                   implementations.
+
+  raw-thread       No raw std::thread/std::jthread/std::async/detach()
+                   outside src/common/parallel. Ad-hoc threads bypass
+                   the WorkerPool's determinism-by-construction task
+                   claiming and its TSan-vetted synchronization.
+                   (std::thread::hardware_concurrency() is a static
+                   query and stays allowed.)
+
+  std-function-hot No std::function in src/opt/ — the Frank-Wolfe hot
+                   loops (PR 6 measured 567M type-erased calls per
+                   cold 8/1000 solve before templating line_search).
+                   Use templates over concrete callables.
+
+Suppression is visible and reasoned, never silent:
+
+    // dcn-lint: allow(<rule>) <non-empty reason>
+
+on the offending line, or alone on the line above it. An allow() with
+an empty reason or an unknown rule name is itself a violation.
+
+Modes: the default engine is a comment/string-stripping tokenizer with
+per-rule regexes — deterministic, dependency-free, and what CI runs.
+`--ast` additionally refines unordered-iter through libclang
+(clang.cindex over compile_commands.json) when the bindings are
+installed; without them it degrades to the regex engine with a notice
+(the container image does not ship python3-clang).
+
+Usage:
+    python3 tools/lint/dcn_lint.py [--root DIR] [files...]
+    python3 tools/lint/dcn_lint.py --list-rules
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rule table
+
+RULES = {
+    "unordered-iter":
+        "iteration over std::unordered_{map,set} in canonical-result code",
+    "wall-clock":
+        "clock read outside an annotated timing-capture site",
+    "raw-random":
+        "raw std random source outside src/common/random",
+    "raw-thread":
+        "raw thread/async outside src/common/parallel",
+    "std-function-hot":
+        "std::function in src/opt/ hot-loop code",
+}
+
+# Directories (relative, POSIX) each rule patrols, and files exempt by
+# charter (the home of the blessed facility itself).
+RULE_SCOPE = {
+    "unordered-iter": {"dirs": ("src",), "exempt": ()},
+    "wall-clock": {"dirs": ("src",), "exempt": ()},
+    "raw-random": {
+        "dirs": ("src", "tools"),
+        "exempt": ("src/common/random.h", "src/common/random.cc"),
+    },
+    "raw-thread": {
+        "dirs": ("src", "tools"),
+        "exempt": ("src/common/parallel.h", "src/common/parallel.cc"),
+    },
+    "std-function-hot": {"dirs": ("src/opt",), "exempt": ()},
+}
+
+SOURCE_SUFFIXES = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+ALLOW_RE = re.compile(r"//\s*dcn-lint:\s*allow\(([^)]*)\)\s*(.*?)\s*$")
+
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono\b|\bclock_gettime\b|\bgettimeofday\b"
+    r"|\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b"
+    r"|\bstd::time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+RAW_RANDOM_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\brand\s*\(|\bstd::random_device\b"
+    r"|\bstd::mt19937(?:_64)?\b|\bstd::minstd_rand0?\b"
+    r"|\bstd::default_random_engine\b|\bstd::ranlux"
+)
+# std::thread::hardware_concurrency() is a static query — skipped via
+# the (?!\s*::) lookahead.
+RAW_THREAD_RE = re.compile(
+    r"\bstd::thread\b(?!\s*::)|\bstd::jthread\b|\bstd::async\b"
+    r"|\.\s*detach\s*\("
+)
+STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+
+UNORDERED_TYPE_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+# `using Alias = std::unordered_map<...>` / `typedef std::unordered_set<...> Alias;`
+UNORDERED_ALIAS_USING_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:typename\s+)?std::unordered_")
+UNORDERED_ALIAS_TYPEDEF_RE = re.compile(
+    r"\btypedef\b.*\bstd::unordered_.*?\b(\w+)\s*;")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*?):([^)]*)\)")
+BEGIN_CALL_RE = re.compile(
+    r"\b(\w+)\s*((?:\[[^\]]*\])?)\s*\.\s*c?r?(?:begin|end)\s*\(")
+IDENT_RE = re.compile(r"\b([A-Za-z_]\w*)\b")
+
+
+@dataclasses.dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Comment/string stripping
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Returns the file's lines with comments, string and char literals
+    blanked out (replaced by spaces), preserving line structure so
+    reported line numbers match the raw file."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    buf = []
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings R"delim(...)delim" — find the real end.
+                if buf and buf[-1] and buf[-1][-1] == "R" and re.search(
+                        r"\bR$", "".join(buf[-8:])):
+                    m = re.match(r'"([^(]{0,16})\(', text[i:])
+                    if m:
+                        closer = ")" + m.group(1) + '"'
+                        end = text.find(closer, i + len(m.group(0)))
+                        end = end + len(closer) if end != -1 else n
+                        buf.append("".join(ch if ch == "\n" else " "
+                                           for ch in text[i:end]))
+                        i = end
+                        continue
+                state = "string"
+                buf.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                buf.append(" ")
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                buf.append("\n")
+            else:
+                buf.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                buf.append("  ")
+                i += 2
+            else:
+                buf.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                buf.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                buf.append(" ")
+                i += 1
+            else:
+                buf.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(buf).split("\n")
+
+
+# --------------------------------------------------------------------------
+# Suppression annotations
+
+def collect_allows(raw_lines: list[str], code_lines: list[str],
+                   path: str) -> tuple[dict[int, set[str]], list[Violation]]:
+    """Maps 0-based line index -> set of allowed rule names.
+
+    An annotation on a line with code covers that line; an annotation
+    alone on a line covers the next line that carries code. Empty
+    reasons and unknown rule names are violations in their own right.
+    """
+    allows: dict[int, set[str]] = {}
+    violations: list[Violation] = []
+    for idx, raw in enumerate(raw_lines):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            if "dcn-lint:" in raw:
+                violations.append(Violation(
+                    path, idx + 1, "annotation",
+                    "malformed dcn-lint annotation; expected "
+                    "'// dcn-lint: allow(<rule>) <reason>'"))
+            continue
+        rule, reason = m.group(1).strip(), m.group(2).strip()
+        if rule not in RULES:
+            violations.append(Violation(
+                path, idx + 1, "annotation",
+                f"allow() names unknown rule '{rule}' "
+                f"(known: {', '.join(sorted(RULES))})"))
+            continue
+        if not reason:
+            violations.append(Violation(
+                path, idx + 1, "annotation",
+                f"allow({rule}) requires a non-empty reason — say why "
+                "the invariant holds here"))
+            continue
+        target = idx
+        if not code_lines[idx].strip():
+            # Annotation-only line: covers the next code-bearing line.
+            for j in range(idx + 1, len(code_lines)):
+                if code_lines[j].strip():
+                    target = j
+                    break
+        allows.setdefault(target, set()).add(rule)
+    return allows, violations
+
+
+# --------------------------------------------------------------------------
+# unordered-iter: track unordered-typed names, then catch iteration
+
+def find_unordered_names(code_lines: list[str]) -> tuple[set[str], set[str]]:
+    """Returns (direct_vars, element_vars): names declared with an
+    unordered type (or an alias of one), and names of containers whose
+    *elements* are unordered (e.g. std::vector<PathAccumulator>)."""
+    # Alias declarations often wrap across lines — search the joined
+    # text (\s in the patterns matches the newline).
+    joined = "\n".join(code_lines)
+    aliases: set[str] = set()
+    for m in UNORDERED_ALIAS_USING_RE.finditer(joined):
+        aliases.add(m.group(1))
+    for m in UNORDERED_ALIAS_TYPEDEF_RE.finditer(joined):
+        aliases.add(m.group(1))
+
+    alias_pat = None
+    if aliases:
+        alias_pat = re.compile(
+            r"\b(?:" + "|".join(re.escape(a) for a in aliases) + r")\b")
+
+    direct: set[str] = set()
+    element: set[str] = set()
+    decl_tail_re = re.compile(r">\s*&?\s*([A-Za-z_]\w*)\s*(?:[;={(,)]|\[|$)")
+    for line in code_lines:
+        mentions_unordered = bool(UNORDERED_TYPE_RE.search(line)) or bool(
+            alias_pat and alias_pat.search(line))
+        if not mentions_unordered:
+            continue
+        if re.search(r"\busing\b|\btypedef\b|#\s*include", line):
+            continue
+        # Wrapped in another container: iteration over the wrapper is
+        # ordered, but element access (name[i].begin()) is not.
+        wrapped = bool(re.search(
+            r"\b(?:std::vector|std::array|std::deque)\s*<[^;]*"
+            r"(?:unordered_|" + "|".join(re.escape(a) for a in aliases or
+                                         {"\x00"}) + r")", line))
+        # Alias used bare: `PathAccumulator accum;` or `Alias& ref = ...`.
+        name = None
+        m = decl_tail_re.search(line)
+        if m:
+            name = m.group(1)
+        elif alias_pat:
+            m2 = re.search(
+                r"\b(?:" + "|".join(re.escape(a) for a in aliases) +
+                r")\s*&?\s*([A-Za-z_]\w*)", line)
+            if m2:
+                name = m2.group(1)
+        if not name:
+            continue
+        (element if wrapped else direct).add(name)
+    return direct, element
+
+
+def check_unordered_iter(path: str, code_lines: list[str]) -> list[Violation]:
+    direct, element = find_unordered_names(code_lines)
+    if not direct and not element:
+        return []
+    def hash_order_hits(expr: str) -> set[str]:
+        """Names in `expr` whose *hash order* the expression exposes:
+        a direct unordered var used bare (m[k]/.at(k) reach a mapped
+        value, which is ordered), or an element var used indexed."""
+        hits = set()
+        for name in set(IDENT_RE.findall(expr)) & (direct | element):
+            accesses = [mm.end() for mm in re.finditer(
+                r"\b" + re.escape(name) + r"\b", expr)]
+            value_access = all(
+                re.match(r"\s*(?:\[|\.\s*at\s*\()", expr[pos:])
+                for pos in accesses)
+            if name in direct and not value_access:
+                hits.add(name)
+            if name in element and value_access:
+                hits.add(name)
+        return hits
+
+    out: list[Violation] = []
+    for idx, line in enumerate(code_lines):
+        for m in RANGE_FOR_RE.finditer(line):
+            hits = hash_order_hits(m.group(2))
+            if hits:
+                out.append(Violation(
+                    path, idx + 1, "unordered-iter",
+                    f"range-for over unordered container "
+                    f"'{sorted(hits)[0]}' — hash order is not "
+                    "deterministic; collect keys and sort, or use an "
+                    "indexed container"))
+        for m in BEGIN_CALL_RE.finditer(line):
+            name, indexed = m.group(1), m.group(2)
+            if name in direct or (name in element and indexed):
+                out.append(Violation(
+                    path, idx + 1, "unordered-iter",
+                    f"iterator over unordered container '{name}' — hash "
+                    "order is not deterministic"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Optional libclang refinement (gated: the image may not ship bindings)
+
+def ast_refine_unordered(root: pathlib.Path, rel_path: str,
+                         violations: list[Violation]) -> list[Violation]:
+    """With clang.cindex available, re-verify regex unordered-iter hits
+    against the AST: a flagged range-for whose range expression's
+    canonical type is not an unordered container is dropped. Regex
+    findings stand wherever the AST is unavailable or fails to parse —
+    the regex engine is the source of truth, the AST only removes
+    false positives."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return violations
+    ccdb_dir = root / "build"
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(str(ccdb_dir))
+        cmds = db.getCompileCommands(str(root / rel_path))
+        if not cmds:
+            return violations
+        cmd = list(cmds)[0]
+        args = [a for a in list(cmd.arguments)[1:] if a != str(cmd.filename)]
+        tu = cindex.Index.create().parse(str(cmd.filename), args=args)
+    except Exception:
+        return violations
+
+    unordered_for_lines: set[int] = set()
+
+    def walk(node):
+        if node.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(node.get_children())
+            if children:
+                range_type = children[0].type.get_canonical().spelling
+                if "unordered_" in range_type:
+                    unordered_for_lines.add(node.location.line)
+        for child in node.get_children():
+            if child.location.file and str(child.location.file) == str(
+                    cmd.filename):
+                walk(child)
+
+    try:
+        walk(tu.cursor)
+    except Exception:
+        return violations
+    kept = []
+    for v in violations:
+        if (v.rule == "unordered-iter" and "range-for" in v.message
+                and v.line not in unordered_for_lines):
+            continue  # AST says the range is not unordered: false positive
+        kept.append(v)
+    return kept
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+def rule_applies(rule: str, rel_path: str) -> bool:
+    scope = RULE_SCOPE[rule]
+    if rel_path in scope["exempt"]:
+        return False
+    return any(
+        rel_path == d or rel_path.startswith(d + "/") for d in scope["dirs"])
+
+
+def lint_file(root: pathlib.Path, rel_path: str,
+              use_ast: bool) -> list[Violation]:
+    text = (root / rel_path).read_text(encoding="utf-8", errors="replace")
+    raw_lines = text.split("\n")
+    code_lines = strip_comments_and_strings(text)
+    if len(code_lines) < len(raw_lines):
+        code_lines += [""] * (len(raw_lines) - len(code_lines))
+
+    allows, violations = collect_allows(raw_lines, code_lines, rel_path)
+
+    candidates: list[Violation] = []
+    if rule_applies("unordered-iter", rel_path):
+        found = check_unordered_iter(rel_path, code_lines)
+        if use_ast and found:
+            found = ast_refine_unordered(root, rel_path, found)
+        candidates += found
+    for rule, regex in (("wall-clock", WALL_CLOCK_RE),
+                        ("raw-random", RAW_RANDOM_RE),
+                        ("raw-thread", RAW_THREAD_RE),
+                        ("std-function-hot", STD_FUNCTION_RE)):
+        if not rule_applies(rule, rel_path):
+            continue
+        for idx, line in enumerate(code_lines):
+            m = regex.search(line)
+            if m:
+                candidates.append(Violation(
+                    path=rel_path, line=idx + 1, rule=rule,
+                    message=f"'{m.group(0).strip()}' — {RULES[rule]}"))
+
+    for v in candidates:
+        if v.rule in allows.get(v.line - 1, ()):
+            continue
+        violations.append(v)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def discover_files(root: pathlib.Path) -> list[str]:
+    patrolled: set[str] = set()
+    for scope in RULE_SCOPE.values():
+        patrolled.update(scope["dirs"])
+    rels = []
+    for top in sorted(patrolled):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                rels.append(p.relative_to(root).as_posix())
+    return sorted(set(rels))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="repo-specific determinism lint (see module docstring)")
+    parser.add_argument("files", nargs="*",
+                        help="files to lint (relative to --root); default: "
+                        "every patrolled source file under --root")
+    parser.add_argument("--root", default=".",
+                        help="repo root the per-rule path policies are "
+                        "resolved against (default: cwd)")
+    parser.add_argument("--ast", action="store_true",
+                        help="refine unordered-iter via libclang over "
+                        "build/compile_commands.json when python3-clang is "
+                        "installed; silently degrades to the regex engine "
+                        "otherwise")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-file summary line")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            scope = RULE_SCOPE[rule]
+            print(f"{rule:18s} {summary}  [dirs: {', '.join(scope['dirs'])}]")
+        return 0
+
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"dcn_lint: --root {args.root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    if args.files:
+        rels = []
+        for f in args.files:
+            p = pathlib.Path(f)
+            if p.is_absolute():
+                try:
+                    rels.append(p.resolve().relative_to(root).as_posix())
+                except ValueError:
+                    print(f"dcn_lint: {f} is outside --root {root}",
+                          file=sys.stderr)
+                    return 2
+            else:
+                rels.append(p.as_posix())
+    else:
+        rels = discover_files(root)
+
+    all_violations: list[Violation] = []
+    for rel in rels:
+        if not (root / rel).is_file():
+            print(f"dcn_lint: no such file: {rel}", file=sys.stderr)
+            return 2
+        all_violations += lint_file(root, rel, use_ast=args.ast)
+
+    for v in all_violations:
+        print(v.render())
+    if not args.quiet:
+        print(f"dcn_lint: {len(rels)} file(s), "
+              f"{len(all_violations)} violation(s)",
+              file=sys.stderr)
+    return 1 if all_violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
